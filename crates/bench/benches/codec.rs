@@ -1,0 +1,33 @@
+//! Criterion micro-bench: wire codec throughput (the protobuf stand-in) —
+//! serialization must not eat the bandwidth the compression saves.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ec_comm::codec;
+use ec_tensor::init;
+
+fn bench_codec(c: &mut Criterion) {
+    let m = init::uniform(512, 64, 0.0, 1.0, 9);
+    let bytes = codec::matrix_wire_size(&m) as u64;
+    let mut encoded = Vec::new();
+    codec::put_matrix(&mut encoded, &m);
+
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("put_matrix", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(bytes as usize);
+            codec::put_matrix(&mut buf, std::hint::black_box(&m));
+            buf
+        })
+    });
+    group.bench_function("get_matrix", |b| {
+        b.iter(|| {
+            let mut slice = std::hint::black_box(encoded.as_slice());
+            codec::get_matrix(&mut slice).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion micro-bench: one distributed training epoch under each
+//! compression mode — the end-to-end CPU cost (compression overhead
+//! included) of the engine's inner loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ec_graph::config::{BpMode, FpMode, TrainingConfig};
+use ec_graph::engine::DistributedEngine;
+use ec_graph_data::{normalize, DatasetSpec};
+use ec_partition::hash::HashPartitioner;
+use ec_partition::Partitioner;
+use std::sync::Arc;
+
+fn make_engine(fp: FpMode, bp: BpMode) -> DistributedEngine {
+    let data = Arc::new(DatasetSpec::products().instantiate_with(1024, 64, 3));
+    let config = TrainingConfig {
+        dims: vec![64, 16, data.num_classes],
+        num_workers: 4,
+        fp_mode: fp,
+        bp_mode: bp,
+        seed: 1,
+        ..TrainingConfig::defaults(64, data.num_classes)
+    };
+    let adj = Arc::new(normalize::gcn_normalized_adjacency(&data.graph));
+    let partition = HashPartitioner::default().partition(&data.graph, 4);
+    DistributedEngine::new(data, vec![adj; 2], partition, config)
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/epoch");
+    group.sample_size(10);
+    let modes: Vec<(&str, FpMode, BpMode)> = vec![
+        ("exact", FpMode::Exact, BpMode::Exact),
+        ("cp-2", FpMode::Compressed { bits: 2 }, BpMode::Compressed { bits: 2 }),
+        (
+            "reqec-2+resec-4",
+            FpMode::ReqEc { bits: 2, t_tr: 10, adaptive: false },
+            BpMode::ResEc { bits: 4 },
+        ),
+        ("distgnn-r5", FpMode::Delayed { r: 5 }, BpMode::Exact),
+    ];
+    for (label, fp, bp) in modes {
+        group.bench_function(label, |b| {
+            let mut engine = make_engine(fp, bp);
+            b.iter(|| engine.run_epoch());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

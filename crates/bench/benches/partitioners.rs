@@ -1,0 +1,33 @@
+//! Criterion micro-bench: partitioner cost (Fig. 11's footnote — the
+//! paper keeps Hash as the default because METIS-quality partitioning
+//! "takes much time to partition on big graphs").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ec_graph_data::generators;
+use ec_partition::hash::HashPartitioner;
+use ec_partition::ldg::LdgPartitioner;
+use ec_partition::metis::MetisLikePartitioner;
+use ec_partition::range::RangePartitioner;
+use ec_partition::Partitioner;
+
+fn bench_partitioners(c: &mut Criterion) {
+    let g = generators::barabasi_albert(8192, 8, 3);
+    let mut group = c.benchmark_group("partition/8k-vertices");
+    group.sample_size(10);
+    group.bench_function("hash", |b| {
+        b.iter(|| HashPartitioner::default().partition(std::hint::black_box(&g), 8))
+    });
+    group.bench_function("range", |b| {
+        b.iter(|| RangePartitioner.partition(std::hint::black_box(&g), 8))
+    });
+    group.bench_function("ldg", |b| {
+        b.iter(|| LdgPartitioner::default().partition(std::hint::black_box(&g), 8))
+    });
+    group.bench_function("metis-like", |b| {
+        b.iter(|| MetisLikePartitioner::default().partition(std::hint::black_box(&g), 8))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

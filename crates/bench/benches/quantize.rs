@@ -1,0 +1,32 @@
+//! Criterion micro-bench: quantization throughput versus bit width —
+//! the per-message CPU cost EC-Graph pays to save bandwidth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ec_compress::Quantized;
+use ec_tensor::init;
+
+fn bench_quantize(c: &mut Criterion) {
+    let m = init::uniform(256, 128, 0.0, 1.0, 7);
+    let bytes = (m.len() * 4) as u64;
+    let mut group = c.benchmark_group("quantize/compress");
+    group.throughput(Throughput::Bytes(bytes));
+    for bits in [1u8, 2, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            b.iter(|| Quantized::compress(std::hint::black_box(&m), bits));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("quantize/decompress");
+    group.throughput(Throughput::Bytes(bytes));
+    for bits in [1u8, 2, 4, 8, 16] {
+        let q = Quantized::compress(&m, bits);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &q, |b, q| {
+            b.iter(|| std::hint::black_box(q).decompress());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quantize);
+criterion_main!(benches);

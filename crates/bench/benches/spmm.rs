@@ -1,0 +1,61 @@
+//! Criterion micro-bench: the aggregation kernels — fused CSR SpMM
+//! (DGL-style) versus transposed SpMM versus dense matmul, the compute
+//! core of every GNN layer.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ec_graph_data::{generators, normalize};
+use ec_tensor::{init, ops};
+
+fn bench_spmm(c: &mut Criterion) {
+    let g = generators::erdos_renyi(4096, 65_536, 3);
+    let adj = normalize::gcn_normalized_adjacency(&g);
+    let h = init::uniform(4096, 32, 0.0, 1.0, 5);
+    let flops = (adj.nnz() * 32 * 2) as u64;
+
+    let mut group = c.benchmark_group("spmm");
+    group.throughput(Throughput::Elements(flops));
+    group.bench_function("csr_spmm", |b| {
+        b.iter(|| std::hint::black_box(&adj).spmm(std::hint::black_box(&h)))
+    });
+    group.bench_function("csr_spmm_t", |b| {
+        b.iter(|| std::hint::black_box(&adj).spmm_t(std::hint::black_box(&h)))
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_function(format!("csr_spmm_par{threads}"), |b| {
+            b.iter(|| {
+                ec_tensor::parallel::spmm(
+                    std::hint::black_box(&adj),
+                    std::hint::black_box(&h),
+                    threads,
+                )
+            })
+        });
+    }
+    group.finish();
+
+    let a = init::uniform(512, 512, -1.0, 1.0, 1);
+    let bm = init::uniform(512, 512, -1.0, 1.0, 2);
+    let mut group = c.benchmark_group("matmul");
+    group.throughput(Throughput::Elements((512u64).pow(3) * 2));
+    group.bench_function("dense_512", |b| {
+        b.iter(|| ops::matmul(std::hint::black_box(&a), std::hint::black_box(&bm)))
+    });
+    group.bench_function("dense_at_b_512", |b| {
+        b.iter(|| ops::matmul_at_b(std::hint::black_box(&a), std::hint::black_box(&bm)))
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_function(format!("dense_512_par{threads}"), |b| {
+            b.iter(|| {
+                ec_tensor::parallel::matmul(
+                    std::hint::black_box(&a),
+                    std::hint::black_box(&bm),
+                    threads,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmm);
+criterion_main!(benches);

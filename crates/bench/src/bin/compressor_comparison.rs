@@ -1,0 +1,68 @@
+//! **Related-work comparison** — bucket quantization (the paper's choice)
+//! versus Top-k sparsification (the paper's [32]) at equal byte budgets,
+//! both with and without error feedback, on backward-pass gradients.
+//!
+//! The paper argues for quantization implicitly (Section II-C reviews
+//! SketchML, Top-k, 1-bit); this experiment makes the comparison explicit
+//! on the same engine.
+//!
+//! Usage: `compressor_comparison [dataset=reddit] [epochs=60] [bits=2]
+//! [scale=1.0] [workers=6]`
+
+use ec_bench::{bench_dataset, emit, Args};
+use ec_graph::config::{BpMode, FpMode, TrainingConfig};
+use ec_graph::trainer::train;
+use ec_graph_data::DatasetSpec;
+use ec_partition::hash::HashPartitioner;
+use std::sync::Arc;
+
+fn main() {
+    let args = Args::from_env();
+    let epochs: usize = args.get("epochs", 60);
+    let bits: u8 = args.get("bits", 2);
+    let scale: f64 = args.get("scale", 1.0);
+    let workers: usize = args.get("workers", 6);
+    let ds = args.get_str("dataset", "reddit");
+
+    let spec = DatasetSpec::all().into_iter().find(|s| s.name == ds).expect("unknown dataset");
+    let data = Arc::new(bench_dataset(&spec, scale, 7));
+    // Budget-matched ratio: B bits/coordinate vs 64 bits per kept entry.
+    let ratio = bits as f32 / 64.0;
+    println!(
+        "== BP compressor comparison ({} replica, budget = {bits} bits/coord ⇔ top-k ratio {ratio:.4}) ==",
+        spec.name
+    );
+    let modes: Vec<(&str, BpMode)> = vec![
+        ("non-cp", BpMode::Exact),
+        ("quantize", BpMode::Compressed { bits }),
+        ("quantize+ec", BpMode::ResEc { bits }),
+        ("topk+ec", BpMode::TopkEc { ratio }),
+    ];
+    for (label, bp_mode) in modes {
+        let config = TrainingConfig {
+            dims: ec_bench::paper_dims(&data, 16, 2),
+            num_workers: workers,
+            fp_mode: FpMode::Exact,
+            bp_mode,
+            max_epochs: epochs,
+            seed: 3,
+            ..TrainingConfig::defaults(data.feature_dim(), data.num_classes)
+        };
+        let r = train(Arc::clone(&data), &HashPartitioner::default(), config, label);
+        let bp_mb = r.epochs.iter().map(|e| e.bp_bytes).sum::<u64>() as f64 / 1e6;
+        emit(
+            "compressor_comparison",
+            &format!(
+                "  {:<12} test-acc {:.4}  final-loss {:.4}  BP traffic {:>8.2} MB",
+                label,
+                r.best_test_acc,
+                r.epochs.last().map(|e| e.loss).unwrap_or(0.0),
+                bp_mb
+            ),
+            serde_json::json!({
+                "compressor": label, "bits": bits, "ratio": ratio,
+                "test_acc": r.best_test_acc, "bp_mb": bp_mb,
+            }),
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! **Fig. 10 / Table IV "OGBN-Papers" column** — EC-Graph on the largest
+//! graph: full-batch EC-Graph vs EC-Graph-S per layer count, epoch time
+//! and accuracy. The paper runs this on the larger 6-machine cluster; the
+//! replica keeps Papers' degree/dims/classes at a reduced vertex count.
+//!
+//! Usage: `fig10_papers [epochs=40] [patience=15] [scale=1.0] [workers=6]
+//! [layers=2,3,4]`
+
+use ec_bench::systems::{run, RunParams, System};
+use ec_bench::{bench_dataset, emit, Args};
+use ec_graph_data::DatasetSpec;
+use std::sync::Arc;
+
+fn main() {
+    let args = Args::from_env();
+    let epochs: usize = args.get("epochs", 120);
+    let patience: usize = args.get("patience", 40);
+    let scale: f64 = args.get("scale", 1.0);
+    let workers: usize = args.get("workers", 6);
+    let layer_list = args.get_str("layers", "2,3");
+
+    let spec = DatasetSpec::papers();
+    let data = Arc::new(bench_dataset(&spec, scale, 7));
+    println!(
+        "== Fig. 10: OGBN-Papers replica (|V|={} |E|={} d0={} C={}) ==",
+        data.num_vertices(),
+        data.graph.num_edges(),
+        data.feature_dim(),
+        data.num_classes
+    );
+    for layers in layer_list.split(',').filter_map(|l| l.parse::<usize>().ok()) {
+        for system in [System::EcGraph, System::EcGraphS] {
+            let p = RunParams {
+                workers,
+                patience: Some(patience),
+                ..RunParams::new(layers, 64, epochs)
+            };
+            let r = run(system, &data, &p).expect("papers run failed");
+            emit(
+                "fig10",
+                &format!(
+                    "  L={} {:<12} {:>9.4} s/epoch  test-acc {:.4}  conv {:>8.2}s",
+                    layers,
+                    system.label(),
+                    r.avg_epoch_time(),
+                    r.best_test_acc,
+                    r.convergence_time()
+                ),
+                serde_json::json!({
+                    "layers": layers, "system": system.label(),
+                    "epoch_s": r.avg_epoch_time(), "test_acc": r.best_test_acc,
+                    "convergence_s": r.convergence_time(),
+                }),
+            );
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! **Fig. 11** — scalability with the number of machines, under Hash and
+//! METIS partitioning, for EC-Graph and EC-Graph-S.
+//!
+//! The paper's shape: epoch time falls as machines are added; METIS sits
+//! below Hash because its edge-cut (and therefore `ḡ_rmt`) is lower.
+//!
+//! Usage: `fig11_scalability [dataset=products] [epochs=5] [scale=1.0]
+//! [workers=2,4,6,8,10,13]`
+
+use ec_bench::{bench_dataset, emit, Args};
+use ec_graph::config::{BpMode, FpMode, TrainingConfig};
+use ec_graph::sampling::sample_layer_graphs;
+use ec_graph::trainer;
+use ec_graph_data::DatasetSpec;
+use ec_partition::hash::HashPartitioner;
+use ec_partition::metis::MetisLikePartitioner;
+use ec_partition::{metrics, Partitioner};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::from_env();
+    let epochs: usize = args.get("epochs", 5);
+    let scale: f64 = args.get("scale", 1.0);
+    let worker_list = args.get_str("workers", "2,4,6,8,10,13");
+    let ds = args.get_str("dataset", "products");
+
+    let spec = DatasetSpec::all()
+        .into_iter()
+        .find(|s| s.name == ds)
+        .expect("unknown dataset");
+    let data = Arc::new(bench_dataset(&spec, scale, 7));
+    println!(
+        "== Fig. 11: scalability on {} replica (|V|={} |E|={}) ==",
+        spec.name,
+        data.num_vertices(),
+        data.graph.num_edges()
+    );
+
+    let partitioners: Vec<(&str, Box<dyn Partitioner>)> = vec![
+        ("hash", Box::new(HashPartitioner::default())),
+        ("metis", Box::new(MetisLikePartitioner::default())),
+    ];
+    for workers in worker_list.split(',').filter_map(|w| w.parse::<usize>().ok()) {
+        for (pname, partitioner) in &partitioners {
+            for sampled in [false, true] {
+                let system = if sampled { "ec-graph-s" } else { "ec-graph" };
+                let config = TrainingConfig {
+                    dims: ec_bench::paper_dims(&data, 16, 2),
+                    num_workers: workers,
+                    fp_mode: FpMode::ReqEc { bits: 2, t_tr: 10, adaptive: true },
+                    bp_mode: BpMode::ResEc { bits: 4 },
+                    max_epochs: epochs,
+                    seed: 3,
+                    ..TrainingConfig::defaults(data.feature_dim(), data.num_classes)
+                };
+                let part_start = Instant::now();
+                let partition = partitioner.partition(&data.graph, workers);
+                let partition_s = part_start.elapsed().as_secs_f64();
+                let g_rmt = metrics::avg_remote_degree(&data.graph, &partition);
+                let adjs = if sampled {
+                    let fanouts =
+                        ec_bench::systems::paper_fanouts(&data.name, 2).unwrap_or(vec![10, 10]);
+                    sample_layer_graphs(&data.graph, &fanouts, 5).0
+                } else {
+                    let adj = Arc::new(
+                        ec_graph_data::normalize::gcn_normalized_adjacency(&data.graph),
+                    );
+                    vec![adj; 2]
+                };
+                let r = trainer::train_prepartitioned(
+                    Arc::clone(&data),
+                    adjs,
+                    partition,
+                    config,
+                    system,
+                    partition_s,
+                );
+                emit(
+                    "fig11",
+                    &format!(
+                        "  {:<10} workers={:>2} {:<6} {:>9.4} s/epoch  (ḡ_rmt {:>7.2}, partition {:.3}s)",
+                        system, workers, pname, r.avg_epoch_time(), g_rmt, partition_s
+                    ),
+                    serde_json::json!({
+                        "system": system, "workers": workers, "partitioner": pname,
+                        "epoch_s": r.avg_epoch_time(), "avg_remote_degree": g_rmt,
+                        "partition_s": partition_s,
+                    }),
+                );
+            }
+        }
+    }
+}

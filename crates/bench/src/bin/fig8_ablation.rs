@@ -1,0 +1,117 @@
+//! **Fig. 8** — ablation study: speedup bars + accuracy lines.
+//!
+//! Per dataset, compares Non-cp / Cp-fp / Cp-bp / ReqEC / ResEC /
+//! ReqEC-adapt / full EC-Graph using the paper's per-dataset bit settings
+//! ("2/4/1/2, 4/4/2/2, 8/8/2/4, 16/8/2/2, 8/8/4/4 bits for
+//! Cp-fp/Cp-bp/ReqEC/ResEC"). Reports convergence-time speedup over
+//! Non-cp and the best test accuracy. The paper's shape: plain compression
+//! can be *slower* than no compression (it needs more epochs), while the
+//! compensated variants are both faster and as accurate.
+//!
+//! Usage: `fig8_ablation [datasets=cora,pubmed,reddit,products,papers]
+//! [epochs=150] [scale=1.0] [workers=6] [patience=25]`
+
+use ec_bench::{bench_dataset, emit, fmt_secs, Args};
+use ec_graph::config::{BpMode, FpMode, TrainingConfig};
+use ec_graph::report::RunResult;
+use ec_graph::trainer::train;
+use ec_graph_data::DatasetSpec;
+use ec_partition::hash::HashPartitioner;
+use std::sync::Arc;
+
+/// The paper's Fig. 8 bit settings: (Cp-fp, Cp-bp, ReqEC, ResEC).
+fn paper_bits(dataset: &str) -> (u8, u8, u8, u8) {
+    match dataset {
+        "cora" => (2, 4, 1, 2),
+        "pubmed" => (4, 4, 2, 2),
+        "reddit" => (8, 8, 2, 4),
+        "products" => (16, 8, 2, 2),
+        "papers" => (8, 8, 4, 4),
+        _ => (4, 4, 2, 2),
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let epochs: usize = args.get("epochs", 150);
+    let scale: f64 = args.get("scale", 1.0);
+    let workers: usize = args.get("workers", 6);
+    let patience: usize = args.get("patience", 25);
+    let wanted = args.get_str("datasets", "cora,pubmed,reddit,products,papers");
+
+    println!("== Fig. 8: ablation — speedup over Non-cp (bars) + accuracy (lines) ==");
+    for spec in DatasetSpec::all() {
+        if !wanted.split(',').any(|d| d == spec.name) {
+            continue;
+        }
+        let data = Arc::new(bench_dataset(&spec, scale, 7));
+        let (b_cpfp, b_cpbp, b_reqec, b_resec) = paper_bits(spec.name);
+        println!(
+            "-- {} replica: |V|={} |E|={} bits(Cp-fp/Cp-bp/ReqEC/ResEC)={}/{}/{}/{} --",
+            spec.name,
+            data.num_vertices(),
+            data.graph.num_edges(),
+            b_cpfp,
+            b_cpbp,
+            b_reqec,
+            b_resec
+        );
+        let variants: Vec<(&str, FpMode, BpMode)> = vec![
+            ("non-cp", FpMode::Exact, BpMode::Exact),
+            ("cp-fp", FpMode::Compressed { bits: b_cpfp }, BpMode::Exact),
+            ("cp-bp", FpMode::Exact, BpMode::Compressed { bits: b_cpbp }),
+            (
+                "reqec",
+                FpMode::ReqEc { bits: b_reqec, t_tr: 10, adaptive: false },
+                BpMode::Exact,
+            ),
+            ("resec", FpMode::Exact, BpMode::ResEc { bits: b_resec }),
+            (
+                "reqec-adapt",
+                FpMode::ReqEc { bits: b_reqec, t_tr: 10, adaptive: true },
+                BpMode::Exact,
+            ),
+            (
+                "ec-graph",
+                FpMode::ReqEc { bits: b_reqec, t_tr: 10, adaptive: true },
+                BpMode::ResEc { bits: b_resec },
+            ),
+        ];
+        let mut baseline_time = None;
+        for (label, fp_mode, bp_mode) in variants {
+            let config = TrainingConfig {
+                dims: ec_bench::paper_dims(&data, 16, 2),
+                num_workers: workers,
+                fp_mode,
+                bp_mode,
+                max_epochs: epochs,
+                patience: Some(patience),
+                seed: 3,
+                eval_every: 1,
+                ..TrainingConfig::defaults(data.feature_dim(), data.num_classes)
+            };
+            let r: RunResult = train(Arc::clone(&data), &HashPartitioner::default(), config, label);
+            let conv = r.convergence_time_within(0.005);
+            let baseline = *baseline_time.get_or_insert(conv);
+            let speedup = baseline / conv.max(1e-12);
+            emit(
+                "fig8",
+                &format!(
+                    "  {:<12} {:<12} speedup {:>5.2}x  test-acc {:.4}  conv {:>8}s ({} epochs)",
+                    spec.name,
+                    label,
+                    speedup,
+                    r.best_test_acc,
+                    fmt_secs(conv),
+                    r.convergence_epoch_within(0.005) + 1
+                ),
+                serde_json::json!({
+                    "dataset": spec.name, "variant": label,
+                    "speedup_vs_noncp": speedup, "test_acc": r.best_test_acc,
+                    "convergence_s": conv, "epochs_to_conv": r.convergence_epoch_within(0.005) + 1,
+                    "total_gb": r.total_bytes() as f64 / 1e9,
+                }),
+            );
+        }
+    }
+}

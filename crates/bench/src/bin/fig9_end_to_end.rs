@@ -1,0 +1,81 @@
+//! **Fig. 9** — end-to-end time: preprocessing + training-to-convergence,
+//! with EC-Graph's speedup factors over each system (the paper highlights
+//! the OGBN-Products column).
+//!
+//! Usage: `fig9_end_to_end [datasets=products] [epochs=150] [patience=25]
+//! [scale=1.0] [workers=6]`
+
+use ec_bench::systems::{run, RunParams, System};
+use ec_bench::{bench_dataset, emit, fmt_secs, Args};
+use ec_graph_data::DatasetSpec;
+use std::sync::Arc;
+
+fn main() {
+    let args = Args::from_env();
+    let epochs: usize = args.get("epochs", 150);
+    let patience: usize = args.get("patience", 25);
+    let scale: f64 = args.get("scale", 1.0);
+    let workers: usize = args.get("workers", 6);
+    let wanted = args.get_str("datasets", "products");
+
+    println!("== Fig. 9: end-to-end time (preprocessing + training to convergence) ==");
+    for spec in DatasetSpec::all() {
+        if !wanted.split(',').any(|d| d == spec.name) {
+            continue;
+        }
+        let data = Arc::new(bench_dataset(&spec, scale, 7));
+        println!(
+            "-- {} replica: |V|={} |E|={} --",
+            spec.name,
+            data.num_vertices(),
+            data.graph.num_edges()
+        );
+        let systems = [
+            System::NonCp,
+            System::DistGnn,
+            System::AliGraphFg,
+            System::DistDgl,
+            System::Agl,
+            System::EcGraph,
+            System::EcGraphS,
+        ];
+        let mut ec_graph_time = None;
+        let mut rows = Vec::new();
+        for system in systems {
+            let p = RunParams {
+                workers,
+                patience: Some(patience),
+                ..RunParams::new(spec.default_layers.min(3), ec_bench::bench_hidden(&spec), epochs)
+            };
+            match run(system, &data, &p) {
+                Ok(r) => {
+                    let e2e = r.preprocessing_s + r.convergence_time_within(0.005);
+                    if system == System::EcGraph {
+                        ec_graph_time = Some(e2e);
+                    }
+                    rows.push((system, r.preprocessing_s, r.convergence_time_within(0.005), e2e));
+                }
+                Err(e) => println!("  {:<18} - ({e})", system.label()),
+            }
+        }
+        for (system, pre, conv, e2e) in rows {
+            let speedup = ec_graph_time.map(|t| e2e / t.max(1e-12)).unwrap_or(f64::NAN);
+            emit(
+                "fig9",
+                &format!(
+                    "  {:<18} preprocess {:>9}s  train {:>9}s  end-to-end {:>9}s  (ec-graph speedup {:>5.2}x)",
+                    system.label(),
+                    fmt_secs(pre),
+                    fmt_secs(conv),
+                    fmt_secs(e2e),
+                    speedup
+                ),
+                serde_json::json!({
+                    "dataset": spec.name, "system": system.label(),
+                    "preprocessing_s": pre, "training_s": conv,
+                    "end_to_end_s": e2e, "ecgraph_speedup": speedup,
+                }),
+            );
+        }
+    }
+}

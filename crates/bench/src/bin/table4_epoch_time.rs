@@ -1,0 +1,87 @@
+//! **Table IV** — training time per epoch for every system × dataset ×
+//! layer count (2/3/4).
+//!
+//! The paper's shape to reproduce: single-machine DGL wins on tiny graphs
+//! (distributed overhead dominates); on the larger graphs EC-Graph beats
+//! DGL and DistGNN in the full-batch group, and EC-Graph-S beats the
+//! sampling-based group; PyG runs out of memory on dense graphs (`-`).
+//!
+//! Usage: `table4_epoch_time [datasets=…] [epochs=5] [scale=1.0]
+//! [workers=6] [layers=2,3,4]`
+
+use ec_bench::systems::{run, RunParams, System};
+use ec_bench::{bench_dataset, emit, Args};
+use ec_graph_data::DatasetSpec;
+use std::sync::Arc;
+
+fn main() {
+    let args = Args::from_env();
+    let epochs: usize = args.get("epochs", 5);
+    let scale: f64 = args.get("scale", 1.0);
+    let workers: usize = args.get("workers", 6);
+    let layer_list = args.get_str("layers", "2,3,4");
+    let wanted = args.get_str("datasets", "cora,pubmed,reddit,products,papers");
+
+    println!("== Table IV: avg training time per epoch (simulated seconds) ==");
+    for spec in DatasetSpec::all() {
+        if !wanted.split(',').any(|d| d == spec.name) {
+            continue;
+        }
+        let data = Arc::new(bench_dataset(&spec, scale, 7));
+        println!(
+            "-- {} replica: |V|={} |E|={} d0={} --",
+            spec.name,
+            data.num_vertices(),
+            data.graph.num_edges(),
+            data.feature_dim()
+        );
+        for layers in layer_list.split(',').filter_map(|l| l.parse::<usize>().ok()) {
+            for system in System::all() {
+                let p = RunParams {
+                    workers,
+                    patience: None,
+                    ..RunParams::new(layers, ec_bench::bench_hidden(&spec), epochs)
+                };
+                match run(system, &data, &p) {
+                    Ok(r) => {
+                        let avg = r.avg_epoch_time();
+                        emit(
+                            "table4",
+                            &format!(
+                                "  {:<10} L={} {:<18} {:>10.4} s/epoch  (compute {:>8.4}, comm {:>8.4})",
+                                spec.name,
+                                layers,
+                                system.label(),
+                                avg,
+                                r.epochs.iter().map(|e| e.compute_s).sum::<f64>()
+                                    / r.epochs.len().max(1) as f64,
+                                r.epochs.iter().map(|e| e.comm_s).sum::<f64>()
+                                    / r.epochs.len().max(1) as f64,
+                            ),
+                            serde_json::json!({
+                                "dataset": spec.name, "layers": layers,
+                                "system": system.label(), "epoch_s": avg,
+                                "epoch_bytes": r.total_bytes() / r.epochs.len().max(1) as u64,
+                            }),
+                        );
+                    }
+                    Err(e) => {
+                        emit(
+                            "table4",
+                            &format!(
+                                "  {:<10} L={} {:<18}          -  ({e})",
+                                spec.name,
+                                layers,
+                                system.label()
+                            ),
+                            serde_json::json!({
+                                "dataset": spec.name, "layers": layers,
+                                "system": system.label(), "epoch_s": null, "error": e,
+                            }),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

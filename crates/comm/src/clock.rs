@@ -1,0 +1,84 @@
+//! Network timing model.
+//!
+//! The paper's clusters are "connected with a Gigabit Ethernet", and its
+//! core claim — compression buys wall-clock time — is the statement that
+//! epoch time is dominated by `bytes / bandwidth` there. The model below is
+//! the standard latency–bandwidth (α–β) cost model: a transfer of `b` bytes
+//! in `m` messages costs `m·α + b/β` seconds.
+
+use serde::{Deserialize, Serialize};
+
+/// Latency–bandwidth network model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Sustained point-to-point bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// Per-message latency in seconds (software + propagation).
+    pub latency: f64,
+}
+
+impl NetworkModel {
+    /// Gigabit Ethernet: 1 Gbps ≈ 117 MiB/s effective, 100 µs per message —
+    /// the paper's testbed fabric.
+    pub fn gigabit_ethernet() -> Self {
+        Self { bandwidth: 117.0 * 1024.0 * 1024.0, latency: 100e-6 }
+    }
+
+    /// 100 Gbps fabric (the commercial network DistDGL assumes, under which
+    /// "communication would not be a bottleneck").
+    pub fn hundred_gig() -> Self {
+        Self { bandwidth: 11_700.0 * 1024.0 * 1024.0, latency: 10e-6 }
+    }
+
+    /// 10 Gbps datacenter Ethernet.
+    pub fn ten_gig() -> Self {
+        Self { bandwidth: 1_170.0 * 1024.0 * 1024.0, latency: 50e-6 }
+    }
+
+    /// An infinitely fast network (isolates compute time in ablations).
+    pub fn infinite() -> Self {
+        Self { bandwidth: f64::INFINITY, latency: 0.0 }
+    }
+
+    /// Seconds to move `bytes` in `messages` discrete messages.
+    pub fn transfer_time(&self, bytes: u64, messages: u64) -> f64 {
+        messages as f64 * self.latency + bytes as f64 / self.bandwidth
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        Self::gigabit_ethernet()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_linearly_in_bytes() {
+        let m = NetworkModel { bandwidth: 1000.0, latency: 0.0 };
+        assert_eq!(m.transfer_time(2000, 1), 2.0);
+        assert_eq!(m.transfer_time(4000, 1), 4.0);
+    }
+
+    #[test]
+    fn latency_charged_per_message() {
+        let m = NetworkModel { bandwidth: f64::INFINITY, latency: 0.5 };
+        assert_eq!(m.transfer_time(1_000_000, 4), 2.0);
+    }
+
+    #[test]
+    fn gigabit_is_slower_than_hundred_gig() {
+        let bytes = 100 * 1024 * 1024;
+        let ge = NetworkModel::gigabit_ethernet().transfer_time(bytes, 10);
+        let hg = NetworkModel::hundred_gig().transfer_time(bytes, 10);
+        assert!(ge > 50.0 * hg, "gigabit {ge} not ≫ hundred-gig {hg}");
+    }
+
+    #[test]
+    fn infinite_network_is_free() {
+        assert_eq!(NetworkModel::infinite().transfer_time(u64::MAX, 1000), 0.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Wire encoding for uncompressed payloads — the protobuf stand-in.
+//!
+//! Compressed payloads carry their own format (`ec_compress::Quantized`);
+//! this module serializes everything else the cluster exchanges: dense
+//! matrices (exact embeddings, changing-rate matrices, weight pulls) and
+//! index sets (requested vertex lists, selector arrays).
+//!
+//! All integers are little-endian, matrices are row-major `f32`.
+
+use bytes::{Buf, BufMut};
+use ec_tensor::Matrix;
+
+/// Serialized size of a dense matrix: `8` header bytes + `4` per entry.
+pub fn matrix_wire_size(m: &Matrix) -> usize {
+    8 + m.len() * 4
+}
+
+/// Serialized size of a `u32` list: `4` header bytes + `4` per element.
+pub fn u32s_wire_size(v: &[u32]) -> usize {
+    4 + v.len() * 4
+}
+
+/// Serialized size of a byte-per-element selector array.
+pub fn u8s_wire_size(v: &[u8]) -> usize {
+    4 + v.len()
+}
+
+/// Appends a matrix to `buf`.
+pub fn put_matrix(buf: &mut Vec<u8>, m: &Matrix) {
+    buf.put_u32_le(m.rows() as u32);
+    buf.put_u32_le(m.cols() as u32);
+    for &x in m.as_slice() {
+        buf.put_f32_le(x);
+    }
+}
+
+/// Reads a matrix written by [`put_matrix`], advancing `buf`.
+pub fn get_matrix(buf: &mut &[u8]) -> Result<Matrix, String> {
+    if buf.remaining() < 8 {
+        return Err("matrix header truncated".into());
+    }
+    let rows = buf.get_u32_le() as usize;
+    let cols = buf.get_u32_le() as usize;
+    let bytes_needed = rows
+        .checked_mul(cols)
+        .and_then(|c| c.checked_mul(4))
+        .ok_or_else(|| "matrix size overflow".to_string())?;
+    let count = rows * cols;
+    if buf.remaining() < bytes_needed {
+        return Err(format!("matrix body truncated: need {} floats", count));
+    }
+    let mut data = Vec::with_capacity(count);
+    for _ in 0..count {
+        data.push(buf.get_f32_le());
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+/// Appends a `u32` list to `buf`.
+pub fn put_u32s(buf: &mut Vec<u8>, v: &[u32]) {
+    buf.put_u32_le(v.len() as u32);
+    for &x in v {
+        buf.put_u32_le(x);
+    }
+}
+
+/// Reads a `u32` list written by [`put_u32s`].
+pub fn get_u32s(buf: &mut &[u8]) -> Result<Vec<u32>, String> {
+    if buf.remaining() < 4 {
+        return Err("u32 list header truncated".into());
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len * 4 {
+        return Err("u32 list body truncated".into());
+    }
+    Ok((0..len).map(|_| buf.get_u32_le()).collect())
+}
+
+/// Appends a byte array to `buf`.
+pub fn put_u8s(buf: &mut Vec<u8>, v: &[u8]) {
+    buf.put_u32_le(v.len() as u32);
+    buf.put_slice(v);
+}
+
+/// Reads a byte array written by [`put_u8s`].
+pub fn get_u8s(buf: &mut &[u8]) -> Result<Vec<u8>, String> {
+    if buf.remaining() < 4 {
+        return Err("u8 list header truncated".into());
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err("u8 list body truncated".into());
+    }
+    let out = buf[..len].to_vec();
+    buf.advance(len);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_round_trip() {
+        let m = Matrix::from_fn(3, 5, |r, c| r as f32 - 0.25 * c as f32);
+        let mut buf = Vec::new();
+        put_matrix(&mut buf, &m);
+        assert_eq!(buf.len(), matrix_wire_size(&m));
+        let mut slice = buf.as_slice();
+        assert_eq!(get_matrix(&mut slice).unwrap(), m);
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn empty_matrix_round_trip() {
+        let m = Matrix::zeros(0, 7);
+        let mut buf = Vec::new();
+        put_matrix(&mut buf, &m);
+        let mut slice = buf.as_slice();
+        assert_eq!(get_matrix(&mut slice).unwrap().shape(), (0, 7));
+    }
+
+    #[test]
+    fn u32s_round_trip() {
+        let v = vec![0u32, 5, u32::MAX];
+        let mut buf = Vec::new();
+        put_u32s(&mut buf, &v);
+        assert_eq!(buf.len(), u32s_wire_size(&v));
+        assert_eq!(get_u32s(&mut buf.as_slice()).unwrap(), v);
+    }
+
+    #[test]
+    fn u8s_round_trip() {
+        let v = vec![1u8, 0, 2, 2, 1];
+        let mut buf = Vec::new();
+        put_u8s(&mut buf, &v);
+        assert_eq!(buf.len(), u8s_wire_size(&v));
+        assert_eq!(get_u8s(&mut buf.as_slice()).unwrap(), v);
+    }
+
+    #[test]
+    fn sequential_fields_decode_in_order() {
+        let m = Matrix::identity(2);
+        let mut buf = Vec::new();
+        put_u32s(&mut buf, &[9, 8]);
+        put_matrix(&mut buf, &m);
+        put_u8s(&mut buf, &[3]);
+        let mut slice = buf.as_slice();
+        assert_eq!(get_u32s(&mut slice).unwrap(), vec![9, 8]);
+        assert_eq!(get_matrix(&mut slice).unwrap(), m);
+        assert_eq!(get_u8s(&mut slice).unwrap(), vec![3]);
+    }
+
+    #[test]
+    fn truncated_inputs_error_cleanly() {
+        let m = Matrix::identity(3);
+        let mut buf = Vec::new();
+        put_matrix(&mut buf, &m);
+        for cut in [0, 4, 9, buf.len() - 1] {
+            let mut slice = &buf[..cut];
+            assert!(get_matrix(&mut slice).is_err(), "cut={cut} should fail");
+        }
+    }
+
+    #[test]
+    fn oversized_header_rejected_without_allocation() {
+        let mut buf = Vec::new();
+        buf.put_u32_le(u32::MAX);
+        buf.put_u32_le(u32::MAX);
+        let mut slice = buf.as_slice();
+        assert!(get_matrix(&mut slice).is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! The simulated network: a per-link byte/message ledger plus the derived
+//! communication time.
+//!
+//! The engine executes synchronous supersteps (one per GNN layer per
+//! direction). Within a superstep every worker exchanges messages; the
+//! superstep's communication time is governed by the busiest NIC:
+//!
+//! `t = max_node (latency · messages_sent(node)
+//!               + max(bytes_in(node), bytes_out(node)) / bandwidth)`
+//!
+//! which models full-duplex Ethernet where each machine sends and receives
+//! concurrently but serializes its own traffic. Transfers with
+//! `from == to` are shared-memory accesses (the paper's "local neighboring
+//! vertices are obtained from the shared memory") and cost nothing.
+
+use crate::clock::NetworkModel;
+use crate::stats::{Channel, TrafficStats};
+
+/// Byte-accurate network simulation for a fixed set of nodes.
+#[derive(Clone, Debug)]
+pub struct SimNetwork {
+    model: NetworkModel,
+    in_bytes: Vec<u64>,
+    out_bytes: Vec<u64>,
+    out_msgs: Vec<u64>,
+    epoch_stats: TrafficStats,
+    total_stats: TrafficStats,
+    epoch_time: f64,
+    total_time: f64,
+}
+
+impl SimNetwork {
+    /// Creates a network connecting `num_nodes` machines.
+    pub fn new(num_nodes: usize, model: NetworkModel) -> Self {
+        Self {
+            model,
+            in_bytes: vec![0; num_nodes],
+            out_bytes: vec![0; num_nodes],
+            out_msgs: vec![0; num_nodes],
+            epoch_stats: TrafficStats::default(),
+            total_stats: TrafficStats::default(),
+            epoch_time: 0.0,
+            total_time: 0.0,
+        }
+    }
+
+    /// Number of simulated machines.
+    pub fn num_nodes(&self) -> usize {
+        self.in_bytes.len()
+    }
+
+    /// The timing model in force.
+    pub fn model(&self) -> NetworkModel {
+        self.model
+    }
+
+    /// Records one message of `bytes` from `from` to `to` on `channel`.
+    /// Same-node transfers are free and unrecorded.
+    pub fn send(&mut self, from: usize, to: usize, channel: Channel, bytes: u64) {
+        assert!(from < self.num_nodes() && to < self.num_nodes(), "node out of range");
+        if from == to {
+            return;
+        }
+        self.out_bytes[from] += bytes;
+        self.out_msgs[from] += 1;
+        self.in_bytes[to] += bytes;
+        self.epoch_stats.record(channel, bytes);
+        self.total_stats.record(channel, bytes);
+    }
+
+    /// Closes the current superstep: derives its communication time from
+    /// the busiest NIC, accumulates it, and clears the per-node counters.
+    pub fn flush_superstep(&mut self) -> f64 {
+        let mut t: f64 = 0.0;
+        for node in 0..self.num_nodes() {
+            let wire = self.in_bytes[node].max(self.out_bytes[node]);
+            let node_t = self.model.transfer_time(wire, self.out_msgs[node]);
+            t = t.max(node_t);
+        }
+        self.in_bytes.iter_mut().for_each(|x| *x = 0);
+        self.out_bytes.iter_mut().for_each(|x| *x = 0);
+        self.out_msgs.iter_mut().for_each(|x| *x = 0);
+        self.epoch_time += t;
+        self.total_time += t;
+        t
+    }
+
+    /// Closes the current epoch, returning `(traffic, comm_seconds)` and
+    /// resetting the per-epoch accumulators. Implicitly flushes any open
+    /// superstep.
+    pub fn end_epoch(&mut self) -> (TrafficStats, f64) {
+        self.flush_superstep();
+        let stats = self.epoch_stats.take();
+        let time = std::mem::take(&mut self.epoch_time);
+        (stats, time)
+    }
+
+    /// Cumulative traffic since construction.
+    pub fn total_stats(&self) -> TrafficStats {
+        self.total_stats
+    }
+
+    /// Cumulative communication seconds since construction.
+    pub fn total_time(&self) -> f64 {
+        self.total_time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(nodes: usize) -> SimNetwork {
+        SimNetwork::new(nodes, NetworkModel { bandwidth: 1000.0, latency: 0.0 })
+    }
+
+    #[test]
+    fn local_transfers_are_free() {
+        let mut n = net(2);
+        n.send(0, 0, Channel::Forward, 1_000_000);
+        assert_eq!(n.flush_superstep(), 0.0);
+        assert_eq!(n.total_stats().total_bytes(), 0);
+    }
+
+    #[test]
+    fn superstep_time_tracks_busiest_nic() {
+        let mut n = net(3);
+        n.send(0, 1, Channel::Forward, 1000); // node0 out=1000, node1 in=1000
+        n.send(0, 2, Channel::Forward, 3000); // node0 out=4000
+        let t = n.flush_superstep();
+        assert!((t - 4.0).abs() < 1e-9, "t={t}");
+    }
+
+    #[test]
+    fn full_duplex_takes_max_of_in_out() {
+        let mut n = net(2);
+        n.send(0, 1, Channel::Forward, 2000);
+        n.send(1, 0, Channel::Forward, 5000);
+        let t = n.flush_superstep();
+        assert!((t - 5.0).abs() < 1e-9, "t={t}");
+    }
+
+    #[test]
+    fn latency_counts_sent_messages() {
+        let mut n = SimNetwork::new(2, NetworkModel { bandwidth: f64::INFINITY, latency: 1.0 });
+        n.send(0, 1, Channel::Control, 1);
+        n.send(0, 1, Channel::Control, 1);
+        assert!((n.flush_superstep() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn supersteps_accumulate_into_epoch() {
+        let mut n = net(2);
+        n.send(0, 1, Channel::Forward, 1000);
+        n.flush_superstep();
+        n.send(1, 0, Channel::Backward, 2000);
+        n.flush_superstep();
+        let (stats, time) = n.end_epoch();
+        assert_eq!(stats.fp_bytes, 1000);
+        assert_eq!(stats.bp_bytes, 2000);
+        assert!((time - 3.0).abs() < 1e-9);
+        // epoch accumulators reset
+        let (stats2, time2) = n.end_epoch();
+        assert_eq!(stats2.total_bytes(), 0);
+        assert_eq!(time2, 0.0);
+        // totals persist
+        assert_eq!(n.total_stats().total_bytes(), 3000);
+        assert!((n.total_time() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn end_epoch_flushes_open_superstep() {
+        let mut n = net(2);
+        n.send(0, 1, Channel::Forward, 500);
+        let (stats, time) = n.end_epoch();
+        assert_eq!(stats.fp_bytes, 500);
+        assert!(time > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "node out of range")]
+    fn send_rejects_unknown_node() {
+        let mut n = net(2);
+        n.send(0, 5, Channel::Forward, 1);
+    }
+}

@@ -1,0 +1,435 @@
+//! Parameter servers — the paper's Parameter Manager (PM).
+//!
+//! "PM divides GNN parameters onto m servers according to some user-defined
+//! partition strategy. By default, we implement a built-in range-based
+//! partition method, which divides the weights W and biases B of each layer
+//! evenly." Workers `pull` parameters before each layer and `push`
+//! gradients after the backward pass; "the servers receive gradients from
+//! each worker, add them up to obtain the global gradients, and update the
+//! weights with the global gradients" using Adam.
+//!
+//! The slices held by individual servers are mathematically independent, so
+//! the group updates each layer's full matrix in one pass; the range split
+//! only matters for wire accounting, exposed via
+//! [`ParameterServerGroup::pull_wire_sizes`] /
+//! [`ParameterServerGroup::push_wire_sizes`].
+
+use ec_tensor::{init, Matrix};
+
+/// Adam hyper-parameters (the paper uses the standard Adam optimizer).
+#[derive(Clone, Copy, Debug)]
+pub struct AdamParams {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator fuzz.
+    pub eps: f32,
+    /// L2 weight decay (0 disables).
+    pub weight_decay: f32,
+}
+
+impl Default for AdamParams {
+    fn default() -> Self {
+        Self { lr: 0.01, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+    }
+}
+
+/// One GNN layer's parameters and their Adam state.
+#[derive(Clone, Debug)]
+struct LayerParams {
+    w: Matrix,
+    b: Vec<f32>,
+    m_w: Matrix,
+    v_w: Matrix,
+    m_b: Vec<f32>,
+    v_b: Vec<f32>,
+    grad_w: Matrix,
+    grad_b: Vec<f32>,
+}
+
+/// The group of `m` parameter servers, owning every layer's weights.
+#[derive(Clone, Debug)]
+pub struct ParameterServerGroup {
+    num_servers: usize,
+    adam: AdamParams,
+    step: u64,
+    layers: Vec<LayerParams>,
+    pushes_since_update: usize,
+}
+
+impl ParameterServerGroup {
+    /// Creates servers holding Xavier-initialized weights for the given
+    /// `(fan_in, fan_out)` layer shapes.
+    pub fn new(shapes: &[(usize, usize)], num_servers: usize, adam: AdamParams, seed: u64) -> Self {
+        assert!(num_servers >= 1, "need at least one server");
+        let layers = shapes
+            .iter()
+            .enumerate()
+            .map(|(l, &(fi, fo))| LayerParams {
+                w: init::xavier_uniform(fi, fo, seed.wrapping_add(l as u64)),
+                b: vec![0.0; fo],
+                m_w: Matrix::zeros(fi, fo),
+                v_w: Matrix::zeros(fi, fo),
+                m_b: vec![0.0; fo],
+                v_b: vec![0.0; fo],
+                grad_w: Matrix::zeros(fi, fo),
+                grad_b: vec![0.0; fo],
+            })
+            .collect();
+        Self { num_servers, adam, step: 0, layers, pushes_since_update: 0 }
+    }
+
+    /// Number of layers managed.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Number of servers the parameters are range-split over.
+    pub fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+
+    /// `pull(l)`: the layer's current weights and bias.
+    pub fn pull(&self, layer: usize) -> (&Matrix, &[f32]) {
+        let lp = &self.layers[layer];
+        (&lp.w, &lp.b)
+    }
+
+    /// Bytes each server ships to one worker for a `pull(layer)`: the
+    /// range-partitioned rows of `W` plus the bias slice, `f32` each.
+    /// Returns one `(server, bytes)` entry per server.
+    pub fn pull_wire_sizes(&self, layer: usize) -> Vec<u64> {
+        let lp = &self.layers[layer];
+        self.split_sizes(lp)
+    }
+
+    /// `push(grads)`: a worker delivers its gradient contribution for every
+    /// layer; the servers sum contributions until [`Self::apply_update`].
+    ///
+    /// # Panics
+    /// Panics if the shapes do not match the layer shapes.
+    pub fn push(&mut self, grads: &[(Matrix, Vec<f32>)]) {
+        assert_eq!(grads.len(), self.layers.len(), "gradient count mismatch");
+        for (lp, (gw, gb)) in self.layers.iter_mut().zip(grads) {
+            assert_eq!(gw.shape(), lp.w.shape(), "weight-gradient shape mismatch");
+            assert_eq!(gb.len(), lp.b.len(), "bias-gradient length mismatch");
+            ec_tensor::ops::add_assign(&mut lp.grad_w, gw);
+            for (a, &g) in lp.grad_b.iter_mut().zip(gb) {
+                *a += g;
+            }
+        }
+        self.pushes_since_update += 1;
+    }
+
+    /// Bytes one worker ships for a full `push`, split per server.
+    pub fn push_wire_sizes(&self) -> Vec<u64> {
+        let mut sizes = vec![0u64; self.num_servers];
+        for lp in &self.layers {
+            for (s, sz) in self.split_sizes(lp).into_iter().enumerate() {
+                sizes[s] += sz;
+            }
+        }
+        sizes
+    }
+
+    fn split_sizes(&self, lp: &LayerParams) -> Vec<u64> {
+        // Range-split W's rows and b's entries over the servers.
+        let rows = lp.w.rows();
+        let cols = lp.w.cols();
+        (0..self.num_servers)
+            .map(|s| {
+                let (rs, re) = range(rows, self.num_servers, s);
+                let (bs, be) = range(lp.b.len(), self.num_servers, s);
+                (((re - rs) * cols + (be - bs)) * 4) as u64
+            })
+            .collect()
+    }
+
+    /// Applies one Adam step using the accumulated (summed) gradients, then
+    /// clears the accumulators. Returns the number of pushes consumed.
+    pub fn apply_update(&mut self) -> usize {
+        let pushed = std::mem::take(&mut self.pushes_since_update);
+        if pushed == 0 {
+            return 0;
+        }
+        self.step += 1;
+        let a = self.adam;
+        let bc1 = 1.0 - a.beta1.powi(self.step as i32);
+        let bc2 = 1.0 - a.beta2.powi(self.step as i32);
+        for lp in &mut self.layers {
+            adam_step(
+                lp.w.as_mut_slice(),
+                lp.grad_w.as_mut_slice(),
+                lp.m_w.as_mut_slice(),
+                lp.v_w.as_mut_slice(),
+                a,
+                bc1,
+                bc2,
+            );
+            adam_step(&mut lp.b, &mut lp.grad_b, &mut lp.m_b, &mut lp.v_b, a, bc1, bc2);
+        }
+        pushed
+    }
+
+    /// Snapshot of all weights (testing / checkpointing).
+    pub fn weights(&self) -> Vec<(Matrix, Vec<f32>)> {
+        self.layers.iter().map(|lp| (lp.w.clone(), lp.b.clone())).collect()
+    }
+
+    /// Overwrites all weights (used to clone model state across baseline
+    /// systems so comparisons start from identical parameters).
+    pub fn set_weights(&mut self, weights: &[(Matrix, Vec<f32>)]) {
+        assert_eq!(weights.len(), self.layers.len(), "layer count mismatch");
+        for (lp, (w, b)) in self.layers.iter_mut().zip(weights) {
+            assert_eq!(w.shape(), lp.w.shape(), "weight shape mismatch");
+            assert_eq!(b.len(), lp.b.len(), "bias length mismatch");
+            lp.w = w.clone();
+            lp.b = b.clone();
+        }
+    }
+}
+
+/// In-place Adam on a flat parameter slice; zeroes the gradient slice.
+fn adam_step(
+    params: &mut [f32],
+    grads: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    a: AdamParams,
+    bias_c1: f32,
+    bias_c2: f32,
+) {
+    for i in 0..params.len() {
+        let mut g = grads[i];
+        if a.weight_decay != 0.0 {
+            g += a.weight_decay * params[i];
+        }
+        m[i] = a.beta1 * m[i] + (1.0 - a.beta1) * g;
+        v[i] = a.beta2 * v[i] + (1.0 - a.beta2) * g * g;
+        let m_hat = m[i] / bias_c1;
+        let v_hat = v[i] / bias_c2;
+        params[i] -= a.lr * m_hat / (v_hat.sqrt() + a.eps);
+        grads[i] = 0.0;
+    }
+}
+
+fn range(n: usize, parts: usize, p: usize) -> (usize, usize) {
+    let base = n / parts;
+    let extra = n % parts;
+    let start = p * base + p.min(extra);
+    (start, start + base + usize::from(p < extra))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group() -> ParameterServerGroup {
+        ParameterServerGroup::new(&[(4, 3), (3, 2)], 2, AdamParams::default(), 7)
+    }
+
+    #[test]
+    fn pull_returns_layer_shapes() {
+        let ps = group();
+        let (w0, b0) = ps.pull(0);
+        assert_eq!(w0.shape(), (4, 3));
+        assert_eq!(b0.len(), 3);
+        let (w1, _) = ps.pull(1);
+        assert_eq!(w1.shape(), (3, 2));
+    }
+
+    #[test]
+    fn pull_wire_sizes_cover_the_full_matrix() {
+        let ps = group();
+        let total: u64 = ps.pull_wire_sizes(0).iter().sum();
+        assert_eq!(total, (4 * 3 + 3) as u64 * 4);
+    }
+
+    #[test]
+    fn push_then_apply_moves_weights() {
+        let mut ps = group();
+        let before = ps.pull(0).0.clone();
+        let grads = vec![
+            (Matrix::filled(4, 3, 1.0), vec![1.0; 3]),
+            (Matrix::filled(3, 2, 1.0), vec![1.0; 2]),
+        ];
+        ps.push(&grads);
+        assert_eq!(ps.apply_update(), 1);
+        let after = ps.pull(0).0;
+        assert!(!before.approx_eq(after, 1e-9));
+        // First Adam step moves every coordinate by ≈ lr (bias-corrected).
+        for (x, y) in before.as_slice().iter().zip(after.as_slice()) {
+            assert!((x - y - 0.01).abs() < 1e-3, "step {} not ≈ lr", x - y);
+        }
+    }
+
+    #[test]
+    fn apply_without_push_is_noop() {
+        let mut ps = group();
+        let before = ps.weights();
+        assert_eq!(ps.apply_update(), 0);
+        let after = ps.weights();
+        assert_eq!(before[0].0, after[0].0);
+    }
+
+    #[test]
+    fn pushes_from_multiple_workers_sum() {
+        // Two half-gradients must equal one full gradient.
+        let mut ps_two = group();
+        let mut ps_one = ps_two.clone();
+        let half = vec![
+            (Matrix::filled(4, 3, 0.5), vec![0.5; 3]),
+            (Matrix::filled(3, 2, 0.5), vec![0.5; 2]),
+        ];
+        let full = vec![
+            (Matrix::filled(4, 3, 1.0), vec![1.0; 3]),
+            (Matrix::filled(3, 2, 1.0), vec![1.0; 2]),
+        ];
+        ps_two.push(&half);
+        ps_two.push(&half);
+        ps_two.apply_update();
+        ps_one.push(&full);
+        ps_one.apply_update();
+        assert!(ps_two.pull(0).0.approx_eq(ps_one.pull(0).0, 1e-6));
+    }
+
+    #[test]
+    fn set_weights_round_trips() {
+        let mut a = group();
+        let b = ParameterServerGroup::new(&[(4, 3), (3, 2)], 2, AdamParams::default(), 99);
+        a.set_weights(&b.weights());
+        assert_eq!(a.pull(0).0, b.pull(0).0);
+    }
+
+    #[test]
+    fn adam_descends_on_quadratic() {
+        // Minimize f(w) = w² from w=1 with repeated push/apply cycles.
+        let mut ps = ParameterServerGroup::new(
+            &[(1, 1)],
+            1,
+            AdamParams { lr: 0.1, ..Default::default() },
+            1,
+        );
+        let start = ps.pull(0).0.get(0, 0);
+        for _ in 0..200 {
+            let w = ps.pull(0).0.get(0, 0);
+            ps.push(&[(Matrix::from_vec(1, 1, vec![2.0 * w]), vec![0.0])]);
+            ps.apply_update();
+        }
+        let end = ps.pull(0).0.get(0, 0);
+        assert!(end.abs() < 0.05, "start {start}, end {end} not near 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn push_rejects_wrong_shape() {
+        let mut ps = group();
+        ps.push(&[
+            (Matrix::zeros(2, 2), vec![0.0; 3]),
+            (Matrix::zeros(3, 2), vec![0.0; 2]),
+        ]);
+    }
+}
+
+impl ParameterServerGroup {
+    /// Persists the current weights (not the optimizer state) to `path`
+    /// using the wire codec: one `(W, b)` pair per layer.
+    pub fn save_weights(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(self.layers.len() as u32).to_le_bytes());
+        for lp in &self.layers {
+            crate::codec::put_matrix(&mut buf, &lp.w);
+            let bias = Matrix::from_vec(1, lp.b.len(), lp.b.clone());
+            crate::codec::put_matrix(&mut buf, &bias);
+        }
+        std::fs::write(path, buf)
+    }
+
+    /// Restores weights saved by [`Self::save_weights`].
+    ///
+    /// Fails when the file's layer shapes do not match this group's.
+    pub fn load_weights(&mut self, path: &std::path::Path) -> std::io::Result<()> {
+        let buf = std::fs::read(path)?;
+        let err = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidData, m);
+        if buf.len() < 4 {
+            return Err(err("checkpoint truncated".into()));
+        }
+        let count = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+        if count != self.layers.len() {
+            return Err(err(format!(
+                "checkpoint has {count} layers, expected {}",
+                self.layers.len()
+            )));
+        }
+        let mut slice = &buf[4..];
+        let mut weights = Vec::with_capacity(count);
+        for _ in 0..count {
+            let w = crate::codec::get_matrix(&mut slice).map_err(err)?;
+            let b = crate::codec::get_matrix(&mut slice).map_err(err)?;
+            weights.push((w, b.into_vec()));
+        }
+        for (lp, (w, b)) in self.layers.iter().zip(&weights) {
+            if w.shape() != lp.w.shape() || b.len() != lp.b.len() {
+                return Err(err("checkpoint shape mismatch".into()));
+            }
+        }
+        self.set_weights(&weights);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod checkpoint_tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ecgraph-ckpt-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let ps = ParameterServerGroup::new(&[(4, 3), (3, 2)], 2, AdamParams::default(), 7);
+        let path = tmp("roundtrip.bin");
+        ps.save_weights(&path).unwrap();
+        let mut other = ParameterServerGroup::new(&[(4, 3), (3, 2)], 2, AdamParams::default(), 99);
+        assert_ne!(other.pull(0).0, ps.pull(0).0);
+        other.load_weights(&path).unwrap();
+        assert_eq!(other.pull(0).0, ps.pull(0).0);
+        assert_eq!(other.pull(1).1, ps.pull(1).1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_rejects_layer_mismatch() {
+        let ps = ParameterServerGroup::new(&[(4, 3)], 1, AdamParams::default(), 1);
+        let path = tmp("mismatch.bin");
+        ps.save_weights(&path).unwrap();
+        let mut other = ParameterServerGroup::new(&[(4, 3), (3, 2)], 1, AdamParams::default(), 1);
+        assert!(other.load_weights(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_rejects_shape_mismatch() {
+        let ps = ParameterServerGroup::new(&[(4, 3)], 1, AdamParams::default(), 1);
+        let path = tmp("shape.bin");
+        ps.save_weights(&path).unwrap();
+        let mut other = ParameterServerGroup::new(&[(5, 3)], 1, AdamParams::default(), 1);
+        assert!(other.load_weights(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = tmp("garbage.bin");
+        std::fs::write(&path, [1, 2, 3]).unwrap();
+        let mut ps = ParameterServerGroup::new(&[(2, 2)], 1, AdamParams::default(), 1);
+        assert!(ps.load_weights(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+}

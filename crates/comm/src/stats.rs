@@ -1,0 +1,110 @@
+//! Per-epoch traffic summaries.
+//!
+//! Every experiment in the paper reasons about bytes on the wire: Table II's
+//! communication column, the `32/B` compression factor, and the epoch-time
+//! speedups of Table IV. [`TrafficStats`] is the ledger those numbers are
+//! read from.
+
+use serde::{Deserialize, Serialize};
+
+/// Which logical channel a transfer belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Channel {
+    /// Embedding messages of the forward pass (`H` matrices).
+    Forward,
+    /// Embedding-gradient messages of the backward pass (`G` matrices).
+    Backward,
+    /// Parameter pulls/pushes between workers and servers.
+    Parameter,
+    /// Control traffic (vertex-id requests, selector arrays, proportions).
+    Control,
+}
+
+/// Byte and message counters, split per channel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficStats {
+    /// Forward-pass embedding bytes.
+    pub fp_bytes: u64,
+    /// Backward-pass gradient bytes.
+    pub bp_bytes: u64,
+    /// Parameter pull/push bytes.
+    pub param_bytes: u64,
+    /// Request/selector/control bytes.
+    pub control_bytes: u64,
+    /// Total number of messages.
+    pub messages: u64,
+}
+
+impl TrafficStats {
+    /// Records one message of `bytes` on `channel`.
+    pub fn record(&mut self, channel: Channel, bytes: u64) {
+        match channel {
+            Channel::Forward => self.fp_bytes += bytes,
+            Channel::Backward => self.bp_bytes += bytes,
+            Channel::Parameter => self.param_bytes += bytes,
+            Channel::Control => self.control_bytes += bytes,
+        }
+        self.messages += 1;
+    }
+
+    /// Total bytes across all channels.
+    pub fn total_bytes(&self) -> u64 {
+        self.fp_bytes + self.bp_bytes + self.param_bytes + self.control_bytes
+    }
+
+    /// Adds another ledger into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        self.fp_bytes += other.fp_bytes;
+        self.bp_bytes += other.bp_bytes;
+        self.param_bytes += other.param_bytes;
+        self.control_bytes += other.control_bytes;
+        self.messages += other.messages;
+    }
+
+    /// Resets all counters to zero, returning the previous values.
+    pub fn take(&mut self) -> TrafficStats {
+        std::mem::take(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_routes_to_channel() {
+        let mut s = TrafficStats::default();
+        s.record(Channel::Forward, 100);
+        s.record(Channel::Backward, 50);
+        s.record(Channel::Parameter, 25);
+        s.record(Channel::Control, 5);
+        assert_eq!(s.fp_bytes, 100);
+        assert_eq!(s.bp_bytes, 50);
+        assert_eq!(s.param_bytes, 25);
+        assert_eq!(s.control_bytes, 5);
+        assert_eq!(s.messages, 4);
+        assert_eq!(s.total_bytes(), 180);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = TrafficStats::default();
+        a.record(Channel::Forward, 10);
+        let mut b = TrafficStats::default();
+        b.record(Channel::Forward, 32);
+        b.record(Channel::Backward, 8);
+        a.merge(&b);
+        assert_eq!(a.fp_bytes, 42);
+        assert_eq!(a.messages, 3);
+    }
+
+    #[test]
+    fn take_resets() {
+        let mut s = TrafficStats::default();
+        s.record(Channel::Control, 7);
+        let old = s.take();
+        assert_eq!(old.control_bytes, 7);
+        assert_eq!(s.total_bytes(), 0);
+        assert_eq!(s.messages, 0);
+    }
+}

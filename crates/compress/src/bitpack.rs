@@ -1,0 +1,148 @@
+//! Dense bit packing of fixed-width codes.
+//!
+//! Bucket ids produced by quantization are `B`-bit integers (`B ∈ 1..=16`).
+//! They are packed LSB-first into a contiguous byte buffer — the Rust
+//! equivalent of the paper's Fig. 3 step that concatenates 2-bit codes into
+//! 32-bit unsigned integers.
+
+/// Packs `codes` (each `< 2^bits`) into a byte buffer, LSB-first.
+///
+/// # Panics
+/// Panics if `bits` is 0 or greater than 32, or if any code needs more than
+/// `bits` bits.
+pub fn pack(codes: &[u32], bits: u8) -> Vec<u8> {
+    assert!((1..=32).contains(&bits), "bit width {bits} out of range");
+    let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+    let total_bits = codes.len() * bits as usize;
+    let mut out = vec![0u8; total_bits.div_ceil(8)];
+    let mut bitpos = 0usize;
+    for &code in codes {
+        assert!(code <= mask, "code {code} does not fit in {bits} bits");
+        let mut remaining = bits as usize;
+        let mut value = code as u64;
+        while remaining > 0 {
+            let byte = bitpos / 8;
+            let offset = bitpos % 8;
+            let take = (8 - offset).min(remaining);
+            out[byte] |= ((value & ((1u64 << take) - 1)) as u8) << offset;
+            value >>= take;
+            bitpos += take;
+            remaining -= take;
+        }
+    }
+    out
+}
+
+/// Unpacks `count` codes of width `bits` from a buffer produced by [`pack`].
+///
+/// # Panics
+/// Panics if the buffer is too short for `count` codes.
+pub fn unpack(bytes: &[u8], bits: u8, count: usize) -> Vec<u32> {
+    assert!((1..=32).contains(&bits), "bit width {bits} out of range");
+    let total_bits = count * bits as usize;
+    assert!(
+        bytes.len() * 8 >= total_bits,
+        "buffer of {} bytes too short for {count} codes of {bits} bits",
+        bytes.len()
+    );
+    let mut out = Vec::with_capacity(count);
+    let mut bitpos = 0usize;
+    for _ in 0..count {
+        let mut value = 0u64;
+        let mut got = 0usize;
+        while got < bits as usize {
+            let byte = bitpos / 8;
+            let offset = bitpos % 8;
+            let take = (8 - offset).min(bits as usize - got);
+            let chunk = ((bytes[byte] >> offset) as u64) & ((1u64 << take) - 1);
+            value |= chunk << got;
+            got += take;
+            bitpos += take;
+        }
+        out.push(value as u32);
+    }
+    out
+}
+
+/// Number of bytes [`pack`] produces for `count` codes of width `bits`.
+pub fn packed_len(count: usize, bits: u8) -> usize {
+    (count * bits as usize).div_ceil(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pack_two_bit_example_from_paper() {
+        // Fig. 3 packs 8 two-bit codes into 16 bits.
+        let codes = [2u32, 1, 0, 3, 2, 2, 1, 0];
+        let packed = pack(&codes, 2);
+        assert_eq!(packed.len(), 2);
+        assert_eq!(unpack(&packed, 2, 8), codes);
+    }
+
+    #[test]
+    fn pack_single_bit() {
+        let codes = [1u32, 0, 1, 1, 0, 0, 0, 1, 1];
+        let packed = pack(&codes, 1);
+        assert_eq!(packed.len(), 2);
+        assert_eq!(unpack(&packed, 1, 9), codes);
+    }
+
+    #[test]
+    fn pack_crossing_byte_boundaries() {
+        // 3-bit codes straddle byte boundaries.
+        let codes = [7u32, 0, 5, 3, 6, 1, 2, 4];
+        let packed = pack(&codes, 3);
+        assert_eq!(packed.len(), 3);
+        assert_eq!(unpack(&packed, 3, 8), codes);
+    }
+
+    #[test]
+    fn pack_sixteen_bit() {
+        let codes = [0xFFFFu32, 0, 0xABCD, 0x1234];
+        assert_eq!(unpack(&pack(&codes, 16), 16, 4), codes);
+    }
+
+    #[test]
+    fn pack_empty_slice() {
+        assert!(pack(&[], 4).is_empty());
+        assert!(unpack(&[], 4, 0).is_empty());
+    }
+
+    #[test]
+    fn packed_len_matches_pack_output() {
+        for bits in [1u8, 2, 3, 4, 5, 7, 8, 11, 16] {
+            let codes: Vec<u32> = (0..13).map(|i| i % (1 << bits.min(16))).collect();
+            assert_eq!(pack(&codes, bits).len(), packed_len(13, bits), "bits={bits}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn pack_rejects_oversized_code() {
+        let _ = pack(&[4], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn unpack_rejects_short_buffer() {
+        let _ = unpack(&[0u8], 8, 2);
+    }
+
+    proptest! {
+        #[test]
+        fn pack_unpack_round_trip(
+            bits in 1u8..=16,
+            raw in proptest::collection::vec(any::<u32>(), 0..200),
+        ) {
+            let mask = (1u32 << bits) - 1;
+            let codes: Vec<u32> = raw.iter().map(|&x| x & mask).collect();
+            let packed = pack(&codes, bits);
+            prop_assert_eq!(packed.len(), packed_len(codes.len(), bits));
+            prop_assert_eq!(unpack(&packed, bits, codes.len()), codes);
+        }
+    }
+}

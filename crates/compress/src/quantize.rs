@@ -1,0 +1,304 @@
+//! Bucket quantization of dense matrices (`C_bits` in the paper).
+//!
+//! A matrix is compressed by splitting the value range `[min, max]` into
+//! `2^B` equal buckets and replacing every coordinate with its bucket id;
+//! reconstruction uses the bucket midpoint. [`Quantized::compress`] derives
+//! the range per message (the paper's Alg. 6 line 4 behaviour — the engine
+//! uses it for both directions, see DESIGN.md);
+//! [`Quantized::compress_with_range`] supports an externally fixed domain
+//! such as the paper's `[0, 1]` feature cube.
+
+use crate::bitpack;
+use ec_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Largest supported bit width. The paper's Bit-Tuner chooses from
+/// `{1, 2, 4, 8, 16}`.
+pub const MAX_BITS: u8 = 16;
+
+/// A quantized dense matrix plus everything needed to reconstruct it.
+///
+/// ```
+/// use ec_compress::Quantized;
+/// use ec_tensor::Matrix;
+/// let h = Matrix::from_vec(1, 4, vec![0.7, 0.3, 0.05, 0.95]);
+/// let q = Quantized::compress_with_range(&h, 2, 0.0, 1.0);
+/// // 2 bits per coordinate instead of 32, reconstructed at bucket midpoints.
+/// assert_eq!(q.decompress().as_slice(), &[0.625, 0.375, 0.125, 0.875]);
+/// assert!(q.wire_size() < 4 * 4 + 17);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Quantized {
+    rows: usize,
+    cols: usize,
+    bits: u8,
+    min: f32,
+    max: f32,
+    packed: Vec<u8>,
+}
+
+impl Quantized {
+    /// Compresses `m` with `bits` bits per coordinate, computing the value
+    /// range from the matrix itself (the backward-pass mode).
+    pub fn compress(m: &Matrix, bits: u8) -> Self {
+        let (min, max) = ec_tensor::stats::min_max(m);
+        Self::compress_with_range(m, bits, min, max)
+    }
+
+    /// Compresses `m` against an externally fixed range, clamping values
+    /// that fall outside (the forward-pass mode with domain `[0, 1]`).
+    ///
+    /// # Panics
+    /// Panics if `bits ∉ 1..=16` or `min > max`.
+    pub fn compress_with_range(m: &Matrix, bits: u8, min: f32, max: f32) -> Self {
+        assert!((1..=MAX_BITS).contains(&bits), "bits {bits} out of range 1..=16");
+        assert!(min <= max, "invalid range [{min}, {max}]");
+        let buckets = 1u32 << bits;
+        let range = max - min;
+        let codes: Vec<u32> = if range <= 0.0 {
+            vec![0; m.len()]
+        } else {
+            let scale = buckets as f32 / range;
+            m.as_slice()
+                .iter()
+                .map(|&x| {
+                    let t = ((x - min) * scale) as i64;
+                    t.clamp(0, (buckets - 1) as i64) as u32
+                })
+                .collect()
+        };
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            bits,
+            min,
+            max,
+            packed: bitpack::pack(&codes, bits),
+        }
+    }
+
+    /// Reconstructs the matrix, each coordinate becoming the midpoint of its
+    /// bucket.
+    pub fn decompress(&self) -> Matrix {
+        let count = self.rows * self.cols;
+        let codes = bitpack::unpack(&self.packed, self.bits, count);
+        let range = self.max - self.min;
+        if range <= 0.0 {
+            return Matrix::filled(self.rows, self.cols, self.min);
+        }
+        let width = range / (1u32 << self.bits) as f32;
+        let data: Vec<f32> = codes
+            .into_iter()
+            .map(|c| self.min + (c as f32 + 0.5) * width)
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+
+    /// `(rows, cols)` of the original matrix.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Bit width used for this message.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Value range the codes are relative to.
+    pub fn range(&self) -> (f32, f32) {
+        (self.min, self.max)
+    }
+
+    /// Bytes this message occupies on the (simulated) wire:
+    /// header (rows, cols: u32 each; bits: u8; min, max: f32 each) + packed
+    /// codes.
+    pub fn wire_size(&self) -> usize {
+        4 + 4 + 1 + 4 + 4 + self.packed.len()
+    }
+
+    /// Compression ratio versus raw `f32` transmission.
+    pub fn compression_ratio(&self) -> f64 {
+        let raw = (self.rows * self.cols * 4) as f64;
+        if raw == 0.0 {
+            1.0
+        } else {
+            raw / self.wire_size() as f64
+        }
+    }
+
+    /// Serializes to the wire format described by [`Self::wire_size`].
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_size());
+        out.extend_from_slice(&(self.rows as u32).to_le_bytes());
+        out.extend_from_slice(&(self.cols as u32).to_le_bytes());
+        out.push(self.bits);
+        out.extend_from_slice(&self.min.to_le_bytes());
+        out.extend_from_slice(&self.max.to_le_bytes());
+        out.extend_from_slice(&self.packed);
+        out
+    }
+
+    /// Deserializes a buffer produced by [`Self::to_bytes`].
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, String> {
+        if buf.len() < 17 {
+            return Err(format!("buffer too short: {} bytes", buf.len()));
+        }
+        let rows = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+        let cols = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
+        let bits = buf[8];
+        if !(1..=MAX_BITS).contains(&bits) {
+            return Err(format!("invalid bit width {bits}"));
+        }
+        let min = f32::from_le_bytes(buf[9..13].try_into().unwrap());
+        let max = f32::from_le_bytes(buf[13..17].try_into().unwrap());
+        // Checked arithmetic: a hostile header can claim u32::MAX × u32::MAX
+        // entries, whose bit count overflows usize.
+        let expected = rows
+            .checked_mul(cols)
+            .and_then(|count| count.checked_mul(bits as usize))
+            .map(|total_bits| total_bits.div_ceil(8))
+            .ok_or_else(|| format!("claimed size {rows}x{cols} overflows"))?;
+        if buf.len() - 17 != expected {
+            return Err(format!(
+                "payload length {} != expected {expected}",
+                buf.len() - 17
+            ));
+        }
+        Ok(Self { rows, cols, bits, min, max, packed: buf[17..].to_vec() })
+    }
+
+    /// The worst-case absolute reconstruction error for in-range values:
+    /// half the bucket width.
+    pub fn max_error(&self) -> f32 {
+        (self.max - self.min) / (1u32 << self.bits) as f32 / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_fig3_example() {
+        // Fig. 3: domain [0,1], B=2 → buckets with midpoints 0.125, 0.375,
+        // 0.625, 0.875 (the paper rounds these to 0.2/0.5/0.8 for display).
+        let h = Matrix::from_vec(1, 4, vec![0.7, 0.3, 0.05, 0.95]);
+        let q = Quantized::compress_with_range(&h, 2, 0.0, 1.0);
+        let d = q.decompress();
+        assert_eq!(d.as_slice(), &[0.625, 0.375, 0.125, 0.875]);
+    }
+
+    #[test]
+    fn error_bounded_by_half_bucket() {
+        let m = Matrix::from_fn(8, 8, |r, c| ((r * 8 + c) as f32) / 64.0);
+        for bits in [1u8, 2, 4, 8] {
+            let q = Quantized::compress(&m, bits);
+            let d = q.decompress();
+            let bound = q.max_error() + 1e-6;
+            for (a, b) in m.as_slice().iter().zip(d.as_slice()) {
+                assert!((a - b).abs() <= bound, "bits={bits}: |{a}-{b}| > {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_matrix_reconstructs_exactly() {
+        let m = Matrix::filled(3, 3, 2.5);
+        let q = Quantized::compress(&m, 4);
+        assert!(q.decompress().approx_eq(&m, 1e-6));
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let m = Matrix::from_vec(1, 2, vec![-5.0, 5.0]);
+        let q = Quantized::compress_with_range(&m, 2, 0.0, 1.0);
+        let d = q.decompress();
+        assert_eq!(d.as_slice(), &[0.125, 0.875]);
+    }
+
+    #[test]
+    fn wire_size_shrinks_with_fewer_bits() {
+        let m = Matrix::zeros(64, 64);
+        let s2 = Quantized::compress(&m, 2).wire_size();
+        let s8 = Quantized::compress(&m, 8).wire_size();
+        assert!(s2 < s8);
+        // 2-bit: 64*64*2/8 = 1024 bytes payload + 17 header.
+        assert_eq!(s2, 1024 + 17);
+    }
+
+    #[test]
+    fn compression_ratio_roughly_32_over_b() {
+        let m = Matrix::zeros(128, 128);
+        for bits in [1u8, 2, 4, 8, 16] {
+            let r = Quantized::compress(&m, bits).compression_ratio();
+            let ideal = 32.0 / bits as f64;
+            assert!(
+                (r - ideal).abs() / ideal < 0.02,
+                "bits={bits}: ratio {r} vs ideal {ideal}"
+            );
+        }
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let m = Matrix::from_fn(5, 7, |r, c| (r as f32 - c as f32) * 0.3);
+        let q = Quantized::compress(&m, 6);
+        let back = Quantized::from_bytes(&q.to_bytes()).unwrap();
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn from_bytes_rejects_truncation() {
+        let m = Matrix::zeros(4, 4);
+        let mut buf = Quantized::compress(&m, 8).to_bytes();
+        buf.pop();
+        assert!(Quantized::from_bytes(&buf).is_err());
+        assert!(Quantized::from_bytes(&buf[..5]).is_err());
+    }
+
+    #[test]
+    fn from_bytes_rejects_bad_bits() {
+        let m = Matrix::zeros(2, 2);
+        let mut buf = Quantized::compress(&m, 8).to_bytes();
+        buf[8] = 33;
+        assert!(Quantized::from_bytes(&buf).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn compress_rejects_zero_bits() {
+        let _ = Quantized::compress(&Matrix::zeros(1, 1), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn quantization_error_bound_holds(
+            bits in 1u8..=8,
+            vals in proptest::collection::vec(-100.0f32..100.0, 1..100),
+        ) {
+            let m = Matrix::from_vec(1, vals.len(), vals);
+            let q = Quantized::compress(&m, bits);
+            let d = q.decompress();
+            let bound = q.max_error() + (q.range().1 - q.range().0).abs() * 1e-5 + 1e-6;
+            for (a, b) in m.as_slice().iter().zip(d.as_slice()) {
+                prop_assert!((a - b).abs() <= bound);
+            }
+        }
+
+        #[test]
+        fn serialization_round_trip(
+            bits in 1u8..=16,
+            rows in 1usize..8,
+            cols in 1usize..8,
+            seedv in any::<u64>(),
+        ) {
+            let m = Matrix::from_fn(rows, cols, |r, c| {
+                ((seedv.wrapping_mul((r * 31 + c + 1) as u64) % 1000) as f32) / 500.0 - 1.0
+            });
+            let q = Quantized::compress(&m, bits);
+            prop_assert_eq!(q.to_bytes().len(), q.wire_size());
+            prop_assert_eq!(Quantized::from_bytes(&q.to_bytes()).unwrap(), q);
+        }
+    }
+}

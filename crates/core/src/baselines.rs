@@ -1,0 +1,14 @@
+//! The baseline systems of the paper's evaluation (Section V-A).
+//!
+//! | paper system | module | strategy reproduced |
+//! |---|---|---|
+//! | DGL | [`local`] | single-machine full-batch, `XW`-then-aggregate |
+//! | PyG | [`local`] | single-machine full-batch, per-edge gather/scatter |
+//! | DistGNN | [`crate::config::FpMode::Delayed`] | delayed partial aggregation on the distributed engine |
+//! | DistDGL | [`distdgl`] | graph-centered online-sampling mini-batch |
+//! | AliGraph-FG / AGL | [`ml_centered`] | ML-centered L-hop caching with redundant computation |
+//! | EC-Graph-S | [`crate::sampling::sample_layer_graphs`] + the engine | offline per-layer sampling + compression |
+
+pub mod distdgl;
+pub mod local;
+pub mod ml_centered;

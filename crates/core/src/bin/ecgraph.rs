@@ -1,0 +1,163 @@
+//! `ecgraph` — command-line front end for the EC-Graph trainer.
+//!
+//! ```sh
+//! ecgraph train dataset=cora workers=6 fp=reqec:2 bp=resec:4 epochs=100
+//! ecgraph train dataset=products layers=3 fp=cp:8 partitioner=metis
+//! ecgraph datasets            # list the built-in dataset replicas
+//! ```
+//!
+//! `fp` accepts `exact`, `cp:<bits>`, `reqec:<bits>`, `reqec-adapt:<bits>`
+//! or `delayed:<r>`; `bp` accepts `exact`, `cp:<bits>` or `resec:<bits>`.
+
+use ec_graph::config::{BpMode, FpMode, ModelKind, TrainingConfig};
+use ec_graph::trainer::train;
+use ec_graph_data::DatasetSpec;
+use ec_partition::hash::HashPartitioner;
+use ec_partition::ldg::LdgPartitioner;
+use ec_partition::metis::MetisLikePartitioner;
+use ec_partition::Partitioner;
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("train") => {
+            let kv: HashMap<String, String> = args
+                .filter_map(|a| {
+                    a.split_once('=').map(|(k, v)| (k.to_string(), v.to_string()))
+                })
+                .collect();
+            match run_train(&kv) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("datasets") => {
+            println!("{:<10} {:>12} {:>10} {:>8} {:>8} {:>8}", "name", "paper |V|", "replica", "d0", "classes", "degree");
+            for s in DatasetSpec::all() {
+                println!(
+                    "{:<10} {:>12} {:>10} {:>8} {:>8} {:>8.1}",
+                    s.name, s.paper_vertices, s.default_vertices, s.feature_dim, s.num_classes, s.avg_degree
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: ecgraph <train|datasets> [key=value ...]");
+            eprintln!("  e.g. ecgraph train dataset=cora workers=6 fp=reqec:2 bp=resec:4");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_train(kv: &HashMap<String, String>) -> Result<(), String> {
+    let get = |k: &str, d: &str| kv.get(k).cloned().unwrap_or_else(|| d.to_string());
+    let dataset = get("dataset", "cora");
+    let spec = DatasetSpec::all()
+        .into_iter()
+        .find(|s| s.name == dataset)
+        .ok_or_else(|| format!("unknown dataset '{dataset}' (try `ecgraph datasets`)"))?;
+    let vertices: usize = get("vertices", &spec.default_vertices.to_string())
+        .parse()
+        .map_err(|e| format!("bad vertices: {e}"))?;
+    let dims_cap: usize = get("features", &spec.feature_dim.min(256).to_string())
+        .parse()
+        .map_err(|e| format!("bad features: {e}"))?;
+    let layers: usize = get("layers", &spec.default_layers.to_string()).parse().unwrap_or(2);
+    let hidden: usize = get("hidden", "16").parse().unwrap_or(16);
+    let workers: usize = get("workers", "6").parse().unwrap_or(6);
+    let epochs: usize = get("epochs", "100").parse().unwrap_or(100);
+    let seed: u64 = get("seed", "1").parse().unwrap_or(1);
+
+    let fp_mode = parse_fp(&get("fp", "reqec:2"))?;
+    let bp_mode = parse_bp(&get("bp", "resec:4"))?;
+    let model = match get("model", "gcn").as_str() {
+        "gcn" => ModelKind::Gcn,
+        "sage" => ModelKind::Sage,
+        other => return Err(format!("unknown model '{other}'")),
+    };
+
+    println!("instantiating {dataset} replica (|V|={vertices}, d0={dims_cap}) …");
+    let data = Arc::new(spec.instantiate_with(vertices, dims_cap, seed));
+    let mut dims = vec![data.feature_dim()];
+    dims.extend(std::iter::repeat_n(hidden, layers - 1));
+    dims.push(data.num_classes);
+
+    let config = TrainingConfig {
+        dims,
+        model,
+        num_workers: workers,
+        fp_mode,
+        bp_mode,
+        max_epochs: epochs,
+        patience: Some(get("patience", "25").parse().unwrap_or(25)),
+        seed,
+        ..TrainingConfig::defaults(data.feature_dim(), data.num_classes)
+    };
+    config.validate()?;
+
+    let partitioner: Box<dyn Partitioner> = match get("partitioner", "hash").as_str() {
+        "hash" => Box::new(HashPartitioner::default()),
+        "metis" => Box::new(MetisLikePartitioner::default()),
+        "ldg" => Box::new(LdgPartitioner::default()),
+        other => return Err(format!("unknown partitioner '{other}'")),
+    };
+
+    println!(
+        "training {layers}-layer {} on {workers} workers ({:?} / {:?}) …",
+        if model == ModelKind::Gcn { "GCN" } else { "GraphSAGE" },
+        config.fp_mode,
+        config.bp_mode
+    );
+    let r = train(Arc::clone(&data), partitioner.as_ref(), config, "cli");
+    for e in r.epochs.iter().step_by(10.max(r.epochs.len() / 10)) {
+        println!(
+            "epoch {:>4}  loss {:<8.4}  val {:.4}  test {:.4}  {:>8.4}s/epoch  {:>8.2} MB",
+            e.epoch,
+            e.loss,
+            e.val_acc,
+            e.test_acc,
+            e.sim_time(),
+            e.total_bytes as f64 / 1e6
+        );
+    }
+    println!(
+        "\nbest test accuracy {:.4} (epoch {}), avg epoch {:.4}s, total traffic {:.1} MB",
+        r.best_test_acc,
+        r.best_epoch,
+        r.avg_epoch_time(),
+        r.total_bytes() as f64 / 1e6
+    );
+    Ok(())
+}
+
+fn parse_fp(s: &str) -> Result<FpMode, String> {
+    let (kind, arg) = s.split_once(':').unwrap_or((s, ""));
+    let num = || arg.parse::<u8>().map_err(|_| format!("bad numeric argument in '{s}'"));
+    match kind {
+        "exact" => Ok(FpMode::Exact),
+        "cp" => Ok(FpMode::Compressed { bits: num()? }),
+        "reqec" => Ok(FpMode::ReqEc { bits: num()?, t_tr: 10, adaptive: false }),
+        "reqec-adapt" => Ok(FpMode::ReqEc { bits: num()?, t_tr: 10, adaptive: true }),
+        "delayed" => Ok(FpMode::Delayed {
+            r: arg.parse().map_err(|_| format!("bad delay in '{s}'"))?,
+        }),
+        other => Err(format!("unknown fp mode '{other}'")),
+    }
+}
+
+fn parse_bp(s: &str) -> Result<BpMode, String> {
+    let (kind, arg) = s.split_once(':').unwrap_or((s, ""));
+    let num = || arg.parse::<u8>().map_err(|_| format!("bad numeric argument in '{s}'"));
+    match kind {
+        "exact" => Ok(BpMode::Exact),
+        "cp" => Ok(BpMode::Compressed { bits: num()? }),
+        "resec" => Ok(BpMode::ResEc { bits: num()? }),
+        other => Err(format!("unknown bp mode '{other}'")),
+    }
+}

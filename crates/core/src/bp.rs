@@ -1,0 +1,210 @@
+//! Backward-pass message preparation: plain quantization and **ResEC-BP**
+//! (Algorithms 5–6, Eqs. 11–12).
+//!
+//! ResEC-BP is responding-end error feedback: the quantization residual of
+//! iteration `t` is added to the gradient rows before they are compressed
+//! at iteration `t+1`, so the error the requester accumulates stays bounded
+//! (Theorem 1) instead of compounding.
+
+use ec_comm::codec;
+use ec_compress::Quantized;
+use ec_tensor::{ops, Matrix};
+
+/// Residual memory for one (responder → requester, layer) pair.
+#[derive(Clone, Debug, Default)]
+pub struct ResidualState {
+    /// `δ^{l,t-1}` — zeros before the first exchange.
+    residual: Option<Matrix>,
+}
+
+impl ResidualState {
+    /// Squared L2 norm of the current residual (Theorem-1 tracking).
+    pub fn residual_norm_sq(&self) -> f32 {
+        self.residual.as_ref().map_or(0.0, ec_tensor::stats::l2_norm_sq)
+    }
+}
+
+/// Uncompressed gradient response.
+pub fn respond_exact(g_rows: &Matrix) -> (Matrix, u64) {
+    (g_rows.clone(), codec::matrix_wire_size(g_rows) as u64)
+}
+
+/// Plain `B`-bit quantized response (`Cp-bp-B`); min/max computed per
+/// message because gradients "will not be normalized into a unit ball"
+/// (Alg. 6 line 4).
+pub fn respond_compressed(g_rows: &Matrix, bits: u8) -> (Matrix, u64) {
+    if g_rows.rows() == 0 {
+        return (g_rows.clone(), 0);
+    }
+    let q = Quantized::compress(g_rows, bits);
+    let wire = q.wire_size() as u64;
+    (q.decompress(), wire)
+}
+
+/// One ResEC-BP exchange (Eqs. 11–12):
+///
+/// ```text
+/// G_cpt = G^{l,t} + δ^{l,t-1}
+/// M     = C_bits(G_cpt)          (shipped)
+/// δ^{l,t} = G_cpt − M            (kept for the next iteration)
+/// ```
+///
+/// Returns the matrix the requester decompresses and the wire bytes.
+pub fn resec_step(state: &mut ResidualState, g_rows: &Matrix, bits: u8) -> (Matrix, u64) {
+    if g_rows.rows() == 0 {
+        return (g_rows.clone(), 0);
+    }
+    let compensated = match &state.residual {
+        Some(delta) => ops::add(g_rows, delta),
+        None => g_rows.clone(),
+    };
+    let q = Quantized::compress(&compensated, bits);
+    let decompressed = q.decompress();
+    state.residual = Some(ops::sub(&compensated, &decompressed));
+    (decompressed, q.wire_size() as u64)
+}
+
+/// One Top-k-with-error-feedback exchange ("Sparsified SGD with Memory",
+/// the paper's related-work comparator [32]): identical residual feedback
+/// to [`resec_step`], with sparsification instead of quantization as the
+/// compressor. `ratio` is the fraction of coordinates kept.
+pub fn topk_ec_step(state: &mut ResidualState, g_rows: &Matrix, ratio: f32) -> (Matrix, u64) {
+    if g_rows.rows() == 0 {
+        return (g_rows.clone(), 0);
+    }
+    let compensated = match &state.residual {
+        Some(delta) => ops::add(g_rows, delta),
+        None => g_rows.clone(),
+    };
+    let k = ((g_rows.len() as f32 * ratio).ceil() as usize).clamp(1, g_rows.len());
+    let t = ec_compress::TopK::compress(&compensated, k);
+    let sent = t.decompress();
+    state.residual = Some(ops::sub(&compensated, &sent));
+    (sent, t.wire_size() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_tensor::stats;
+
+    #[test]
+    fn exact_round_trips() {
+        let g = Matrix::from_fn(3, 2, |r, c| (r as f32 - c as f32) * 0.1);
+        let (m, wire) = respond_exact(&g);
+        assert_eq!(m, g);
+        assert_eq!(wire, 8 + 24);
+    }
+
+    #[test]
+    fn resec_first_step_equals_plain_compression() {
+        let g = Matrix::from_fn(4, 4, |r, c| ((r * 4 + c) as f32).sin());
+        let mut st = ResidualState::default();
+        let (ec, _) = resec_step(&mut st, &g, 3);
+        let (plain, _) = respond_compressed(&g, 3);
+        assert_eq!(ec, plain);
+    }
+
+    #[test]
+    fn residual_matches_eq11() {
+        let g = Matrix::from_vec(1, 2, vec![0.3, -0.7]);
+        let mut st = ResidualState::default();
+        let (m, _) = resec_step(&mut st, &g, 2);
+        let expected = ops::sub(&g, &m);
+        let delta = st.residual.as_ref().unwrap();
+        assert!(delta.approx_eq(&expected, 1e-6));
+    }
+
+    /// The defining property of error feedback: over many iterations of a
+    /// *constant* gradient, the running average of the shipped values
+    /// converges to the true gradient, while plain compression keeps the
+    /// same bias forever.
+    #[test]
+    fn error_feedback_removes_bias_of_constant_gradient() {
+        let g = Matrix::from_vec(1, 3, vec![0.37, -0.21, 0.55]);
+        let mut st = ResidualState::default();
+        let iters = 200;
+        let mut sum_ec = Matrix::zeros(1, 3);
+        let mut sum_plain = Matrix::zeros(1, 3);
+        for _ in 0..iters {
+            let (ec, _) = resec_step(&mut st, &g, 1);
+            ops::add_assign(&mut sum_ec, &ec);
+            let (plain, _) = respond_compressed(&g, 1);
+            ops::add_assign(&mut sum_plain, &plain);
+        }
+        let avg_ec = ops::scale(&sum_ec, 1.0 / iters as f32);
+        let avg_plain = ops::scale(&sum_plain, 1.0 / iters as f32);
+        let ec_bias = stats::l1_norm(&ops::sub(&avg_ec, &g));
+        let plain_bias = stats::l1_norm(&ops::sub(&avg_plain, &g));
+        assert!(ec_bias < 0.02, "EC bias {ec_bias} should vanish");
+        assert!(plain_bias > 5.0 * ec_bias, "plain bias {plain_bias} should persist");
+    }
+
+    /// Theorem 1: the residual norm stays bounded when the compression
+    /// contraction factor α is small enough.
+    #[test]
+    fn residual_norm_stays_bounded() {
+        let mut st = ResidualState::default();
+        let mut max_norm: f32 = 0.0;
+        for t in 0..100 {
+            let g = Matrix::from_fn(4, 4, |r, c| ((t * 17 + r * 5 + c) as f32 * 0.13).sin());
+            resec_step(&mut st, &g, 4); // 4 bits → α ≈ 1/2^4 per coordinate scale
+            max_norm = max_norm.max(st.residual_norm_sq());
+        }
+        let g_norm_sq = 16.0; // ‖G‖² ≤ rows·cols·1
+        // Bound with α ~ 2^-4 · √(range): generous constant-factor check.
+        assert!(max_norm < g_norm_sq, "residual norm² {max_norm} unbounded");
+    }
+
+    #[test]
+    fn resec_with_high_bits_is_nearly_exact() {
+        let g = Matrix::from_fn(8, 8, |r, c| ((r + 2 * c) as f32 * 0.21).cos());
+        let mut st = ResidualState::default();
+        let (m, _) = resec_step(&mut st, &g, 16);
+        assert!(m.approx_eq(&g, 1e-3));
+        assert!(st.residual_norm_sq() < 1e-6);
+    }
+
+    #[test]
+    fn empty_rows_are_free() {
+        let g = Matrix::zeros(0, 5);
+        let mut st = ResidualState::default();
+        let (m, wire) = resec_step(&mut st, &g, 2);
+        assert_eq!(m.shape(), (0, 5));
+        assert_eq!(wire, 0);
+    }
+
+    #[test]
+    fn topk_ec_debiases_like_resec() {
+        let g = Matrix::from_vec(1, 8, vec![0.9, -0.3, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1]);
+        let mut st = ResidualState::default();
+        let mut sum = Matrix::zeros(1, 8);
+        let iters = 300;
+        for _ in 0..iters {
+            let (sent, _) = topk_ec_step(&mut st, &g, 0.25);
+            ops::add_assign(&mut sum, &sent);
+        }
+        let avg = ops::scale(&sum, 1.0 / iters as f32);
+        assert!(stats::l1_norm(&ops::sub(&avg, &g)) < 0.05);
+    }
+
+    #[test]
+    fn topk_ec_wire_scales_with_ratio() {
+        let g = Matrix::from_fn(32, 8, |r, c| ((r + c) as f32).sin());
+        let mut s1 = ResidualState::default();
+        let mut s2 = ResidualState::default();
+        let (_, w_small) = topk_ec_step(&mut s1, &g, 0.05);
+        let (_, w_big) = topk_ec_step(&mut s2, &g, 0.5);
+        assert!(w_big > 5 * w_small);
+    }
+
+    #[test]
+    fn wire_size_scales_with_bits() {
+        let g = Matrix::from_fn(64, 16, |r, c| (r + c) as f32 * 0.01);
+        let mut st2 = ResidualState::default();
+        let mut st8 = ResidualState::default();
+        let (_, w2) = resec_step(&mut st2, &g, 2);
+        let (_, w8) = resec_step(&mut st8, &g, 8);
+        assert!(w8 > 3 * w2);
+    }
+}

@@ -1,0 +1,228 @@
+//! Training configuration for the distributed engine.
+
+use ec_comm::NetworkModel;
+use ec_comm::ps::AdamParams;
+use serde::{Deserialize, Serialize};
+
+/// Which GNN model the distributed engine trains.
+///
+/// The paper's claim that "other GNN models … can be integrated into
+/// EC-Graph straightforwardly" holds because they exchange the same two
+/// message types (neighbour embeddings in FP, embedding gradients in BP);
+/// [`ModelKind::Sage`] demonstrates it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Graph convolutional network (the paper's evaluation model):
+    /// `H^l = σ(Â (H^{l-1} W) + b)`.
+    Gcn,
+    /// GraphSAGE with the GCN-normalized aggregator and a separate root
+    /// transform: `H^l = σ(Â (H^{l-1} W_n) + H^{l-1} W_s + b)`.
+    Sage,
+}
+
+/// Forward-pass treatment of remote embedding messages.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FpMode {
+    /// Uncompressed `f32` embeddings (the paper's *Non-cp*).
+    Exact,
+    /// B-bit bucket quantization without compensation (*Cp-fp-B*).
+    Compressed {
+        /// Quantization bit width.
+        bits: u8,
+    },
+    /// Requesting-end error compensation (*ReqEC-FP-B*), Section IV-B.
+    ReqEc {
+        /// Initial quantization bit width.
+        bits: u8,
+        /// Trend-group length `T_tr` (the paper uses 10).
+        t_tr: usize,
+        /// Enables the adaptive Bit-Tuner (*ReqEC-adapt*).
+        adaptive: bool,
+    },
+    /// DistGNN-style delayed partial aggregation: each epoch only `1/r` of
+    /// the cached remote embeddings are refreshed (uncompressed); the rest
+    /// stay stale.
+    Delayed {
+        /// Refresh period `r` (the paper sets `r = 5` for DistGNN).
+        r: usize,
+    },
+}
+
+/// Backward-pass treatment of remote embedding-gradient messages.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum BpMode {
+    /// Uncompressed `f32` gradients.
+    Exact,
+    /// B-bit quantization without compensation (*Cp-bp-B*).
+    Compressed {
+        /// Quantization bit width.
+        bits: u8,
+    },
+    /// Responding-end error compensation (*ResEC-BP-B*), Section IV-C.
+    ResEc {
+        /// Quantization bit width.
+        bits: u8,
+    },
+    /// Top-k sparsification with error feedback — the related-work
+    /// comparator ("Sparsified SGD with Memory", the paper's [32]).
+    TopkEc {
+        /// Fraction of gradient coordinates kept per message.
+        ratio: f32,
+    },
+}
+
+/// Full configuration of one distributed training run.
+#[derive(Clone, Debug)]
+pub struct TrainingConfig {
+    /// Layer dimensions `[d₀, h₁, …, C]` (`len - 1` GCN layers).
+    pub dims: Vec<usize>,
+    /// Model variant (GCN by default).
+    pub model: ModelKind,
+    /// Number of workers (machines holding graph partitions).
+    pub num_workers: usize,
+    /// Number of parameter servers.
+    pub num_servers: usize,
+    /// Forward compression mode.
+    pub fp_mode: FpMode,
+    /// Selector granularity for ReqEC-FP (the paper picks vertex-wise).
+    pub reqec_granularity: crate::fp::Granularity,
+    /// Backward compression mode.
+    pub bp_mode: BpMode,
+    /// Optimizer hyper-parameters (server-side Adam).
+    pub adam: AdamParams,
+    /// Network timing model for the simulated cluster.
+    pub network: NetworkModel,
+    /// Seed for weight initialization.
+    pub seed: u64,
+    /// Maximum training epochs.
+    pub max_epochs: usize,
+    /// Early-stop patience: stop when validation accuracy has not improved
+    /// for this many epochs (`None` disables early stopping).
+    pub patience: Option<usize>,
+    /// Evaluate accuracy every this many epochs (1 = every epoch).
+    pub eval_every: usize,
+}
+
+impl TrainingConfig {
+    /// A reasonable default for a dataset with `d0` input features and
+    /// `classes` output classes: the paper's 2-layer, 16-hidden setup.
+    pub fn defaults(d0: usize, classes: usize) -> Self {
+        Self {
+            dims: vec![d0, 16, classes],
+            model: ModelKind::Gcn,
+            num_workers: 6,
+            num_servers: 1,
+            fp_mode: FpMode::Exact,
+            reqec_granularity: crate::fp::Granularity::Vertex,
+            bp_mode: BpMode::Exact,
+            adam: AdamParams::default(),
+            network: NetworkModel::gigabit_ethernet(),
+            seed: 1,
+            max_epochs: 200,
+            patience: None,
+            eval_every: 1,
+        }
+    }
+
+    /// Number of GCN layers `L`.
+    pub fn num_layers(&self) -> usize {
+        self.dims.len() - 1
+    }
+
+    /// The `(fan_in, fan_out)` weight shapes, layer-major.
+    pub fn layer_shapes(&self) -> Vec<(usize, usize)> {
+        self.dims.windows(2).map(|w| (w[0], w[1])).collect()
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.dims.len() < 2 {
+            return Err("need at least one layer".into());
+        }
+        if self.num_workers == 0 || self.num_servers == 0 {
+            return Err("need at least one worker and one server".into());
+        }
+        if self.eval_every == 0 {
+            return Err("eval_every must be positive".into());
+        }
+        let check_bits = |bits: u8| -> Result<(), String> {
+            if !(1..=ec_compress::MAX_BITS).contains(&bits) {
+                Err(format!("bit width {bits} out of range"))
+            } else {
+                Ok(())
+            }
+        };
+        match self.fp_mode {
+            FpMode::Compressed { bits } => check_bits(bits)?,
+            FpMode::ReqEc { bits, t_tr, .. } => {
+                check_bits(bits)?;
+                if t_tr < 2 {
+                    return Err("T_tr must be at least 2".into());
+                }
+            }
+            FpMode::Delayed { r } => {
+                if r == 0 {
+                    return Err("delay period must be positive".into());
+                }
+            }
+            FpMode::Exact => {}
+        }
+        match self.bp_mode {
+            BpMode::Compressed { bits } | BpMode::ResEc { bits } => check_bits(bits)?,
+            BpMode::TopkEc { ratio } => {
+                if !(ratio > 0.0 && ratio <= 1.0) {
+                    return Err(format!("top-k ratio {ratio} out of (0, 1]"));
+                }
+            }
+            BpMode::Exact => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(TrainingConfig::defaults(16, 3).validate().is_ok());
+    }
+
+    #[test]
+    fn layer_accessors() {
+        let c = TrainingConfig { dims: vec![8, 16, 16, 4], ..TrainingConfig::defaults(8, 4) };
+        assert_eq!(c.num_layers(), 3);
+        assert_eq!(c.layer_shapes(), vec![(8, 16), (16, 16), (16, 4)]);
+    }
+
+    #[test]
+    fn validation_catches_bad_bits() {
+        let mut c = TrainingConfig::defaults(8, 2);
+        c.fp_mode = FpMode::Compressed { bits: 0 };
+        assert!(c.validate().is_err());
+        c.fp_mode = FpMode::Compressed { bits: 17 };
+        assert!(c.validate().is_err());
+        c.fp_mode = FpMode::ReqEc { bits: 2, t_tr: 1, adaptive: false };
+        assert!(c.validate().is_err());
+        c.fp_mode = FpMode::Delayed { r: 0 };
+        assert!(c.validate().is_err());
+        let mut c = TrainingConfig::defaults(8, 2);
+        c.bp_mode = BpMode::TopkEc { ratio: 0.0 };
+        assert!(c.validate().is_err());
+        c.bp_mode = BpMode::TopkEc { ratio: 1.5 };
+        assert!(c.validate().is_err());
+        c.bp_mode = BpMode::TopkEc { ratio: 0.1 };
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_structural_errors() {
+        let mut c = TrainingConfig::defaults(8, 2);
+        c.dims = vec![8];
+        assert!(c.validate().is_err());
+        let mut c = TrainingConfig::defaults(8, 2);
+        c.num_workers = 0;
+        assert!(c.validate().is_err());
+    }
+}

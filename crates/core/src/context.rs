@@ -1,0 +1,237 @@
+//! The Graph Engine's per-worker view of the partitioned graph.
+//!
+//! After partitioning, each worker holds (Section III-A):
+//! * its local vertices (features, labels, adjacency rows), and
+//! * the identity of every *remote 1-hop neighbour* those rows reference —
+//!   the set the 1-hop NAC (Neighbor Access Controller) fetches each layer.
+//!
+//! Locally, vertices are renumbered into `[0, n_local)` for local vertices
+//! followed by `[n_local, n_local + n_remote)` for the cached remote
+//! dependencies, so a layer's aggregation is a single SpMM over the
+//! concatenated matrix `[H_local ; H_remote]` (Alg. 1 line 7's
+//! `concatenate`).
+//!
+//! Topology is per layer: full-batch EC-Graph uses one topology for every
+//! layer, while the sampling mode (EC-Graph-S) trains on a different
+//! fan-out-sampled adjacency per layer.
+
+use ec_partition::Partition;
+use ec_tensor::CsrMatrix;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One layer's local adjacency slice and remote dependency sets.
+#[derive(Clone, Debug)]
+pub struct LayerTopology {
+    /// Local rows of the (normalized) adjacency, columns renumbered to
+    /// `[locals | remotes]`.
+    pub adj_local: CsrMatrix,
+    /// Sorted global ids of the remote vertices this worker must fetch.
+    pub remote_deps: Vec<usize>,
+    /// `remote_deps` grouped by owning worker (entry `w` lists the global
+    /// ids owned by worker `w`, sorted; the self entry is empty).
+    pub deps_by_owner: Vec<Vec<usize>>,
+    /// Global id → position in `remote_deps`.
+    pub remote_index: HashMap<usize, usize>,
+}
+
+/// Everything one worker knows about the partitioned graph.
+#[derive(Clone, Debug)]
+pub struct WorkerContext {
+    /// This worker's id.
+    pub worker_id: usize,
+    /// Sorted global ids of the local vertices.
+    pub local_vertices: Vec<usize>,
+    /// Global id → local row index.
+    pub global_to_local: HashMap<usize, usize>,
+    /// Per-GNN-layer topology: `layers[l-1]` drives the aggregation that
+    /// produces layer `l`.
+    pub layers: Vec<Arc<LayerTopology>>,
+}
+
+impl WorkerContext {
+    /// Number of local vertices.
+    pub fn num_local(&self) -> usize {
+        self.local_vertices.len()
+    }
+}
+
+/// Builds one [`LayerTopology`] per worker for a single global adjacency.
+pub fn build_layer_topologies(adj: &CsrMatrix, partition: &Partition) -> Vec<Arc<LayerTopology>> {
+    let num_parts = partition.num_parts();
+    let mut locals: Vec<Vec<usize>> = vec![Vec::new(); num_parts];
+    for v in 0..partition.num_vertices() {
+        locals[partition.part_of(v)].push(v);
+    }
+    (0..num_parts)
+        .map(|w| {
+            let local = &locals[w];
+            let local_index: HashMap<usize, usize> =
+                local.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+            // Collect remote columns referenced by the local rows.
+            let rows = adj.select_rows(local);
+            let mut remote_set: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+            for r in 0..rows.rows() {
+                for (c, _) in rows.row_entries(r) {
+                    if !local_index.contains_key(&c) {
+                        remote_set.insert(c);
+                    }
+                }
+            }
+            let remote_deps: Vec<usize> = remote_set.into_iter().collect();
+            let remote_index: HashMap<usize, usize> =
+                remote_deps.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+            let n_local = local.len();
+            let adj_local = rows.remap_columns(
+                &|c| {
+                    local_index
+                        .get(&c)
+                        .copied()
+                        .or_else(|| remote_index.get(&c).map(|&i| n_local + i))
+                },
+                n_local + remote_deps.len(),
+            );
+            let mut deps_by_owner: Vec<Vec<usize>> = vec![Vec::new(); num_parts];
+            for &v in &remote_deps {
+                deps_by_owner[partition.part_of(v)].push(v);
+            }
+            Arc::new(LayerTopology { adj_local, remote_deps, deps_by_owner, remote_index })
+        })
+        .collect()
+}
+
+/// Builds the full worker contexts for per-layer adjacencies.
+///
+/// `adjs` has one (global, `n × n`) normalized adjacency per GNN layer;
+/// pass the same `Arc` `L` times for the standard full-batch setup (the
+/// topology is computed once per distinct matrix and shared).
+pub fn build_worker_contexts(adjs: &[Arc<CsrMatrix>], partition: &Partition) -> Vec<WorkerContext> {
+    assert!(!adjs.is_empty(), "need at least one layer adjacency");
+    let num_parts = partition.num_parts();
+
+    // Deduplicate identical Arcs so shared topologies are built once.
+    let mut built: Vec<(usize, Vec<Arc<LayerTopology>>)> = Vec::new(); // (ptr, per-worker)
+    let mut per_layer: Vec<Vec<Arc<LayerTopology>>> = Vec::new();
+    for adj in adjs {
+        let key = Arc::as_ptr(adj) as usize;
+        if let Some((_, topos)) = built.iter().find(|(k, _)| *k == key) {
+            per_layer.push(topos.clone());
+        } else {
+            let topos = build_layer_topologies(adj, partition);
+            built.push((key, topos.clone()));
+            per_layer.push(topos);
+        }
+    }
+
+    let mut locals: Vec<Vec<usize>> = vec![Vec::new(); num_parts];
+    for v in 0..partition.num_vertices() {
+        locals[partition.part_of(v)].push(v);
+    }
+    (0..num_parts)
+        .map(|w| {
+            let local_vertices = locals[w].clone();
+            let global_to_local =
+                local_vertices.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+            let layers = per_layer.iter().map(|l| Arc::clone(&l[w])).collect();
+            WorkerContext { worker_id: w, local_vertices, global_to_local, layers }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_graph_data::{normalize, Graph};
+    use ec_partition::Partition;
+    use ec_tensor::{ops, Matrix};
+
+    /// 4-cycle split in half: each worker needs two remote vertices.
+    fn setup() -> (Arc<CsrMatrix>, Partition) {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let adj = Arc::new(normalize::gcn_normalized_adjacency(&g));
+        let p = Partition::new(vec![0, 0, 1, 1], 2);
+        (adj, p)
+    }
+
+    #[test]
+    fn local_and_remote_sets_are_correct() {
+        let (adj, p) = setup();
+        let ctxs = build_worker_contexts(&[adj], &p);
+        assert_eq!(ctxs[0].local_vertices, vec![0, 1]);
+        assert_eq!(ctxs[1].local_vertices, vec![2, 3]);
+        // Worker 0's locals touch 2 (via 1) and 3 (via 0).
+        assert_eq!(ctxs[0].layers[0].remote_deps, vec![2, 3]);
+        assert_eq!(ctxs[0].layers[0].deps_by_owner[1], vec![2, 3]);
+        assert!(ctxs[0].layers[0].deps_by_owner[0].is_empty());
+    }
+
+    #[test]
+    fn distributed_spmm_matches_global() {
+        // [H_local ; H_remote] aggregation per worker must reproduce the
+        // global Â·H rows exactly.
+        let (adj, p) = setup();
+        let ctxs = build_worker_contexts(&[Arc::clone(&adj)], &p);
+        let h = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32 * 0.1);
+        let global = adj.spmm(&h);
+        for ctx in &ctxs {
+            let topo = &ctx.layers[0];
+            let h_local = h.gather_rows(&ctx.local_vertices);
+            let h_remote = h.gather_rows(&topo.remote_deps);
+            let h_cat = h_local.vstack(&h_remote);
+            let local_out = topo.adj_local.spmm(&h_cat);
+            let expected = global.gather_rows(&ctx.local_vertices);
+            assert!(
+                local_out.approx_eq(&expected, 1e-6),
+                "worker {} mismatch: {:?} vs {:?}",
+                ctx.worker_id,
+                local_out,
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn distributed_xw_then_aggregate_matches_global() {
+        let (adj, p) = setup();
+        let ctxs = build_worker_contexts(&[Arc::clone(&adj)], &p);
+        let h = Matrix::from_fn(4, 3, |r, c| ((r + 1) * (c + 1)) as f32 * 0.05);
+        let w = Matrix::from_fn(3, 2, |r, c| 0.3 * r as f32 - 0.1 * c as f32);
+        let global = adj.spmm(&ops::matmul(&h, &w));
+        for ctx in &ctxs {
+            let topo = &ctx.layers[0];
+            let h_cat = h.gather_rows(&ctx.local_vertices).vstack(&h.gather_rows(&topo.remote_deps));
+            let local_out = topo.adj_local.spmm(&ops::matmul(&h_cat, &w));
+            assert!(local_out.approx_eq(&global.gather_rows(&ctx.local_vertices), 1e-5));
+        }
+    }
+
+    #[test]
+    fn per_layer_topologies_can_differ() {
+        let g1 = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let g2 = Graph::from_edges(4, &[(0, 1)]); // sampled-down layer
+        let a1 = Arc::new(normalize::gcn_normalized_adjacency(&g1));
+        let a2 = Arc::new(normalize::gcn_normalized_adjacency(&g2));
+        let p = Partition::new(vec![0, 0, 1, 1], 2);
+        let ctxs = build_worker_contexts(&[a1, a2], &p);
+        assert_eq!(ctxs[0].layers.len(), 2);
+        assert_eq!(ctxs[0].layers[0].remote_deps, vec![2, 3]);
+        assert!(ctxs[0].layers[1].remote_deps.is_empty());
+    }
+
+    #[test]
+    fn shared_arc_layers_share_topology() {
+        let (adj, p) = setup();
+        let ctxs = build_worker_contexts(&[Arc::clone(&adj), Arc::clone(&adj)], &p);
+        assert!(Arc::ptr_eq(&ctxs[0].layers[0], &ctxs[0].layers[1]));
+    }
+
+    #[test]
+    fn isolated_worker_has_no_deps() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let adj = Arc::new(normalize::gcn_normalized_adjacency(&g));
+        let p = Partition::new(vec![0, 0, 1, 1], 2);
+        let ctxs = build_worker_contexts(&[adj], &p);
+        assert!(ctxs[0].layers[0].remote_deps.is_empty());
+        assert!(ctxs[1].layers[0].remote_deps.is_empty());
+    }
+}

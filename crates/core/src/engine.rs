@@ -1,0 +1,828 @@
+//! The distributed training engine: Algorithms 1–6 over the simulated
+//! cluster.
+//!
+//! Execution is a sequence of synchronous supersteps per epoch:
+//!
+//! ```text
+//! FP  (per layer l = 1..L):   pull W   | exchange H^{l-1} (l ≥ 2) | compute Z^l, H^l
+//! loss:                       local masked softmax-CE → G^L
+//! BP  (per layer l = L..2):   exchange G^l | compute Y^{l-1}, b-grad, G^{l-1}
+//! BP  (l = 1):                compute Y^0, b-grad locally (Â·H⁰ is cached)
+//! update:                     push gradients | servers apply Adam
+//! ```
+//!
+//! Every worker's compute block is wall-clock measured; every message is
+//! byte-counted through [`ec_comm::SimNetwork`]. The simulated epoch time
+//! is `Σ supersteps (max-worker compute + network time)` — the quantity the
+//! paper's Table IV reports per system.
+//!
+//! All compression/compensation policy lives in [`crate::fp`] /
+//! [`crate::bp`]; the engine only routes matrices through them per the
+//! configured [`FpMode`] / [`BpMode`].
+
+#![allow(clippy::needless_range_loop)] // worker indices double as node ids
+
+use crate::bp::{self, ResidualState};
+use crate::config::{BpMode, FpMode, ModelKind, TrainingConfig};
+use crate::context::{build_worker_contexts, WorkerContext};
+use crate::fp::{self, TrendState};
+use ec_comm::stats::Channel;
+use ec_comm::{ParameterServerGroup, SimNetwork, TrafficStats};
+use ec_graph_data::AttributedGraph;
+use ec_partition::Partition;
+use ec_tensor::{activations, ops, CsrMatrix, Matrix};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Size we charge for a `get`/`pull` request envelope (ids are exchanged
+/// once during preprocessing; steady-state requests are tiny).
+const REQUEST_BYTES: u64 = 16;
+
+/// Per-epoch outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Global training loss (mean over all training vertices).
+    pub loss: f32,
+    /// Measured compute seconds (max-worker per superstep, summed).
+    pub compute_s: f64,
+    /// Simulated communication seconds.
+    pub comm_s: f64,
+    /// Traffic ledger for this epoch.
+    pub traffic: TrafficStats,
+}
+
+impl EpochStats {
+    /// Simulated wall-clock epoch time.
+    pub fn sim_time(&self) -> f64 {
+        self.compute_s + self.comm_s
+    }
+}
+
+/// Accuracy snapshot over the three splits.
+#[derive(Clone, Copy, Debug)]
+pub struct Evaluation {
+    /// Training-set accuracy.
+    pub train: f64,
+    /// Validation-set accuracy.
+    pub val: f64,
+    /// Held-out test accuracy.
+    pub test: f64,
+}
+
+/// Preprocessing outcome (partition + feature caching).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PreprocessingStats {
+    /// Seconds spent building worker contexts (measured).
+    pub build_s: f64,
+    /// Simulated seconds shipping remote features into the 1-hop caches.
+    pub feature_cache_s: f64,
+    /// Bytes of cached remote features.
+    pub feature_cache_bytes: u64,
+}
+
+/// The EC-Graph distributed engine.
+pub struct DistributedEngine {
+    config: TrainingConfig,
+    data: Arc<AttributedGraph>,
+    adjs: Vec<Arc<CsrMatrix>>,
+    contexts: Vec<WorkerContext>,
+    ps: ParameterServerGroup,
+    network: SimNetwork,
+    preprocessing: PreprocessingStats,
+
+    /// `h_local[w][l]` = local rows of `H^l` (`l = 0` is the features).
+    h_local: Vec<Vec<Matrix>>,
+    /// `z_local[w][l-1]` = local rows of the pre-activation `Z^l`.
+    z_local: Vec<Vec<Matrix>>,
+    /// Features concatenated with the cached remote features (layer-0
+    /// topology) — built once, per the paper's first-hop cache.
+    h0_cat: Vec<Matrix>,
+
+    labels_local: Vec<Vec<u32>>,
+    train_local: Vec<Vec<usize>>,
+    total_train: usize,
+
+    /// ReqEC-FP trend state per (requester, exchange layer, owner).
+    fp_trend: HashMap<(usize, usize, usize), TrendState>,
+    /// Delayed-mode (DistGNN) stale caches per (requester, layer, owner).
+    fp_cache: HashMap<(usize, usize, usize), Option<Matrix>>,
+    /// Current adaptive bit width per (requester, owner).
+    fp_bits: Vec<Vec<u8>>,
+    /// Last observed predicted-proportion per (requester, owner), consumed
+    /// by the Bit-Tuner at epoch end.
+    fp_prop: HashMap<(usize, usize), f32>,
+    /// ResEC-BP residual state per (requester, exchange layer, owner).
+    bp_residual: HashMap<(usize, usize, usize), ResidualState>,
+
+    /// Total L1 reconstruction error of all FP messages in the last epoch
+    /// (diagnostics; exact modes report 0).
+    fp_recon_err: f64,
+
+    epoch: usize,
+}
+
+impl DistributedEngine {
+    /// Builds the engine from per-layer global adjacencies and a partition.
+    ///
+    /// `adjs` must contain one `n × n` normalized adjacency per GNN layer
+    /// (share the `Arc` for the standard full-batch setup).
+    pub fn new(
+        data: Arc<AttributedGraph>,
+        adjs: Vec<Arc<CsrMatrix>>,
+        partition: Partition,
+        config: TrainingConfig,
+    ) -> Self {
+        config.validate().expect("invalid training config");
+        let num_layers = config.num_layers();
+        assert_eq!(adjs.len(), num_layers, "need one adjacency per layer");
+        assert_eq!(config.dims[0], data.feature_dim(), "dims[0] must equal the feature dim");
+        assert_eq!(
+            *config.dims.last().unwrap(),
+            data.num_classes,
+            "output dim must equal the class count"
+        );
+        assert_eq!(partition.num_vertices(), data.num_vertices(), "partition size mismatch");
+        assert_eq!(partition.num_parts(), config.num_workers, "partition/worker count mismatch");
+
+        let build_start = Instant::now();
+        let contexts = build_worker_contexts(&adjs, &partition);
+        let build_s = build_start.elapsed().as_secs_f64();
+
+        let num_workers = config.num_workers;
+        let num_nodes = num_workers + config.num_servers;
+        let mut network = SimNetwork::new(num_nodes, config.network);
+        // Sage carries a second (root/self) weight matrix per layer; the
+        // servers store it at slot `L + l`.
+        let mut shapes = config.layer_shapes();
+        if config.model == ModelKind::Sage {
+            shapes.extend(config.layer_shapes());
+        }
+        let ps = ParameterServerGroup::new(&shapes, config.num_servers, config.adam, config.seed);
+
+        // Preprocessing: each worker caches the features of its layer-1
+        // remote dependencies (the paper's first-hop cache).
+        let mut h0_cat = Vec::with_capacity(num_workers);
+        let mut h_local = Vec::with_capacity(num_workers);
+        let mut labels_local = Vec::with_capacity(num_workers);
+        let mut train_local = Vec::with_capacity(num_workers);
+        let train_set: std::collections::HashSet<usize> =
+            data.split.train.iter().copied().collect();
+        for ctx in &contexts {
+            let feats = data.features.gather_rows(&ctx.local_vertices);
+            let topo0 = &ctx.layers[0];
+            let remote_feats = data.features.gather_rows(&topo0.remote_deps);
+            // Charge the one-time feature transfer, owner → this worker.
+            for (owner, deps) in topo0.deps_by_owner.iter().enumerate() {
+                if deps.is_empty() || owner == ctx.worker_id {
+                    continue;
+                }
+                let bytes = (8 + deps.len() * (4 + data.feature_dim() * 4)) as u64;
+                network.send(owner, ctx.worker_id, Channel::Forward, bytes);
+            }
+            h0_cat.push(feats.vstack(&remote_feats));
+            h_local.push(vec![feats]);
+            labels_local.push(ctx.local_vertices.iter().map(|&v| data.labels[v]).collect());
+            train_local.push(
+                ctx.local_vertices
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| train_set.contains(v))
+                    .map(|(i, _)| i)
+                    .collect(),
+            );
+        }
+        let (pre_traffic, feature_cache_s) = network.end_epoch();
+        let preprocessing = PreprocessingStats {
+            build_s,
+            feature_cache_s,
+            feature_cache_bytes: pre_traffic.total_bytes(),
+        };
+
+        // Allocate per-layer slots.
+        for hl in &mut h_local {
+            for l in 0..num_layers {
+                let rows = hl[0].rows();
+                hl.push(Matrix::zeros(rows, config.dims[l + 1]));
+            }
+        }
+        let z_local = contexts
+            .iter()
+            .map(|ctx| {
+                (0..num_layers)
+                    .map(|l| Matrix::zeros(ctx.num_local(), config.dims[l + 1]))
+                    .collect()
+            })
+            .collect();
+
+        let init_bits = match config.fp_mode {
+            FpMode::ReqEc { bits, .. } | FpMode::Compressed { bits } => bits,
+            _ => 16,
+        };
+        let fp_bits = vec![vec![init_bits; num_workers]; num_workers];
+        let total_train = data.split.train.len();
+        assert!(total_train > 0, "dataset has no training vertices");
+
+        Self {
+            config,
+            data,
+            adjs,
+            contexts,
+            ps,
+            network,
+            preprocessing,
+            h_local,
+            z_local,
+            h0_cat,
+            labels_local,
+            train_local,
+            total_train,
+            fp_trend: HashMap::new(),
+            fp_cache: HashMap::new(),
+            fp_bits,
+            fp_prop: HashMap::new(),
+            fp_recon_err: 0.0,
+            bp_residual: HashMap::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Preprocessing statistics (partition-context build + feature cache).
+    pub fn preprocessing(&self) -> PreprocessingStats {
+        self.preprocessing
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &TrainingConfig {
+        &self.config
+    }
+
+    /// Current epoch counter (number of completed epochs).
+    pub fn epochs_run(&self) -> usize {
+        self.epoch
+    }
+
+    /// Snapshot of the current model parameters.
+    pub fn weights(&self) -> Vec<(Matrix, Vec<f32>)> {
+        self.ps.weights()
+    }
+
+    /// Overwrites the model parameters (identical-start comparisons).
+    pub fn set_weights(&mut self, weights: &[(Matrix, Vec<f32>)]) {
+        self.ps.set_weights(weights);
+    }
+
+    /// Persists the current model weights to `path` (wire-codec format).
+    pub fn save_checkpoint(&self, path: &std::path::Path) -> std::io::Result<()> {
+        self.ps.save_weights(path)
+    }
+
+    /// Restores model weights saved by [`Self::save_checkpoint`].
+    pub fn load_checkpoint(&mut self, path: &std::path::Path) -> std::io::Result<()> {
+        self.ps.load_weights(path)
+    }
+
+    /// Current adaptive bit widths, `[requester][owner]`.
+    pub fn fp_bits(&self) -> &[Vec<u8>] {
+        &self.fp_bits
+    }
+
+    /// Squared L2 norms of all live ResEC-BP residuals, keyed by exchange
+    /// layer (Theorem-1 instrumentation).
+    pub fn bp_residual_norms(&self) -> Vec<(usize, f32)> {
+        self.bp_residual
+            .iter()
+            .map(|(&(_, layer, _), st)| (layer, st.residual_norm_sq()))
+            .collect()
+    }
+
+    fn server_node(&self, s: usize) -> usize {
+        self.config.num_workers + s
+    }
+
+    /// Runs one full training epoch (Algorithms 1 + 2).
+    pub fn run_epoch(&mut self) -> EpochStats {
+        let num_layers = self.config.num_layers();
+        let num_workers = self.config.num_workers;
+        let t = self.epoch;
+        let mut compute_s = 0.0f64;
+        let mut comm_s = 0.0f64;
+        self.fp_recon_err = 0.0;
+
+        // ---------------- Forward propagation ----------------
+        let sage = self.config.model == ModelKind::Sage;
+        for l in 1..=num_layers {
+            // Workers pull W^{l-1}, b^{l-1} (and W_self for Sage).
+            for w in 0..num_workers {
+                let mut slots = vec![l - 1];
+                if sage {
+                    slots.push(num_layers + l - 1);
+                }
+                for slot in slots {
+                    for (s, &bytes) in self.ps.pull_wire_sizes(slot).iter().enumerate() {
+                        self.network.send(w, self.server_node(s), Channel::Control, REQUEST_BYTES);
+                        self.network.send(self.server_node(s), w, Channel::Parameter, bytes);
+                    }
+                }
+            }
+
+            // Exchange H^{l-1} (layer-0 features are cached).
+            let remotes: Vec<Option<Matrix>> = if l >= 2 {
+                (0..num_workers).map(|i| Some(self.exchange_fp(i, l, t))).collect()
+            } else {
+                (0..num_workers).map(|_| None).collect()
+            };
+            comm_s += self.network.flush_superstep();
+
+            // Compute Z^l, H^l.
+            let (w_l, b_l) = {
+                let (w, b) = self.ps.pull(l - 1);
+                (w.clone(), b.to_vec())
+            };
+            let w_self = sage.then(|| self.ps.pull(num_layers + l - 1).0.clone());
+            let mut step_max = 0.0f64;
+            for w in 0..num_workers {
+                let start = Instant::now();
+                let h_cat = match &remotes[w] {
+                    None => self.h0_cat[w].clone(),
+                    Some(remote) => self.h_local[w][l - 1].vstack(remote),
+                };
+                let xw = ops::matmul(&h_cat, &w_l);
+                let mut z = self.contexts[w].layers[l - 1].adj_local.spmm(&xw);
+                if let Some(ws) = &w_self {
+                    ops::add_assign(&mut z, &ops::matmul(&self.h_local[w][l - 1], ws));
+                }
+                z = ops::add_bias(&z, &b_l);
+                self.h_local[w][l] =
+                    if l < num_layers { activations::relu(&z) } else { z.clone() };
+                self.z_local[w][l - 1] = z;
+                step_max = step_max.max(start.elapsed().as_secs_f64());
+            }
+            compute_s += step_max;
+        }
+
+        // ---------------- Loss and G^L ----------------
+        let mut loss_sum = 0.0f32;
+        let mut g_cur: Vec<Matrix> = Vec::with_capacity(num_workers);
+        let mut step_max = 0.0f64;
+        for w in 0..num_workers {
+            let start = Instant::now();
+            let (loss, g) = local_loss_grad(
+                &self.h_local[w][num_layers],
+                &self.labels_local[w],
+                &self.train_local[w],
+                self.total_train,
+            );
+            loss_sum += loss;
+            g_cur.push(g);
+            step_max = step_max.max(start.elapsed().as_secs_f64());
+        }
+        compute_s += step_max;
+
+        // ---------------- Backward propagation ----------------
+        let num_slots = if sage { 2 * num_layers } else { num_layers };
+        let mut grads: Vec<Option<(Matrix, Vec<f32>)>> = vec![None; num_slots];
+        for l in (2..=num_layers).rev() {
+            // Exchange G^l.
+            let g_remote: Vec<Matrix> =
+                (0..num_workers).map(|i| self.exchange_bp(i, l, &g_cur)).collect();
+            comm_s += self.network.flush_superstep();
+
+            let w_lm1 = self.ps.pull(l - 1).0.clone();
+            let ws_lm1 = sage.then(|| self.ps.pull(num_layers + l - 1).0.clone());
+            let mut step_max = 0.0f64;
+            let mut y_sum = Matrix::zeros(self.config.dims[l - 1], self.config.dims[l]);
+            let mut ys_sum = Matrix::zeros(self.config.dims[l - 1], self.config.dims[l]);
+            let mut b_sum = vec![0.0f32; self.config.dims[l]];
+            for w in 0..num_workers {
+                let start = Instant::now();
+                let topo = &self.contexts[w].layers[l - 1];
+                let g_cat = g_cur[w].vstack(&g_remote[w]);
+                let ag = topo.adj_local.spmm(&g_cat);
+                // Y^{l-1} = (H^{l-1})ᵀ (Â G^l), summed over workers.
+                let y_part = ops::matmul_at_b(&self.h_local[w][l - 1], &ag);
+                ops::add_assign(&mut y_sum, &y_part);
+                for (acc, g) in b_sum.iter_mut().zip(ops::column_sums(&g_cur[w])) {
+                    *acc += g;
+                }
+                if sage {
+                    // Self path: Y_s^{l-1} = (H^{l-1})ᵀ G^l — purely local.
+                    let ys_part = ops::matmul_at_b(&self.h_local[w][l - 1], &g_cur[w]);
+                    ops::add_assign(&mut ys_sum, &ys_part);
+                }
+                // G^{l-1} = [(Â G^l)(W^{l-1})ᵀ (+ G^l W_sᵀ)] ⊙ σ'(Z^{l-1}).
+                let mask = activations::relu_grad(&self.z_local[w][l - 2]);
+                let mut flow = ops::matmul_a_bt(&ag, &w_lm1);
+                if let Some(ws) = &ws_lm1 {
+                    ops::add_assign(&mut flow, &ops::matmul_a_bt(&g_cur[w], ws));
+                }
+                g_cur[w] = ops::hadamard(&flow, &mask);
+                step_max = step_max.max(start.elapsed().as_secs_f64());
+            }
+            compute_s += step_max;
+            grads[l - 1] = Some((y_sum, b_sum));
+            if sage {
+                grads[num_layers + l - 1] = Some((ys_sum, vec![0.0; self.config.dims[l]]));
+            }
+        }
+
+        // Layer 1: Â·H⁰ is computable locally from the feature cache.
+        {
+            let mut step_max = 0.0f64;
+            let mut y_sum = Matrix::zeros(self.config.dims[0], self.config.dims[1]);
+            let mut ys_sum = Matrix::zeros(self.config.dims[0], self.config.dims[1]);
+            let mut b_sum = vec![0.0f32; self.config.dims[1]];
+            for w in 0..num_workers {
+                let start = Instant::now();
+                let topo = &self.contexts[w].layers[0];
+                let ah0 = topo.adj_local.spmm(&self.h0_cat[w]);
+                let y_part = ops::matmul_at_b(&ah0, &g_cur[w]);
+                ops::add_assign(&mut y_sum, &y_part);
+                if sage {
+                    let ys_part = ops::matmul_at_b(&self.h_local[w][0], &g_cur[w]);
+                    ops::add_assign(&mut ys_sum, &ys_part);
+                }
+                for (acc, g) in b_sum.iter_mut().zip(ops::column_sums(&g_cur[w])) {
+                    *acc += g;
+                }
+                step_max = step_max.max(start.elapsed().as_secs_f64());
+            }
+            compute_s += step_max;
+            grads[0] = Some((y_sum, b_sum));
+            if sage {
+                grads[num_layers] = Some((ys_sum, vec![0.0; self.config.dims[1]]));
+            }
+        }
+
+        // ---------------- Push gradients, server update ----------------
+        // Each worker pushes its share; the aggregate equals the global
+        // gradient, so we push the summed gradient once and charge each
+        // worker's wire cost.
+        for w in 0..num_workers {
+            for (s, &bytes) in self.ps.push_wire_sizes().iter().enumerate() {
+                self.network.send(w, self.server_node(s), Channel::Parameter, bytes);
+            }
+        }
+        let grads: Vec<(Matrix, Vec<f32>)> = grads.into_iter().map(Option::unwrap).collect();
+        self.ps.push(&grads);
+        self.ps.apply_update();
+        comm_s += self.network.flush_superstep();
+
+        // Adaptive Bit-Tuner (after the last FP exchange of the epoch).
+        if let FpMode::ReqEc { adaptive: true, .. } = self.config.fp_mode {
+            self.apply_bit_tuner(t);
+        }
+
+        self.epoch += 1;
+        let (traffic, _) = self.network.end_epoch();
+        EpochStats { epoch: t, loss: loss_sum, compute_s, comm_s, traffic }
+    }
+
+    /// Fetches the remote rows of `H^{l-1}` for requester `i` (exchange for
+    /// computing layer `l ≥ 2`), applying the configured forward mode.
+    fn exchange_fp(&mut self, i: usize, l: usize, t: usize) -> Matrix {
+        let topo = Arc::clone(&self.contexts[i].layers[l - 1]);
+        let cols = self.config.dims[l - 1];
+        let mut remote = Matrix::zeros(topo.remote_deps.len(), cols);
+        for (j, deps) in topo.deps_by_owner.iter().enumerate() {
+            if deps.is_empty() || j == i {
+                continue;
+            }
+            // Responder j gathers the requested rows of its local H^{l-1}.
+            let local_idx: Vec<usize> =
+                deps.iter().map(|v| self.contexts[j].global_to_local[v]).collect();
+            let h_rows = self.h_local[j][l - 1].gather_rows(&local_idx);
+
+            let (reconstructed, wire) = match self.config.fp_mode {
+                FpMode::Exact => fp::respond_exact(&h_rows),
+                FpMode::Compressed { bits } => fp::respond_compressed(&h_rows, bits),
+                FpMode::ReqEc { t_tr, .. } => {
+                    let bits = self.fp_bits[i][j];
+                    let granularity = self.config.reqec_granularity;
+                    let state = self.fp_trend.entry((i, l, j)).or_default();
+                    let out = fp::reqec_step_with(state, &h_rows, bits, t_tr, t, granularity);
+                    // Record the proportion for the Bit-Tuner when this is
+                    // the last FP exchange (Alg. 3 line 13: l == L).
+                    if l == self.config.num_layers() && !out.exact_sent {
+                        self.fp_bits_feedback(i, j, out.proportion);
+                    }
+                    (out.reconstructed, out.wire)
+                }
+                FpMode::Delayed { r } => {
+                    let cache = self.fp_cache.entry((i, l, j)).or_default();
+                    fp::delayed_step(cache, &h_rows, r, t)
+                }
+            };
+            self.fp_recon_err += ec_tensor::stats::rowwise_l1_distance(&reconstructed, &h_rows)
+                .iter()
+                .sum::<f32>() as f64;
+            self.network.send(i, j, Channel::Control, REQUEST_BYTES);
+            self.network.send(j, i, Channel::Forward, wire);
+            for (row, v) in local_rows(&topo.remote_index, deps) {
+                remote.set_row(row, reconstructed.row(v));
+            }
+        }
+        remote
+    }
+
+    /// Total L1 reconstruction error of the forward messages in the most
+    /// recent epoch.
+    pub fn fp_reconstruction_error(&self) -> f64 {
+        self.fp_recon_err
+    }
+
+    /// Fetches the remote rows of `G^l` for requester `i` (BP exchange for
+    /// `l ≥ 2`), applying the configured backward mode.
+    fn exchange_bp(&mut self, i: usize, l: usize, g_cur: &[Matrix]) -> Matrix {
+        let topo = Arc::clone(&self.contexts[i].layers[l - 1]);
+        let cols = self.config.dims[l];
+        let mut remote = Matrix::zeros(topo.remote_deps.len(), cols);
+        for (j, deps) in topo.deps_by_owner.iter().enumerate() {
+            if deps.is_empty() || j == i {
+                continue;
+            }
+            let local_idx: Vec<usize> =
+                deps.iter().map(|v| self.contexts[j].global_to_local[v]).collect();
+            let g_rows = g_cur[j].gather_rows(&local_idx);
+            let (reconstructed, wire) = match self.config.bp_mode {
+                BpMode::Exact => bp::respond_exact(&g_rows),
+                BpMode::Compressed { bits } => bp::respond_compressed(&g_rows, bits),
+                BpMode::ResEc { bits } => {
+                    let state = self.bp_residual.entry((i, l, j)).or_default();
+                    bp::resec_step(state, &g_rows, bits)
+                }
+                BpMode::TopkEc { ratio } => {
+                    let state = self.bp_residual.entry((i, l, j)).or_default();
+                    bp::topk_ec_step(state, &g_rows, ratio)
+                }
+            };
+            self.network.send(i, j, Channel::Control, REQUEST_BYTES);
+            self.network.send(j, i, Channel::Backward, wire);
+            for (row, v) in local_rows(&topo.remote_index, deps) {
+                remote.set_row(row, reconstructed.row(v));
+            }
+        }
+        remote
+    }
+
+    /// Records a proportion observation; the tuner consumes it at epoch end.
+    fn fp_bits_feedback(&mut self, i: usize, j: usize, proportion: f32) {
+        // Stash the proportion in the (i, j) slot using the epoch-end pass;
+        // we store it via a dedicated map keyed the same way as fp_bits.
+        self.fp_prop.insert((i, j), proportion);
+    }
+
+    fn apply_bit_tuner(&mut self, _t: usize) {
+        let updates: Vec<((usize, usize), f32)> =
+            self.fp_prop.drain().collect();
+        for ((i, j), p) in updates {
+            self.fp_bits[i][j] = fp::tune_bits(self.fp_bits[i][j], p);
+        }
+    }
+
+    /// Evaluates the current model exactly over the full graph.
+    pub fn evaluate(&self) -> Evaluation {
+        let logits = self.forward_global();
+        let d = &self.data;
+        Evaluation {
+            train: ec_nn::metrics::accuracy(&logits, &d.labels, &d.split.train),
+            val: ec_nn::metrics::accuracy(&logits, &d.labels, &d.split.val),
+            test: ec_nn::metrics::accuracy(&logits, &d.labels, &d.split.test),
+        }
+    }
+
+    /// Full-graph forward pass with the current weights (exact, no
+    /// compression — evaluation is out-of-band).
+    pub fn forward_global(&self) -> Matrix {
+        let num_layers = self.config.num_layers();
+        let sage = self.config.model == ModelKind::Sage;
+        let mut h = self.data.features.clone();
+        for l in 0..num_layers {
+            let (w, b) = self.ps.pull(l);
+            let xw = ops::matmul(&h, w);
+            let mut z = self.adjs[l].spmm(&xw);
+            if sage {
+                ops::add_assign(&mut z, &ops::matmul(&h, self.ps.pull(num_layers + l).0));
+            }
+            z = ops::add_bias(&z, b);
+            h = if l + 1 < num_layers { activations::relu(&z) } else { z };
+        }
+        h
+    }
+}
+
+/// Computes each worker's loss contribution and `G^L` rows: softmax
+/// cross-entropy over the local training vertices, scaled by the *global*
+/// training-set size so that the summed worker gradients equal the global
+/// mean-loss gradient.
+fn local_loss_grad(
+    logits: &Matrix,
+    labels: &[u32],
+    train_local: &[usize],
+    total_train: usize,
+) -> (f32, Matrix) {
+    let probs = activations::softmax_rows(logits);
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    let inv = 1.0 / total_train as f32;
+    let mut loss = 0.0f32;
+    for &v in train_local {
+        let y = labels[v] as usize;
+        loss -= probs.get(v, y).max(1e-12).ln();
+        let row = grad.row_mut(v);
+        for (c, g) in row.iter_mut().enumerate() {
+            let indicator = if c == y { 1.0 } else { 0.0 };
+            *g = (probs.get(v, c) - indicator) * inv;
+        }
+    }
+    (loss * inv, grad)
+}
+
+/// Pairs each dep's position in the per-owner list with its row in the
+/// requester's remote matrix.
+fn local_rows<'a>(
+    remote_index: &'a HashMap<usize, usize>,
+    deps: &'a [usize],
+) -> impl Iterator<Item = (usize, usize)> + 'a {
+    deps.iter().enumerate().map(move |(k, v)| (remote_index[v], k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_graph_data::{normalize, DatasetSpec};
+    use ec_partition::hash::HashPartitioner;
+    use ec_partition::Partitioner;
+
+    fn engine_with(fp: FpMode, bp: BpMode, workers: usize) -> DistributedEngine {
+        let data = Arc::new(DatasetSpec::cora().instantiate_with(150, 12, 5));
+        let config = TrainingConfig {
+            dims: vec![12, 8, data.num_classes],
+            num_workers: workers,
+            fp_mode: fp,
+            bp_mode: bp,
+            seed: 2,
+            ..TrainingConfig::defaults(12, data.num_classes)
+        };
+        let adj = Arc::new(normalize::gcn_normalized_adjacency(&data.graph));
+        let partition = HashPartitioner::default().partition(&data.graph, workers);
+        DistributedEngine::new(data, vec![adj; 2], partition, config)
+    }
+
+    #[test]
+    fn preprocessing_charges_feature_cache() {
+        let e = engine_with(FpMode::Exact, BpMode::Exact, 3);
+        let pre = e.preprocessing();
+        assert!(pre.feature_cache_bytes > 0, "remote features must be shipped once");
+        assert!(pre.feature_cache_s > 0.0);
+    }
+
+    #[test]
+    fn single_worker_has_no_vertex_traffic() {
+        let mut e = engine_with(FpMode::Exact, BpMode::Exact, 1);
+        let s = e.run_epoch();
+        assert_eq!(s.traffic.fp_bytes, 0);
+        assert_eq!(s.traffic.bp_bytes, 0);
+        // Parameter traffic is also free: worker and server share node 0?
+        // No — the server is a separate node, so param bytes remain.
+        assert!(s.traffic.param_bytes > 0);
+    }
+
+    #[test]
+    fn fp_traffic_scales_with_bits() {
+        let mut e1 = engine_with(FpMode::Compressed { bits: 1 }, BpMode::Exact, 3);
+        let mut e8 = engine_with(FpMode::Compressed { bits: 8 }, BpMode::Exact, 3);
+        let s1 = e1.run_epoch();
+        let s8 = e8.run_epoch();
+        assert!(
+            s8.traffic.fp_bytes > 4 * s1.traffic.fp_bytes,
+            "8-bit {} not ≫ 1-bit {}",
+            s8.traffic.fp_bytes,
+            s1.traffic.fp_bytes
+        );
+    }
+
+    #[test]
+    fn bp_traffic_scales_with_bits() {
+        let mut e1 = engine_with(FpMode::Exact, BpMode::Compressed { bits: 1 }, 3);
+        let mut e8 = engine_with(FpMode::Exact, BpMode::Compressed { bits: 8 }, 3);
+        let s1 = e1.run_epoch();
+        let s8 = e8.run_epoch();
+        assert!(s8.traffic.bp_bytes > 4 * s1.traffic.bp_bytes);
+    }
+
+    #[test]
+    fn resec_populates_residual_state() {
+        let mut e = engine_with(FpMode::Exact, BpMode::ResEc { bits: 2 }, 3);
+        assert!(e.bp_residual_norms().is_empty());
+        e.run_epoch();
+        let norms = e.bp_residual_norms();
+        assert!(!norms.is_empty());
+        // Exchange layers for L=2 are exactly l=2.
+        assert!(norms.iter().all(|&(l, _)| l == 2));
+    }
+
+    #[test]
+    fn exact_mode_has_zero_reconstruction_error() {
+        let mut e = engine_with(FpMode::Exact, BpMode::Exact, 3);
+        e.run_epoch();
+        assert_eq!(e.fp_reconstruction_error(), 0.0);
+        let mut c = engine_with(FpMode::Compressed { bits: 1 }, BpMode::Exact, 3);
+        c.run_epoch();
+        assert!(c.fp_reconstruction_error() > 0.0);
+    }
+
+    #[test]
+    fn evaluate_reports_probabilities_in_range() {
+        let mut e = engine_with(FpMode::Exact, BpMode::Exact, 2);
+        for _ in 0..3 {
+            e.run_epoch();
+        }
+        let eval = e.evaluate();
+        for acc in [eval.train, eval.val, eval.test] {
+            assert!((0.0..=1.0).contains(&acc));
+        }
+        assert_eq!(e.epochs_run(), 3);
+    }
+
+    #[test]
+    fn loss_decreases_under_compression_too() {
+        let mut e = engine_with(
+            FpMode::ReqEc { bits: 4, t_tr: 10, adaptive: false },
+            BpMode::ResEc { bits: 4 },
+            3,
+        );
+        let first = e.run_epoch().loss;
+        let mut last = first;
+        for _ in 0..30 {
+            last = e.run_epoch().loss;
+        }
+        assert!(last < first, "loss {first} → {last}");
+    }
+
+    #[test]
+    fn per_layer_sampled_adjacency_trains() {
+        let data = Arc::new(DatasetSpec::products().instantiate_with(200, 12, 9));
+        let (adjs, _) = crate::sampling::sample_layer_graphs(&data.graph, &[5, 3], 4);
+        let config = TrainingConfig {
+            dims: vec![12, 8, data.num_classes],
+            num_workers: 3,
+            seed: 2,
+            ..TrainingConfig::defaults(12, data.num_classes)
+        };
+        let partition = HashPartitioner::default().partition(&data.graph, 3);
+        let mut e = DistributedEngine::new(data, adjs, partition, config);
+        let first = e.run_epoch().loss;
+        for _ in 0..20 {
+            e.run_epoch();
+        }
+        let last = e.run_epoch().loss;
+        assert!(last < first, "sampled training loss {first} → {last}");
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_the_engine() {
+        let mut a = engine_with(FpMode::Exact, BpMode::Exact, 2);
+        for _ in 0..2 {
+            a.run_epoch();
+        }
+        let mut path = std::env::temp_dir();
+        path.push(format!("ecgraph-engine-ckpt-{}.bin", std::process::id()));
+        a.save_checkpoint(&path).unwrap();
+        let mut b = engine_with(FpMode::Exact, BpMode::Exact, 2);
+        b.load_checkpoint(&path).unwrap();
+        let logits_a = a.forward_global();
+        let logits_b = b.forward_global();
+        assert!(logits_a.approx_eq(&logits_b, 1e-6));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "one adjacency per layer")]
+    fn rejects_wrong_adjacency_count() {
+        let data = Arc::new(DatasetSpec::cora().instantiate_with(50, 8, 1));
+        let config = TrainingConfig {
+            dims: vec![8, 8, data.num_classes],
+            num_workers: 2,
+            ..TrainingConfig::defaults(8, data.num_classes)
+        };
+        let adj = Arc::new(normalize::gcn_normalized_adjacency(&data.graph));
+        let partition = HashPartitioner::default().partition(&data.graph, 2);
+        let _ = DistributedEngine::new(data, vec![adj], partition, config);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dim")]
+    fn rejects_dim_mismatch() {
+        let data = Arc::new(DatasetSpec::cora().instantiate_with(50, 8, 1));
+        let config = TrainingConfig {
+            dims: vec![9, 8, data.num_classes],
+            num_workers: 2,
+            ..TrainingConfig::defaults(9, data.num_classes)
+        };
+        let adj = Arc::new(normalize::gcn_normalized_adjacency(&data.graph));
+        let partition = HashPartitioner::default().partition(&data.graph, 2);
+        let _ = DistributedEngine::new(data, vec![adj; 2], partition, config);
+    }
+}

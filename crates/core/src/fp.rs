@@ -1,0 +1,514 @@
+//! Forward-pass message preparation: plain quantization, **ReqEC-FP**
+//! (Algorithms 3–4) and DistGNN-style delayed refresh.
+//!
+//! Each function prepares the embedding rows one responding worker ships to
+//! one requesting worker for one layer, returning the matrix the requester
+//! will reconstruct together with the exact number of bytes the message
+//! occupies on the simulated wire. Because both ends of ReqEC-FP maintain
+//! identical trend state by construction (the responder sends exactly what
+//! the requester stores), the simulation keeps a single [`TrendState`] per
+//! (responder → requester, layer) tuple.
+
+use ec_comm::codec;
+use ec_compress::Quantized;
+use ec_tensor::{ops, stats, Matrix};
+
+/// Selector codes (paper: "00, 01 and 10 for compressed, predicted, and
+/// average approximations").
+pub const SELECT_CPS: u8 = 0;
+/// Predicted approximation (`Ĥ_pdt`): costs no payload.
+pub const SELECT_PDT: u8 = 1;
+/// Average of predicted and compressed (`Ĥ_avg`).
+pub const SELECT_AVG: u8 = 2;
+
+/// Trend-group state shared by responder and requester for one
+/// (responder → requester, layer) pair.
+#[derive(Clone, Debug, Default)]
+pub struct TrendState {
+    /// Exact embeddings shipped at the last trend boundary (`H_base`).
+    base: Option<Matrix>,
+    /// Changing-rate matrix `M_cr` (zeros until the second exact send).
+    m_cr: Option<Matrix>,
+    /// Iteration at which `base` was captured.
+    base_t: usize,
+}
+
+/// Granularity at which the Selector chooses among the three candidate
+/// approximations. The paper: "There are three kinds of granularity for
+/// the approximate representations, including element-wise, vertex-wise
+/// and matrix-wise schemas. We use vertex-wise approximations, which
+/// yields the best balance between the message size and the accuracy
+/// empirically." All three are implemented; `selector_granularity` in the
+/// bench crate reproduces that comparison.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Granularity {
+    /// One selection per embedding coordinate (2 bits each — precise but
+    /// selector-heavy, and the compressed payload cannot skip whole rows).
+    Element,
+    /// One selection per vertex (the paper's choice).
+    #[default]
+    Vertex,
+    /// One selection for the entire message (1 byte — coarse).
+    Matrix,
+}
+
+/// Outcome of one ReqEC-FP exchange.
+#[derive(Clone, Debug)]
+pub struct ReqEcOutcome {
+    /// The embedding matrix the requester reconstructs and uses.
+    pub reconstructed: Matrix,
+    /// Fraction of vertices whose predicted approximation was selected —
+    /// the Bit-Tuner's signal.
+    pub proportion: f32,
+    /// Bytes on the wire for this message.
+    pub wire: u64,
+    /// True when this exchange shipped exact embeddings (trend boundary).
+    pub exact_sent: bool,
+}
+
+/// Uncompressed response (`Non-cp`): ships raw `f32` rows.
+pub fn respond_exact(h_rows: &Matrix) -> (Matrix, u64) {
+    (h_rows.clone(), codec::matrix_wire_size(h_rows) as u64)
+}
+
+/// Plain `B`-bit quantized response (`Cp-fp-B`).
+///
+/// The paper describes FP compression over a fixed `[0, 1]` domain (its
+/// features are unit-normalized); hidden ReLU activations are not bounded
+/// by 1, however, so — exactly as the paper already does for gradients
+/// (Alg. 6 line 4) — the bucket range is computed per message and shipped
+/// as two `f32`s. This keeps the error proportional to `range / 2^B`, the
+/// scaling the paper's bit-sensitivity results (Fig. 6) rely on.
+pub fn respond_compressed(h_rows: &Matrix, bits: u8) -> (Matrix, u64) {
+    if h_rows.rows() == 0 {
+        return (h_rows.clone(), 0);
+    }
+    let q = Quantized::compress(h_rows, bits);
+    let wire = q.wire_size() as u64;
+    (q.decompress(), wire)
+}
+
+/// One ReqEC-FP exchange (Algorithms 3 and 4) at iteration `t`.
+///
+/// * At trend boundaries (`(t+1) % t_tr == 0`) — and at `t = 0` to
+///   bootstrap — the responder ships exact embeddings plus the
+///   changing-rate matrix `M_cr = (H_now − H_base)/T_tr`.
+/// * Otherwise the responder builds the three candidates
+///   (`Ĥ_cps`, `Ĥ_pdt`, `Ĥ_avg`), selects per vertex by L1 distance
+///   (Eq. 10), and ships the 2-bit selector array plus the compressed rows
+///   of the non-predicted vertices only.
+pub fn reqec_step(
+    state: &mut TrendState,
+    h_rows: &Matrix,
+    bits: u8,
+    t_tr: usize,
+    t: usize,
+) -> ReqEcOutcome {
+    reqec_step_with(state, h_rows, bits, t_tr, t, Granularity::Vertex)
+}
+
+/// [`reqec_step`] with an explicit Selector granularity.
+pub fn reqec_step_with(
+    state: &mut TrendState,
+    h_rows: &Matrix,
+    bits: u8,
+    t_tr: usize,
+    t: usize,
+    granularity: Granularity,
+) -> ReqEcOutcome {
+    let rows = h_rows.rows();
+    let cols = h_rows.cols();
+    if rows == 0 {
+        return ReqEcOutcome {
+            reconstructed: h_rows.clone(),
+            proportion: 0.0,
+            wire: 0,
+            exact_sent: false,
+        };
+    }
+    let boundary = state.base.is_none() || (t + 1).is_multiple_of(t_tr);
+    if boundary {
+        let m_cr = match &state.base {
+            // Per-step changing rate over the actual elapsed interval
+            // (equal to T_tr between regular boundaries; shorter only for
+            // the bootstrap group).
+            Some(base) => {
+                let elapsed = (t - state.base_t).max(1) as f32;
+                ops::scale(&ops::sub(h_rows, base), 1.0 / elapsed)
+            }
+            None => Matrix::zeros(rows, cols),
+        };
+        let wire =
+            (codec::matrix_wire_size(h_rows) + codec::matrix_wire_size(&m_cr)) as u64;
+        state.base = Some(h_rows.clone());
+        state.m_cr = Some(m_cr);
+        state.base_t = t;
+        return ReqEcOutcome {
+            reconstructed: h_rows.clone(),
+            proportion: 0.0,
+            wire,
+            exact_sent: true,
+        };
+    }
+
+    let base = state.base.as_ref().expect("trend state initialized");
+    let m_cr = state.m_cr.as_ref().expect("trend state initialized");
+    let k = (t - state.base_t) as f32;
+
+    // The three candidates (Eqs. 7–9).
+    let mut pdt = base.clone();
+    ops::axpy(&mut pdt, m_cr, k);
+    let q = Quantized::compress(h_rows, bits);
+    let cps = q.decompress();
+    let avg = ops::scale(&ops::add(&pdt, &cps), 0.5);
+
+    match granularity {
+        Granularity::Vertex => {
+            // Selector: per-vertex L1 distances, pick the argmin (Eq. 10).
+            let d_cps = stats::rowwise_l1_distance(&cps, h_rows);
+            let d_pdt = stats::rowwise_l1_distance(&pdt, h_rows);
+            let d_avg = stats::rowwise_l1_distance(&avg, h_rows);
+            let mut reconstructed = Matrix::zeros(rows, cols);
+            let mut predicted = 0usize;
+            for v in 0..rows {
+                let sid = stats::argmin(&[d_cps[v], d_pdt[v], d_avg[v]]) as u8;
+                let row = match sid {
+                    SELECT_CPS => cps.row(v),
+                    SELECT_PDT => {
+                        predicted += 1;
+                        pdt.row(v)
+                    }
+                    _ => avg.row(v),
+                };
+                reconstructed.set_row(v, row);
+            }
+            // Wire cost: 2-bit selector per vertex, compressed codes only
+            // for the non-predicted vertices, one f32 proportion,
+            // quantization header.
+            let non_pdt = rows - predicted;
+            let selector_bytes = 4 + (rows * 2).div_ceil(8);
+            let payload_bytes = if non_pdt > 0 {
+                17 + ec_compress::bitpack::packed_len(non_pdt * cols, bits)
+            } else {
+                0
+            };
+            let wire = (selector_bytes + payload_bytes + 4) as u64;
+            let proportion = predicted as f32 / rows as f32;
+            ReqEcOutcome { reconstructed, proportion, wire, exact_sent: false }
+        }
+        Granularity::Element => {
+            // Per-coordinate selection: most accurate reconstruction, but
+            // the selector array costs 2 bits per element and the payload
+            // still packs codes for every non-predicted element.
+            let (h, c, p, a) = (h_rows.as_slice(), cps.as_slice(), pdt.as_slice(), avg.as_slice());
+            let mut data = Vec::with_capacity(h.len());
+            let mut predicted = 0usize;
+            for i in 0..h.len() {
+                let dc = (c[i] - h[i]).abs();
+                let dp = (p[i] - h[i]).abs();
+                let da = (a[i] - h[i]).abs();
+                data.push(if dp <= dc && dp <= da {
+                    predicted += 1;
+                    p[i]
+                } else if dc <= da {
+                    c[i]
+                } else {
+                    a[i]
+                });
+            }
+            let non_pdt = h.len() - predicted;
+            let selector_bytes = 4 + (h.len() * 2).div_ceil(8);
+            let payload_bytes = if non_pdt > 0 {
+                17 + ec_compress::bitpack::packed_len(non_pdt, bits)
+            } else {
+                0
+            };
+            let wire = (selector_bytes + payload_bytes + 4) as u64;
+            let proportion = predicted as f32 / h.len() as f32;
+            ReqEcOutcome {
+                reconstructed: Matrix::from_vec(rows, cols, data),
+                proportion,
+                wire,
+                exact_sent: false,
+            }
+        }
+        Granularity::Matrix => {
+            // One selection for the whole message.
+            let d_cps = stats::l1_norm(&ops::sub(&cps, h_rows));
+            let d_pdt = stats::l1_norm(&ops::sub(&pdt, h_rows));
+            let d_avg = stats::l1_norm(&ops::sub(&avg, h_rows));
+            let sid = stats::argmin(&[d_cps, d_pdt, d_avg]) as u8;
+            let (reconstructed, proportion) = match sid {
+                SELECT_CPS => (cps, 0.0f32),
+                SELECT_PDT => (pdt, 1.0),
+                _ => (avg, 0.0),
+            };
+            let payload_bytes = if sid == SELECT_PDT { 0 } else { q.wire_size() };
+            let wire = (1 + payload_bytes + 4) as u64;
+            ReqEcOutcome { reconstructed, proportion, wire, exact_sent: false }
+        }
+    }
+}
+
+/// DistGNN-style delayed partial aggregation: each epoch only the rows with
+/// `(row + t) % r == 0` are refreshed (uncompressed); the requester keeps
+/// using its stale cache for the rest. The first call populates the cache
+/// in full.
+pub fn delayed_step(cache: &mut Option<Matrix>, h_rows: &Matrix, r: usize, t: usize) -> (Matrix, u64) {
+    let rows = h_rows.rows();
+    if rows == 0 {
+        return (h_rows.clone(), 0);
+    }
+    match cache {
+        None => {
+            *cache = Some(h_rows.clone());
+            (h_rows.clone(), codec::matrix_wire_size(h_rows) as u64)
+        }
+        Some(cached) => {
+            let mut refreshed = 0usize;
+            for v in 0..rows {
+                if (v + t).is_multiple_of(r) {
+                    cached.set_row(v, h_rows.row(v));
+                    refreshed += 1;
+                }
+            }
+            // Refreshed rows ship as (index, row) pairs plus a small header.
+            let wire = (8 + refreshed * (4 + h_rows.cols() * 4)) as u64;
+            (cached.clone(), wire)
+        }
+    }
+}
+
+/// The adaptive Bit-Tuner (Alg. 3 lines 13–18): doubles `B` (≤ 16) when
+/// predicted embeddings exceed 60 %, halves it (≥ 1) below 40 %.
+pub fn tune_bits(bits: u8, proportion: f32) -> u8 {
+    if proportion > 0.6 && bits < 16 {
+        bits * 2
+    } else if proportion < 0.4 && bits > 1 {
+        bits / 2
+    } else {
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(vals: &[[f32; 2]]) -> Matrix {
+        Matrix::from_rows(&vals.iter().map(|r| r.to_vec()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn exact_response_round_trips() {
+        let h = rows(&[[0.1, 0.9], [0.4, 0.2]]);
+        let (m, wire) = respond_exact(&h);
+        assert_eq!(m, h);
+        assert_eq!(wire, 8 + 16);
+    }
+
+    #[test]
+    fn compressed_response_is_smaller_and_close() {
+        let h = Matrix::from_fn(32, 16, |r, c| ((r + c) as f32 * 0.37).fract());
+        let (exact, exact_wire) = respond_exact(&h);
+        let (dec, wire) = respond_compressed(&h, 4);
+        assert!(wire < exact_wire / 4);
+        assert!(stats::l1_norm(&ops::sub(&dec, &exact)) / h.len() as f32 <= 0.05);
+    }
+
+    #[test]
+    fn first_reqec_step_bootstraps_with_exact() {
+        let mut st = TrendState::default();
+        let h = rows(&[[0.5, 0.5]]);
+        let out = reqec_step(&mut st, &h, 2, 5, 0);
+        assert!(out.exact_sent);
+        assert_eq!(out.reconstructed, h);
+    }
+
+    #[test]
+    fn boundary_updates_changing_rate() {
+        let mut st = TrendState::default();
+        let h0 = rows(&[[0.0, 0.0]]);
+        reqec_step(&mut st, &h0, 2, 5, 0);
+        // Boundary at t=4, base captured at t=0 → M_cr = (h4 - h0)/4.
+        let h4 = rows(&[[1.0, 0.5]]);
+        let out = reqec_step(&mut st, &h4, 2, 5, 4);
+        assert!(out.exact_sent);
+        let mcr = st.m_cr.as_ref().unwrap();
+        assert!((mcr.get(0, 0) - 0.25).abs() < 1e-6);
+        assert!((mcr.get(0, 1) - 0.125).abs() < 1e-6);
+    }
+
+    #[test]
+    fn prediction_wins_for_linear_trends() {
+        // Embeddings evolving linearly are predicted almost exactly, so the
+        // Selector should pick PDT and ship (nearly) nothing.
+        let mut st = TrendState::default();
+        let t_tr = 5;
+        let at = |t: usize| Matrix::from_fn(4, 3, |r, c| 0.1 * t as f32 + 0.01 * (r + c) as f32);
+        reqec_step(&mut st, &at(0), 1, t_tr, 0);
+        let out4 = reqec_step(&mut st, &at(4), 1, t_tr, 4); // boundary: sets m_cr
+        assert!(out4.exact_sent);
+        let out5 = reqec_step(&mut st, &at(5), 1, t_tr, 5);
+        assert!(!out5.exact_sent);
+        assert!(out5.proportion > 0.9, "proportion {}", out5.proportion);
+        assert!(out5.reconstructed.approx_eq(&at(5), 1e-4));
+    }
+
+    #[test]
+    fn compressed_candidate_wins_for_erratic_changes() {
+        let mut st = TrendState::default();
+        reqec_step(&mut st, &rows(&[[0.0, 0.0]]), 8, 10, 0);
+        // A jump the linear trend cannot see; 8-bit quantization is close.
+        let h = rows(&[[0.9, 0.1]]);
+        let out = reqec_step(&mut st, &h, 8, 10, 1);
+        assert!(out.proportion < 0.5);
+        assert!(out.reconstructed.approx_eq(&h, 0.01));
+    }
+
+    #[test]
+    fn reconstruction_error_bounded_by_compression_error() {
+        // The Selector can only improve on plain compression.
+        let mut st = TrendState::default();
+        let h_seq: Vec<Matrix> = (0..6)
+            .map(|t| Matrix::from_fn(8, 4, |r, c| ((t * 13 + r * 7 + c) as f32 * 0.11).fract()))
+            .collect();
+        for (t, h) in h_seq.iter().enumerate() {
+            let out = reqec_step(&mut st, h, 2, 4, t);
+            if !out.exact_sent {
+                let (plain, _) = respond_compressed(h, 2);
+                let ec_err = stats::l1_norm(&ops::sub(&out.reconstructed, h));
+                let plain_err = stats::l1_norm(&ops::sub(&plain, h));
+                assert!(ec_err <= plain_err + 1e-5, "t={t}: {ec_err} > {plain_err}");
+            }
+        }
+    }
+
+    #[test]
+    fn predicted_rows_cost_no_payload() {
+        let mut st = TrendState::default();
+        let at = |t: usize| Matrix::from_fn(16, 8, |_, c| 0.05 * t as f32 + 0.02 * c as f32);
+        reqec_step(&mut st, &at(0), 4, 5, 0);
+        reqec_step(&mut st, &at(4), 4, 5, 4);
+        let out = reqec_step(&mut st, &at(5), 4, 5, 5);
+        assert!((out.proportion - 1.0).abs() < 1e-6);
+        // selector (4 + 4 bytes) + proportion only — no quantized payload.
+        assert_eq!(out.wire, (4 + (16 * 2usize).div_ceil(8) + 4) as u64);
+    }
+
+    #[test]
+    fn delayed_first_call_ships_everything() {
+        let mut cache = None;
+        let h = rows(&[[1.0, 2.0], [3.0, 4.0]]);
+        let (m, wire) = delayed_step(&mut cache, &h, 5, 0);
+        assert_eq!(m, h);
+        assert_eq!(wire, codec::matrix_wire_size(&h) as u64);
+    }
+
+    #[test]
+    fn delayed_refreshes_one_in_r_rows() {
+        let mut cache = None;
+        let h0 = Matrix::zeros(10, 2);
+        delayed_step(&mut cache, &h0, 5, 0);
+        let h1 = Matrix::filled(10, 2, 1.0);
+        let (m, wire) = delayed_step(&mut cache, &h1, 5, 1);
+        // Rows with (v + 1) % 5 == 0 → v ∈ {4, 9} refreshed.
+        let refreshed: Vec<usize> = (0..10).filter(|v| m.row(*v)[0] == 1.0).collect();
+        assert_eq!(refreshed, vec![4, 9]);
+        assert_eq!(wire, 8 + 2 * (4 + 8));
+    }
+
+    #[test]
+    fn delayed_converges_to_fresh_after_r_epochs() {
+        let mut cache = None;
+        let h = Matrix::from_fn(6, 2, |r, c| (r * 2 + c) as f32);
+        delayed_step(&mut cache, &Matrix::zeros(6, 2), 3, 0);
+        for t in 1..=3 {
+            delayed_step(&mut cache, &h, 3, t);
+        }
+        assert_eq!(cache.unwrap(), h);
+    }
+
+    #[test]
+    fn bit_tuner_thresholds() {
+        assert_eq!(tune_bits(2, 0.7), 4);
+        assert_eq!(tune_bits(16, 0.9), 16); // capped
+        assert_eq!(tune_bits(4, 0.3), 2);
+        assert_eq!(tune_bits(1, 0.1), 1); // floored
+        assert_eq!(tune_bits(8, 0.5), 8); // dead zone
+    }
+
+    #[test]
+    fn bit_tuner_stays_in_paper_set() {
+        let paper_set = [1u8, 2, 4, 8, 16];
+        for &b in &paper_set {
+            assert!(paper_set.contains(&tune_bits(b, 0.9)));
+            assert!(paper_set.contains(&tune_bits(b, 0.1)));
+        }
+    }
+
+    #[test]
+    fn element_granularity_is_most_accurate() {
+        // Element-wise selection can mix candidates within one row, so its
+        // reconstruction error is ≤ the vertex-wise one.
+        let mut st_v = TrendState::default();
+        let mut st_e = TrendState::default();
+        let at = |t: usize| {
+            Matrix::from_fn(8, 6, |r, c| ((t * 13 + r * 7 + c * 3) as f32 * 0.17).sin())
+        };
+        reqec_step_with(&mut st_v, &at(0), 1, 5, 0, Granularity::Vertex);
+        reqec_step_with(&mut st_e, &at(0), 1, 5, 0, Granularity::Element);
+        for t in 1..4 {
+            let h = at(t);
+            let v = reqec_step_with(&mut st_v, &h, 1, 5, t, Granularity::Vertex);
+            let e = reqec_step_with(&mut st_e, &h, 1, 5, t, Granularity::Element);
+            let err = |m: &Matrix| stats::l1_norm(&ops::sub(m, &h));
+            assert!(
+                err(&e.reconstructed) <= err(&v.reconstructed) + 1e-5,
+                "t={t}: element {} > vertex {}",
+                err(&e.reconstructed),
+                err(&v.reconstructed)
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_granularity_has_tiny_selector_cost() {
+        let mut st = TrendState::default();
+        let at = |t: usize| Matrix::from_fn(32, 8, |_, c| 0.05 * t as f32 + 0.02 * c as f32);
+        reqec_step_with(&mut st, &at(0), 4, 5, 0, Granularity::Matrix);
+        reqec_step_with(&mut st, &at(4), 4, 5, 4, Granularity::Matrix);
+        let out = reqec_step_with(&mut st, &at(5), 4, 5, 5, Granularity::Matrix);
+        // Linear trend → the whole matrix selects PDT → 5 bytes total.
+        assert!((out.proportion - 1.0).abs() < 1e-6);
+        assert_eq!(out.wire, 5);
+    }
+
+    #[test]
+    fn vertex_granularity_beats_matrix_on_mixed_rows() {
+        // Half the rows follow the trend, half jump erratically: vertex-wise
+        // selection adapts per row, matrix-wise cannot.
+        let mut st_v = TrendState::default();
+        let mut st_m = TrendState::default();
+        let base = Matrix::from_fn(8, 4, |r, c| 0.1 * (r + c) as f32);
+        reqec_step_with(&mut st_v, &base, 1, 10, 0, Granularity::Vertex);
+        reqec_step_with(&mut st_m, &base, 1, 10, 0, Granularity::Matrix);
+        let h = Matrix::from_fn(8, 4, |r, c| {
+            if r < 4 { 0.1 * (r + c) as f32 } else { ((r * 5 + c) as f32 * 0.77).sin() }
+        });
+        let v = reqec_step_with(&mut st_v, &h, 1, 10, 1, Granularity::Vertex);
+        let m = reqec_step_with(&mut st_m, &h, 1, 10, 1, Granularity::Matrix);
+        let err = |x: &Matrix| stats::l1_norm(&ops::sub(x, &h));
+        assert!(err(&v.reconstructed) <= err(&m.reconstructed) + 1e-5);
+    }
+
+    #[test]
+    fn empty_dep_set_is_free() {
+        let mut st = TrendState::default();
+        let h = Matrix::zeros(0, 4);
+        let out = reqec_step(&mut st, &h, 2, 5, 3);
+        assert_eq!(out.wire, 0);
+        let (_, wire) = respond_compressed(&h, 2);
+        assert_eq!(wire, 0);
+    }
+}

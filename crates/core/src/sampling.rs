@@ -1,0 +1,213 @@
+//! Neighbour sampling: offline per-layer fan-out graphs (EC-Graph-S) and
+//! online mini-batch blocks (DistDGL-style).
+//!
+//! * **Offline** ([`sample_layer_graphs`]): EC-Graph-S samples once during
+//!   preprocessing ("the preprocessing time of EC-Graph-S … consists of
+//!   sampling, …") and then trains full-batch over the sampled topology.
+//!   One fan-out per layer, e.g. the paper's `(20, 5)` for Products. The
+//!   sampled edge set is symmetrized so the engine's symmetric-adjacency
+//!   gradient flow stays exact.
+//! * **Online** ([`sample_blocks`]): DistDGL "adopts an online-sampling
+//!   that chooses different neighbors for a vertex in each iteration" —
+//!   each mini-batch draws fresh layered blocks.
+
+use ec_graph_data::{normalize, Graph};
+use ec_tensor::CsrMatrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Samples one symmetric subgraph per layer: every vertex keeps at most
+/// `fanouts[l]` random neighbours (plus the reverse edges), and the result
+/// is GCN-normalized.
+///
+/// Returns `(normalized adjacency per layer, sampled edge count per layer)`.
+pub fn sample_layer_graphs(
+    g: &Graph,
+    fanouts: &[usize],
+    seed: u64,
+) -> (Vec<Arc<CsrMatrix>>, Vec<usize>) {
+    assert!(!fanouts.is_empty(), "need at least one fan-out");
+    let mut adjs = Vec::with_capacity(fanouts.len());
+    let mut edge_counts = Vec::with_capacity(fanouts.len());
+    for (l, &fanout) in fanouts.iter().enumerate() {
+        assert!(fanout >= 1, "fan-out must be positive");
+        let mut rng = SmallRng::seed_from_u64(seed.wrapping_add(l as u64 * 0x9E37));
+        let mut edges = Vec::new();
+        for v in 0..g.num_vertices() {
+            let nb = g.neighbors(v);
+            if nb.len() <= fanout {
+                for &u in nb {
+                    edges.push((v as u32, u));
+                }
+            } else {
+                // Floyd-style distinct sampling over the neighbour list.
+                let mut chosen = std::collections::HashSet::with_capacity(fanout);
+                while chosen.len() < fanout {
+                    chosen.insert(nb[rng.gen_range(0..nb.len())]);
+                }
+                for u in chosen {
+                    edges.push((v as u32, u));
+                }
+            }
+        }
+        let sampled = Graph::from_edges(g.num_vertices(), &edges);
+        edge_counts.push(sampled.num_edges());
+        adjs.push(Arc::new(normalize::gcn_normalized_adjacency(&sampled)));
+    }
+    (adjs, edge_counts)
+}
+
+/// One message-passing block of a sampled mini-batch: `dst` vertices
+/// aggregate from `src` vertices through the row-normalized `adj`
+/// (`dst.len() × src.len()`).
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Global ids of the input frontier (`src` side).
+    pub src: Vec<usize>,
+    /// Global ids of the output frontier (`dst` side); always a prefix of
+    /// `src` (self-connections included).
+    pub dst: Vec<usize>,
+    /// Row-normalized aggregation matrix (`dst × src`).
+    pub adj: CsrMatrix,
+}
+
+/// Samples DistDGL-style layered blocks for one mini-batch.
+///
+/// Starting from `seeds` (the batch's training vertices), layer `L` down to
+/// `1` draws `fanouts[l-1]` random neighbours per frontier vertex. Returns
+/// blocks in *forward* order: `blocks[0]` consumes raw features,
+/// `blocks.last()` produces the seed logits.
+pub fn sample_blocks(g: &Graph, seeds: &[usize], fanouts: &[usize], rng: &mut SmallRng) -> Vec<Block> {
+    assert!(!fanouts.is_empty(), "need at least one fan-out");
+    let mut blocks: Vec<Block> = Vec::with_capacity(fanouts.len());
+    let mut frontier: Vec<usize> = seeds.to_vec();
+    // Walk output → input so each layer's frontier grows.
+    for &fanout in fanouts.iter().rev() {
+        let mut src: Vec<usize> = frontier.clone();
+        let mut index: std::collections::HashMap<usize, usize> =
+            src.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let mut triples: Vec<(usize, usize, f32)> = Vec::new();
+        for (d, &v) in frontier.iter().enumerate() {
+            let nb = g.neighbors(v);
+            let take = fanout.min(nb.len());
+            let mut picked: Vec<u32> = if nb.len() <= fanout {
+                nb.to_vec()
+            } else {
+                let mut chosen = std::collections::HashSet::with_capacity(take);
+                while chosen.len() < take {
+                    chosen.insert(nb[rng.gen_range(0..nb.len())]);
+                }
+                chosen.into_iter().collect()
+            };
+            picked.sort_unstable();
+            let norm = 1.0 / (picked.len() + 1) as f32;
+            triples.push((d, d, norm)); // self-connection
+            for u in picked {
+                let u = u as usize;
+                let s = *index.entry(u).or_insert_with(|| {
+                    src.push(u);
+                    src.len() - 1
+                });
+                triples.push((d, s, norm));
+            }
+        }
+        let adj = CsrMatrix::from_triples(frontier.len(), src.len(), &triples);
+        blocks.push(Block { src: src.clone(), dst: frontier, adj });
+        frontier = src;
+    }
+    blocks.reverse();
+    blocks
+}
+
+/// Splits `seeds` into shuffled mini-batches of at most `batch_size`.
+pub fn make_batches(seeds: &[usize], batch_size: usize, rng: &mut SmallRng) -> Vec<Vec<usize>> {
+    assert!(batch_size > 0, "batch size must be positive");
+    let mut order = seeds.to_vec();
+    // Fisher–Yates.
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    order.chunks(batch_size).map(<[usize]>::to_vec).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_graph_data::generators;
+
+    #[test]
+    fn offline_sampling_caps_degree() {
+        let g = generators::erdos_renyi(300, 3000, 1);
+        let (adjs, edges) = sample_layer_graphs(&g, &[5, 2], 7);
+        assert_eq!(adjs.len(), 2);
+        // Each vertex contributes ≤ fanout edges (before symmetrization the
+        // cap is exact; after, a vertex's degree can exceed it, but the
+        // total is bounded by n·fanout).
+        assert!(edges[0] <= 300 * 5);
+        assert!(edges[1] <= 300 * 2);
+        assert!(edges[1] < edges[0]);
+    }
+
+    #[test]
+    fn offline_sampling_is_deterministic() {
+        let g = generators::erdos_renyi(100, 500, 2);
+        let (a1, _) = sample_layer_graphs(&g, &[3], 9);
+        let (a2, _) = sample_layer_graphs(&g, &[3], 9);
+        assert_eq!(*a1[0], *a2[0]);
+    }
+
+    #[test]
+    fn low_degree_vertices_keep_all_neighbors() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let (adjs, edges) = sample_layer_graphs(&g, &[10], 3);
+        assert_eq!(edges[0], 3);
+        // Full graph survives: Â has the same support as the unsampled one.
+        assert_eq!(adjs[0].nnz(), 3 * 2 + 4);
+    }
+
+    #[test]
+    fn blocks_form_a_consistent_pyramid() {
+        let g = generators::erdos_renyi(200, 1000, 3);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let seeds = vec![1, 5, 9];
+        let blocks = sample_blocks(&g, &seeds, &[4, 2], &mut rng);
+        assert_eq!(blocks.len(), 2);
+        // Forward order: last block's dst are the seeds.
+        assert_eq!(blocks[1].dst, seeds);
+        // Chaining: each block's dst equals the next block's... in forward
+        // order, block[l].src must equal block[l-1]... rather: the output
+        // frontier of blocks[0] is the input frontier of blocks[1].
+        assert_eq!(blocks[0].dst, blocks[1].src);
+        // dst is a prefix of src (self-connections).
+        assert_eq!(&blocks[0].src[..blocks[0].dst.len()], &blocks[0].dst[..]);
+        // Aggregation rows are normalized.
+        let d = blocks[1].adj.to_dense();
+        for r in 0..d.rows() {
+            let sum: f32 = d.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn block_fanout_is_respected() {
+        let g = generators::erdos_renyi(100, 2000, 4);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let blocks = sample_blocks(&g, &[0, 1], &[3], &mut rng);
+        for r in 0..blocks[0].adj.rows() {
+            let entries = blocks[0].adj.row_entries(r).count();
+            assert!(entries <= 4, "row {r} has {entries} > fanout+self");
+        }
+    }
+
+    #[test]
+    fn batches_cover_all_seeds_once() {
+        let seeds: Vec<usize> = (0..23).collect();
+        let mut rng = SmallRng::seed_from_u64(8);
+        let batches = make_batches(&seeds, 5, &mut rng);
+        assert_eq!(batches.len(), 5);
+        let mut all: Vec<usize> = batches.concat();
+        all.sort_unstable();
+        assert_eq!(all, seeds);
+    }
+}

@@ -1,0 +1,138 @@
+//! Plain-text persistence for graphs and labels.
+//!
+//! EC-Graph's workers load their subgraphs from a shared file system (NFS in
+//! the paper). The reproduction's simulated cluster keeps everything in
+//! memory, but the same on-disk formats are provided so users can feed their
+//! own edge lists into the examples.
+
+use crate::csr::Graph;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Writes a graph as `u<TAB>v` lines, one per undirected edge, preceded by a
+/// `# vertices <n>` header.
+pub fn save_edge_list(g: &Graph, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "# vertices {}", g.num_vertices())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u}\t{v}")?;
+    }
+    w.flush()
+}
+
+/// Reads a graph written by [`save_edge_list`]. Lines starting with `#`
+/// other than the header are ignored; blank lines are skipped.
+pub fn load_edge_list(path: &Path) -> io::Result<Graph> {
+    let r = BufReader::new(File::open(path)?);
+    let mut n: Option<usize> = None;
+    let mut edges = Vec::new();
+    let mut max_seen = 0u32;
+    for line in r.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let mut it = rest.split_whitespace();
+            if it.next() == Some("vertices") {
+                n = it.next().and_then(|t| t.parse().ok());
+            }
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |t: Option<&str>| -> io::Result<u32> {
+            t.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing endpoint"))?
+                .parse()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad vertex id: {e}")))
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        max_seen = max_seen.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = n.unwrap_or(max_seen as usize + 1);
+    Ok(Graph::from_edges(n, &edges))
+}
+
+/// Writes one label per line.
+pub fn save_labels(labels: &[u32], path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for l in labels {
+        writeln!(w, "{l}")?;
+    }
+    w.flush()
+}
+
+/// Reads labels written by [`save_labels`].
+pub fn load_labels(path: &Path) -> io::Result<Vec<u32>> {
+    let r = BufReader::new(File::open(path)?);
+    r.lines()
+        .filter(|l| !matches!(l, Ok(s) if s.trim().is_empty()))
+        .map(|l| {
+            l?.trim()
+                .parse()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad label: {e}")))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ecgraph-io-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let path = tmp("edges.tsv");
+        save_edge_list(&g, &path).unwrap();
+        let loaded = load_edge_list(&path).unwrap();
+        assert_eq!(loaded, g);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn edge_list_round_trip_preserves_isolated_vertices() {
+        // vertex 9 has no edges; the header keeps the vertex count.
+        let g = Graph::from_edges(10, &[(0, 1)]);
+        let path = tmp("iso.tsv");
+        save_edge_list(&g, &path).unwrap();
+        assert_eq!(load_edge_list(&path).unwrap().num_vertices(), 10);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_infers_vertex_count_without_header() {
+        let path = tmp("nohdr.tsv");
+        std::fs::write(&path, "0\t3\n1\t2\n").unwrap();
+        let g = load_edge_list(&path).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 2);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = tmp("bad.tsv");
+        std::fs::write(&path, "zero\tone\n").unwrap();
+        assert!(load_edge_list(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let labels = vec![0, 3, 1, 2, 2];
+        let path = tmp("labels.txt");
+        save_labels(&labels, &path).unwrap();
+        assert_eq!(load_labels(&path).unwrap(), labels);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,245 @@
+//! Full-batch graph convolutional network (Kipf & Welling).
+//!
+//! Per layer: `H^{l} = σ(Â (H^{l-1} W^{l-1}) + b^{l-1})` with ReLU between
+//! layers and raw logits at the output. Following the paper's DGL-style
+//! "message-aggregating optimization", the feature transform `H·W` runs
+//! before the aggregation `Â·(HW)` — for `in-dim > out-dim` this is the
+//! cheaper association order, and for a symmetric `Â` it is exactly Eq. 2.
+//!
+//! This type is the single-machine reference trainer (the paper's DGL/PyG
+//! baselines) and the ground truth the distributed engine's manual
+//! gradients are tested against.
+
+use crate::loss::masked_softmax_cross_entropy;
+use crate::optim::Adam;
+use crate::tape::Tape;
+use ec_tensor::{init, CsrMatrix, Matrix};
+use std::sync::Arc;
+
+/// A trainable GCN with an arbitrary number of layers.
+#[derive(Clone, Debug)]
+pub struct GcnNetwork {
+    weights: Vec<Matrix>,
+    biases: Vec<Matrix>, // each 1 × d_out
+    adam: Adam,
+}
+
+impl GcnNetwork {
+    /// Creates a GCN with layer dimensions `dims = [d₀, h₁, …, C]`
+    /// (so `dims.len() - 1` layers), Xavier-initialized from `seed`.
+    ///
+    /// # Panics
+    /// Panics if fewer than two dimensions are given.
+    pub fn new(dims: &[usize], lr: f32, seed: u64) -> Self {
+        assert!(dims.len() >= 2, "need at least one layer");
+        let weights: Vec<Matrix> = dims
+            .windows(2)
+            .enumerate()
+            .map(|(l, w)| init::xavier_uniform(w[0], w[1], seed.wrapping_add(l as u64)))
+            .collect();
+        let biases: Vec<Matrix> = dims[1..].iter().map(|&d| Matrix::zeros(1, d)).collect();
+        let mut shapes: Vec<(usize, usize)> = weights.iter().map(|w| w.shape()).collect();
+        shapes.extend(biases.iter().map(|b| b.shape()));
+        let adam = Adam::new(&shapes, lr);
+        Self { weights, biases, adam }
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Borrow the current weights (layer-major).
+    pub fn weights(&self) -> &[Matrix] {
+        &self.weights
+    }
+
+    /// Borrow the current biases (each `1 × d_out`).
+    pub fn biases(&self) -> &[Matrix] {
+        &self.biases
+    }
+
+    /// Overwrites parameters — used to start baselines from identical
+    /// initial states.
+    pub fn set_params(&mut self, weights: &[Matrix], biases: &[Matrix]) {
+        assert_eq!(weights.len(), self.weights.len(), "layer count mismatch");
+        assert_eq!(biases.len(), self.biases.len(), "layer count mismatch");
+        for (dst, src) in self.weights.iter_mut().zip(weights) {
+            assert_eq!(dst.shape(), src.shape(), "weight shape mismatch");
+            *dst = src.clone();
+        }
+        for (dst, src) in self.biases.iter_mut().zip(biases) {
+            assert_eq!(dst.shape(), src.shape(), "bias shape mismatch");
+            *dst = src.clone();
+        }
+    }
+
+    /// Inference-only forward pass: returns the logits.
+    pub fn forward(&self, adj: &Arc<CsrMatrix>, features: &Matrix) -> Matrix {
+        let mut h = features.clone();
+        for l in 0..self.num_layers() {
+            let xw = ec_tensor::ops::matmul(&h, &self.weights[l]);
+            let mut z = adj.spmm(&xw);
+            z = ec_tensor::ops::add_bias(&z, self.biases[l].row(0));
+            h = if l + 1 < self.num_layers() {
+                ec_tensor::activations::relu(&z)
+            } else {
+                z
+            };
+        }
+        h
+    }
+
+    /// One full-batch training epoch: forward, masked loss, backward, Adam.
+    /// Returns the training loss.
+    pub fn train_epoch(
+        &mut self,
+        adj: &Arc<CsrMatrix>,
+        features: &Matrix,
+        labels: &[u32],
+        train_mask: &[usize],
+    ) -> f32 {
+        let mut tape = Tape::new();
+        let x = tape.constant(features.clone());
+        let w_ids: Vec<_> = self.weights.iter().map(|w| tape.parameter(w.clone())).collect();
+        let b_ids: Vec<_> = self.biases.iter().map(|b| tape.parameter(b.clone())).collect();
+        let mut h = x;
+        for l in 0..self.num_layers() {
+            let xw = tape.matmul(h, w_ids[l]);
+            let agg = tape.spmm(Arc::clone(adj), xw);
+            let z = tape.add_bias(agg, b_ids[l]);
+            h = if l + 1 < self.num_layers() { tape.relu(z) } else { z };
+        }
+        let (loss, grad) = masked_softmax_cross_entropy(tape.value(h), labels, train_mask);
+        tape.backward(h, grad);
+
+        let mut params: Vec<Matrix> = Vec::with_capacity(self.weights.len() * 2);
+        params.extend(self.weights.iter().cloned());
+        params.extend(self.biases.iter().cloned());
+        let grads: Vec<Matrix> = w_ids
+            .iter()
+            .chain(&b_ids)
+            .map(|&id| tape.grad(id).expect("parameter missing gradient").clone())
+            .collect();
+        self.adam.step(&mut params, &grads);
+        let nl = self.weights.len();
+        self.weights = params[..nl].to_vec();
+        self.biases = params[nl..].to_vec();
+        loss
+    }
+
+    /// Gradients only (no update) — used by tests to compare against the
+    /// distributed engine's manual backward pass.
+    pub fn compute_gradients(
+        &self,
+        adj: &Arc<CsrMatrix>,
+        features: &Matrix,
+        labels: &[u32],
+        train_mask: &[usize],
+    ) -> (f32, Vec<Matrix>, Vec<Matrix>) {
+        let mut tape = Tape::new();
+        let x = tape.constant(features.clone());
+        let w_ids: Vec<_> = self.weights.iter().map(|w| tape.parameter(w.clone())).collect();
+        let b_ids: Vec<_> = self.biases.iter().map(|b| tape.parameter(b.clone())).collect();
+        let mut h = x;
+        for l in 0..self.num_layers() {
+            let xw = tape.matmul(h, w_ids[l]);
+            let agg = tape.spmm(Arc::clone(adj), xw);
+            let z = tape.add_bias(agg, b_ids[l]);
+            h = if l + 1 < self.num_layers() { tape.relu(z) } else { z };
+        }
+        let (loss, grad) = masked_softmax_cross_entropy(tape.value(h), labels, train_mask);
+        tape.backward(h, grad);
+        let gw = w_ids.iter().map(|&id| tape.grad(id).unwrap().clone()).collect();
+        let gb = b_ids.iter().map(|&id| tape.grad(id).unwrap().clone()).collect();
+        (loss, gw, gb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use ec_graph_data::{generators, normalize};
+
+    fn toy_problem() -> (Arc<CsrMatrix>, Matrix, Vec<u32>, Vec<usize>, Vec<usize>) {
+        let (g, labels) = generators::sbm(60, 3, 0.4, 0.02, 11);
+        let adj = Arc::new(normalize::gcn_normalized_adjacency(&g));
+        let features = ec_graph_data::datasets::class_features(&labels, 3, 8, 0.3, 5);
+        let train: Vec<usize> = (0..30).collect();
+        let test: Vec<usize> = (30..60).collect();
+        (adj, features, labels, train, test)
+    }
+
+    #[test]
+    fn construction_shapes() {
+        let net = GcnNetwork::new(&[8, 16, 3], 0.01, 1);
+        assert_eq!(net.num_layers(), 2);
+        assert_eq!(net.weights()[0].shape(), (8, 16));
+        assert_eq!(net.weights()[1].shape(), (16, 3));
+        assert_eq!(net.biases()[1].shape(), (1, 3));
+    }
+
+    #[test]
+    fn forward_output_shape() {
+        let (adj, x, _, _, _) = toy_problem();
+        let net = GcnNetwork::new(&[8, 16, 3], 0.01, 1);
+        let logits = net.forward(&adj, &x);
+        assert_eq!(logits.shape(), (60, 3));
+    }
+
+    #[test]
+    fn loss_decreases_during_training() {
+        let (adj, x, labels, train, _) = toy_problem();
+        let mut net = GcnNetwork::new(&[8, 16, 3], 0.02, 2);
+        let first = net.train_epoch(&adj, &x, &labels, &train);
+        let mut last = first;
+        for _ in 0..40 {
+            last = net.train_epoch(&adj, &x, &labels, &train);
+        }
+        assert!(last < first * 0.5, "loss {first} → {last} did not halve");
+    }
+
+    #[test]
+    fn learns_the_planted_classes() {
+        let (adj, x, labels, train, test) = toy_problem();
+        let mut net = GcnNetwork::new(&[8, 16, 3], 0.02, 3);
+        for _ in 0..100 {
+            net.train_epoch(&adj, &x, &labels, &train);
+        }
+        let logits = net.forward(&adj, &x);
+        let acc = accuracy(&logits, &labels, &test);
+        assert!(acc > 0.85, "test accuracy {acc} too low");
+    }
+
+    #[test]
+    fn compute_gradients_matches_train_direction() {
+        let (adj, x, labels, train, _) = toy_problem();
+        let net = GcnNetwork::new(&[8, 16, 3], 0.02, 4);
+        let (loss, gw, gb) = net.compute_gradients(&adj, &x, &labels, &train);
+        assert!(loss > 0.0);
+        assert_eq!(gw.len(), 2);
+        assert_eq!(gb.len(), 2);
+        assert!(ec_tensor::stats::l2_norm(&gw[0]) > 0.0);
+    }
+
+    #[test]
+    fn set_params_round_trips() {
+        let a = GcnNetwork::new(&[4, 8, 2], 0.01, 5);
+        let mut b = GcnNetwork::new(&[4, 8, 2], 0.01, 6);
+        b.set_params(a.weights(), a.biases());
+        assert_eq!(a.weights()[0], b.weights()[0]);
+    }
+
+    #[test]
+    fn three_layer_network_trains() {
+        let (adj, x, labels, train, _) = toy_problem();
+        let mut net = GcnNetwork::new(&[8, 16, 16, 3], 0.02, 7);
+        let first = net.train_epoch(&adj, &x, &labels, &train);
+        for _ in 0..60 {
+            net.train_epoch(&adj, &x, &labels, &train);
+        }
+        let last = net.train_epoch(&adj, &x, &labels, &train);
+        assert!(last < first, "3-layer loss did not decrease");
+    }
+}

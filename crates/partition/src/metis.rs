@@ -1,0 +1,375 @@
+//! Multilevel graph partitioning — the reproduction's stand-in for METIS.
+//!
+//! Fig. 11 of the paper compares Hash against METIS partitioning: METIS
+//! yields lower running times "because of its lower communication costs".
+//! This module implements the classic three-phase multilevel scheme METIS
+//! pioneered:
+//!
+//! 1. **Coarsening** — repeated heavy-edge matching collapses matched vertex
+//!    pairs, preserving cut structure while shrinking the graph;
+//! 2. **Initial partitioning** — greedy region growing over the coarsest
+//!    graph, balanced by accumulated vertex weight;
+//! 3. **Uncoarsening + refinement** — the assignment is projected back and a
+//!    boundary-local greedy pass (a light Kernighan–Lin/Fiduccia–Mattheyses
+//!    variant) moves vertices whose gain is positive, under a balance cap.
+//!
+//! The result is not METIS-quality on every input, but it reliably beats
+//! Hash by a large factor on graphs with community structure, which is the
+//! relationship Fig. 11 measures.
+
+#![allow(clippy::needless_range_loop)] // vertex/worker ids are semantic, not positions
+
+use crate::{Partition, Partitioner};
+use ec_graph_data::Graph;
+
+/// Multilevel partitioner configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MetisLikePartitioner {
+    /// Coarsening stops once the graph has at most `coarsen_target ×
+    /// num_parts` vertices.
+    pub coarsen_target: usize,
+    /// Maximum allowed part weight as a multiple of the average (1.05 ⇒ 5 %
+    /// imbalance, matching METIS' default `ufactor`).
+    pub balance_factor: f64,
+    /// Refinement sweeps per level.
+    pub refine_passes: usize,
+    /// Seed for tie-breaking orders.
+    pub seed: u64,
+}
+
+impl Default for MetisLikePartitioner {
+    fn default() -> Self {
+        Self { coarsen_target: 30, balance_factor: 1.05, refine_passes: 4, seed: 1 }
+    }
+}
+
+/// A weighted graph used internally across coarsening levels.
+struct Level {
+    /// Adjacency with accumulated edge weights.
+    adj: Vec<Vec<(u32, f64)>>,
+    /// Accumulated vertex weights (number of original vertices collapsed).
+    vweight: Vec<f64>,
+    /// Mapping from this level's vertices to the coarser level's vertices
+    /// (empty for the coarsest level).
+    coarse_map: Vec<u32>,
+}
+
+impl Partitioner for MetisLikePartitioner {
+    fn partition(&self, g: &Graph, num_parts: usize) -> Partition {
+        assert!(num_parts > 0, "need at least one part");
+        let n = g.num_vertices();
+        if num_parts == 1 || n == 0 {
+            return Partition::new(vec![0; n], num_parts);
+        }
+
+        // Level 0 = the input graph with unit weights.
+        let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        for v in 0..n {
+            for &u in g.neighbors(v) {
+                adj[v].push((u, 1.0));
+            }
+        }
+        let mut levels = vec![Level { adj, vweight: vec![1.0; n], coarse_map: Vec::new() }];
+
+        // Phase 1: coarsen.
+        let target = self.coarsen_target * num_parts;
+        loop {
+            let current = levels.last().unwrap();
+            if current.vweight.len() <= target {
+                break;
+            }
+            let (coarse, map) = coarsen_once(current, self.seed ^ levels.len() as u64);
+            let shrunk = coarse.vweight.len() < current.vweight.len() * 95 / 100;
+            levels.last_mut().unwrap().coarse_map = map;
+            levels.push(coarse);
+            if !shrunk {
+                break; // matching stalled (e.g. star graphs)
+            }
+        }
+
+        // Phase 2: initial partition on the coarsest level.
+        let coarsest = levels.last().unwrap();
+        let mut assignment = initial_partition(coarsest, num_parts, self.seed);
+
+        // Phase 3: project back and refine at every level.
+        for li in (0..levels.len()).rev() {
+            let level = &levels[li];
+            if li + 1 < levels.len() {
+                // Project the coarser assignment through this level's map.
+                let map = &level.coarse_map;
+                assignment = (0..level.vweight.len())
+                    .map(|v| assignment[map[v] as usize])
+                    .collect();
+            }
+            refine(level, &mut assignment, num_parts, self.balance_factor, self.refine_passes);
+        }
+
+        Partition::new(assignment, num_parts)
+    }
+
+    fn name(&self) -> &'static str {
+        "metis-like"
+    }
+}
+
+/// One round of heavy-edge matching: each unmatched vertex (visited in a
+/// seeded order) matches its heaviest unmatched neighbour; matched pairs
+/// collapse into one coarse vertex.
+fn coarsen_once(level: &Level, seed: u64) -> (Level, Vec<u32>) {
+    let n = level.vweight.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by_key(|&v| (v as u64 ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+
+    let mut mate = vec![usize::MAX; n];
+    for &v in &order {
+        if mate[v] != usize::MAX {
+            continue;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for &(u, w) in &level.adj[v] {
+            let u = u as usize;
+            if u != v && mate[u] == usize::MAX && best.is_none_or(|(_, bw)| w > bw) {
+                best = Some((u, w));
+            }
+        }
+        match best {
+            Some((u, _)) => {
+                mate[v] = u;
+                mate[u] = v;
+            }
+            None => mate[v] = v, // matched with itself
+        }
+    }
+
+    // Assign coarse ids.
+    let mut coarse_map = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for v in 0..n {
+        if coarse_map[v] != u32::MAX {
+            continue;
+        }
+        coarse_map[v] = next;
+        let m = mate[v];
+        if m != v && m != usize::MAX {
+            coarse_map[m] = next;
+        }
+        next += 1;
+    }
+    let cn = next as usize;
+
+    // Build the coarse weighted graph.
+    let mut vweight = vec![0.0f64; cn];
+    for v in 0..n {
+        vweight[coarse_map[v] as usize] += level.vweight[v];
+    }
+    let mut adj_maps: Vec<std::collections::HashMap<u32, f64>> =
+        vec![std::collections::HashMap::new(); cn];
+    for v in 0..n {
+        let cv = coarse_map[v];
+        for &(u, w) in &level.adj[v] {
+            let cu = coarse_map[u as usize];
+            if cu != cv {
+                *adj_maps[cv as usize].entry(cu).or_insert(0.0) += w;
+            }
+        }
+    }
+    let adj = adj_maps
+        .into_iter()
+        .map(|m| {
+            let mut v: Vec<(u32, f64)> = m.into_iter().collect();
+            v.sort_unstable_by_key(|&(u, _)| u);
+            v
+        })
+        .collect();
+
+    (Level { adj, vweight, coarse_map: Vec::new() }, coarse_map)
+}
+
+/// Greedy region growing: grow each part from a seed vertex, always
+/// absorbing the frontier vertex with the strongest connection to the part,
+/// until the part reaches its weight share.
+fn initial_partition(level: &Level, num_parts: usize, seed: u64) -> Vec<u32> {
+    let n = level.vweight.len();
+    let total: f64 = level.vweight.iter().sum();
+    let share = total / num_parts as f64;
+    let mut assignment = vec![u32::MAX; n];
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_unstable_by_key(|&v| (v as u64 ^ seed).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut cursor = 0usize;
+
+    for p in 0..num_parts as u32 {
+        // Pick an unassigned seed.
+        while cursor < n && assignment[order[cursor]] != u32::MAX {
+            cursor += 1;
+        }
+        if cursor >= n {
+            break;
+        }
+        let root = order[cursor];
+        let mut weight = 0.0;
+        // gain[v] = total edge weight from v into part p (for frontier
+        // vertices). BTreeMap keeps iteration (and therefore tie-breaking)
+        // deterministic.
+        let mut gain: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+        gain.insert(root, 0.0);
+        while weight < share {
+            // Take the best frontier vertex.
+            let Some((&v, _)) = gain
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            else {
+                break;
+            };
+            gain.remove(&v);
+            if assignment[v] != u32::MAX {
+                continue;
+            }
+            assignment[v] = p;
+            weight += level.vweight[v];
+            for &(u, w) in &level.adj[v] {
+                let u = u as usize;
+                if assignment[u] == u32::MAX {
+                    *gain.entry(u).or_insert(0.0) += w;
+                }
+            }
+        }
+    }
+    // Sweep up leftovers (graph may be disconnected): round-robin the
+    // lightest parts.
+    let mut weights = vec![0.0f64; num_parts];
+    for v in 0..n {
+        if assignment[v] != u32::MAX {
+            weights[assignment[v] as usize] += level.vweight[v];
+        }
+    }
+    for v in 0..n {
+        if assignment[v] == u32::MAX {
+            let p = (0..num_parts)
+                .min_by(|&a, &b| weights[a].partial_cmp(&weights[b]).unwrap())
+                .unwrap();
+            assignment[v] = p as u32;
+            weights[p] += level.vweight[v];
+        }
+    }
+    assignment
+}
+
+/// Boundary refinement: repeatedly move vertices to the neighbouring part
+/// with the highest positive gain, respecting the balance cap.
+fn refine(level: &Level, assignment: &mut [u32], num_parts: usize, balance_factor: f64, passes: usize) {
+    let n = level.vweight.len();
+    let total: f64 = level.vweight.iter().sum();
+    let cap = total / num_parts as f64 * balance_factor;
+    let mut weights = vec![0.0f64; num_parts];
+    for v in 0..n {
+        weights[assignment[v] as usize] += level.vweight[v];
+    }
+    let mut conn = vec![0.0f64; num_parts];
+    for _ in 0..passes {
+        let mut moved = 0usize;
+        for v in 0..n {
+            let from = assignment[v] as usize;
+            // Connectivity of v to each part.
+            for c in conn.iter_mut() {
+                *c = 0.0;
+            }
+            for &(u, w) in &level.adj[v] {
+                conn[assignment[u as usize] as usize] += w;
+            }
+            let mut best = from;
+            let mut best_gain = 0.0f64;
+            for p in 0..num_parts {
+                if p == from {
+                    continue;
+                }
+                let gain = conn[p] - conn[from];
+                if gain > best_gain && weights[p] + level.vweight[v] <= cap {
+                    best = p;
+                    best_gain = gain;
+                }
+            }
+            if best != from {
+                weights[from] -= level.vweight[v];
+                weights[best] += level.vweight[v];
+                assignment[v] = best as u32;
+                moved += 1;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::HashPartitioner;
+    use crate::metrics;
+    use ec_graph_data::generators;
+
+    #[test]
+    fn covers_all_vertices_exactly_once() {
+        let g = generators::erdos_renyi(300, 900, 3);
+        let p = MetisLikePartitioner::default().partition(&g, 4);
+        assert_eq!(p.num_vertices(), 300);
+        assert_eq!(p.part_sizes().iter().sum::<usize>(), 300);
+    }
+
+    #[test]
+    fn respects_balance_cap_loosely() {
+        let g = generators::erdos_renyi(400, 1600, 5);
+        let p = MetisLikePartitioner::default().partition(&g, 4);
+        // Initial growing + leftovers can exceed the refine cap slightly;
+        // assert a generous bound.
+        assert!(metrics::balance(&p) < 1.35, "imbalance {}", metrics::balance(&p));
+    }
+
+    #[test]
+    fn beats_hash_on_clustered_graphs() {
+        let (g, _) = generators::sbm(200, 4, 0.30, 0.01, 7);
+        let metis_cut = metrics::edge_cut(&g, &MetisLikePartitioner::default().partition(&g, 4));
+        let hash_cut = metrics::edge_cut(&g, &HashPartitioner::default().partition(&g, 4));
+        assert!(
+            (metis_cut as f64) < 0.5 * hash_cut as f64,
+            "metis cut {metis_cut} not well below hash cut {hash_cut}"
+        );
+    }
+
+    #[test]
+    fn perfect_split_of_two_cliques() {
+        // Two 10-cliques joined by one edge: the optimal bisection cuts 1.
+        let mut edges = Vec::new();
+        for a in 0..10u32 {
+            for b in (a + 1)..10 {
+                edges.push((a, b));
+                edges.push((a + 10, b + 10));
+            }
+        }
+        edges.push((0, 10));
+        let g = Graph::from_edges(20, &edges);
+        let p = MetisLikePartitioner::default().partition(&g, 2);
+        assert_eq!(metrics::edge_cut(&g, &p), 1);
+    }
+
+    #[test]
+    fn single_part_short_circuit() {
+        let g = generators::erdos_renyi(50, 100, 1);
+        let p = MetisLikePartitioner::default().partition(&g, 1);
+        assert!(p.assignment().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = generators::erdos_renyi(150, 500, 2);
+        let part = MetisLikePartitioner::default();
+        assert_eq!(part.partition(&g, 3), part.partition(&g, 3));
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        let g = Graph::from_edges(30, &[(0, 1), (2, 3)]); // mostly isolated
+        let p = MetisLikePartitioner::default().partition(&g, 3);
+        assert_eq!(p.part_sizes().iter().sum::<usize>(), 30);
+    }
+}

@@ -1,0 +1,102 @@
+//! Contiguous range partitioning.
+//!
+//! Splits `0..n` into `num_parts` contiguous, maximally balanced chunks.
+//! This is both a graph partitioner (useful when vertex ids carry locality)
+//! and the strategy EC-Graph's Parameter Manager uses to spread each
+//! layer's weights over the servers ("a built-in range-based partition
+//! method, which divides the weights W and biases B of each layer evenly").
+
+use crate::{Partition, Partitioner};
+use ec_graph_data::Graph;
+
+/// Range partitioner.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RangePartitioner;
+
+impl Partitioner for RangePartitioner {
+    fn partition(&self, g: &Graph, num_parts: usize) -> Partition {
+        Partition::new(range_assignment(g.num_vertices(), num_parts), num_parts)
+    }
+
+    fn name(&self) -> &'static str {
+        "range"
+    }
+}
+
+/// Assigns `0..n` to `parts` contiguous chunks whose sizes differ by at most
+/// one (the first `n % parts` chunks get the extra element).
+pub fn range_assignment(n: usize, parts: usize) -> Vec<u32> {
+    assert!(parts > 0, "need at least one part");
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(n);
+    for p in 0..parts {
+        let size = base + usize::from(p < extra);
+        out.extend(std::iter::repeat_n(p as u32, size));
+    }
+    out
+}
+
+/// The half-open index range `[start, end)` of part `p` under
+/// [`range_assignment`] — used by the parameter servers to locate their
+/// slice of each weight matrix without materializing the assignment.
+pub fn range_of_part(n: usize, parts: usize, p: usize) -> (usize, usize) {
+    assert!(p < parts, "part {p} out of range");
+    let base = n / parts;
+    let extra = n % parts;
+    let start = p * base + p.min(extra);
+    let size = base + usize::from(p < extra);
+    (start, start + size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_is_contiguous_and_balanced() {
+        let a = range_assignment(10, 3);
+        assert_eq!(a, vec![0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn ranges_tile_the_index_space() {
+        for (n, parts) in [(10, 3), (7, 7), (5, 8), (100, 6), (0, 2)] {
+            let mut covered = 0;
+            for p in 0..parts {
+                let (s, e) = range_of_part(n, parts, p);
+                assert_eq!(s, covered, "n={n} parts={parts} p={p}");
+                covered = e;
+            }
+            assert_eq!(covered, n);
+        }
+    }
+
+    #[test]
+    fn ranges_match_assignment() {
+        let n = 23;
+        let parts = 5;
+        let a = range_assignment(n, parts);
+        for p in 0..parts {
+            let (s, e) = range_of_part(n, parts, p);
+            for &part in &a[s..e] {
+                assert_eq!(part as usize, p);
+            }
+        }
+    }
+
+    #[test]
+    fn partitioner_on_graph() {
+        let g = Graph::from_edges(9, &[(0, 8)]);
+        let p = RangePartitioner.partition(&g, 3);
+        assert_eq!(p.part_sizes(), vec![3, 3, 3]);
+        assert_eq!(p.part_of(0), 0);
+        assert_eq!(p.part_of(8), 2);
+    }
+
+    #[test]
+    fn more_parts_than_vertices_leaves_empty_parts() {
+        let a = range_assignment(2, 5);
+        assert_eq!(a, vec![0, 1]);
+    }
+}

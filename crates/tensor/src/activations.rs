@@ -1,0 +1,133 @@
+//! Activation functions and their derivatives.
+//!
+//! The paper's GCN uses ReLU between layers and a row-wise softmax feeding a
+//! cross-entropy loss at the output (Alg. 1 lines 12–13). Backward
+//! propagation needs `σ'(Z)` (Eqs. 4–5), provided here as [`relu_grad`].
+
+use crate::dense::Matrix;
+
+/// Elementwise ReLU: `max(x, 0)`.
+pub fn relu(m: &Matrix) -> Matrix {
+    m.map(|x| x.max(0.0))
+}
+
+/// Derivative of ReLU evaluated at the *pre-activation* `z`:
+/// `1` where `z > 0`, else `0`.
+pub fn relu_grad(z: &Matrix) -> Matrix {
+    z.map(|x| if x > 0.0 { 1.0 } else { 0.0 })
+}
+
+/// Elementwise leaky ReLU with slope `alpha` for negative inputs.
+pub fn leaky_relu(m: &Matrix, alpha: f32) -> Matrix {
+    m.map(|x| if x > 0.0 { x } else { alpha * x })
+}
+
+/// Derivative of leaky ReLU at the pre-activation.
+pub fn leaky_relu_grad(z: &Matrix, alpha: f32) -> Matrix {
+    z.map(|x| if x > 0.0 { 1.0 } else { alpha })
+}
+
+/// Elementwise logistic sigmoid.
+pub fn sigmoid(m: &Matrix) -> Matrix {
+    m.map(|x| 1.0 / (1.0 + (-x).exp()))
+}
+
+/// Row-wise softmax with the standard max-subtraction for numerical
+/// stability.
+pub fn softmax_rows(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for x in row.iter_mut() {
+            *x = (*x - max).exp();
+            sum += *x;
+        }
+        if sum > 0.0 {
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        }
+    }
+    out
+}
+
+/// Row-wise log-softmax (numerically stable log of [`softmax_rows`]).
+pub fn log_softmax_rows(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let log_sum = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+        for x in row.iter_mut() {
+            *x -= log_sum;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let m = Matrix::from_vec(1, 4, vec![-2., -0.5, 0., 3.]);
+        assert_eq!(relu(&m).as_slice(), &[0., 0., 0., 3.]);
+    }
+
+    #[test]
+    fn relu_grad_is_indicator() {
+        let z = Matrix::from_vec(1, 3, vec![-1., 0., 2.]);
+        assert_eq!(relu_grad(&z).as_slice(), &[0., 0., 1.]);
+    }
+
+    #[test]
+    fn leaky_relu_scales_negatives() {
+        let m = Matrix::from_vec(1, 2, vec![-10., 10.]);
+        assert_eq!(leaky_relu(&m, 0.1).as_slice(), &[-1., 10.]);
+        assert_eq!(leaky_relu_grad(&m, 0.1).as_slice(), &[0.1, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_midpoint() {
+        let m = Matrix::from_vec(1, 1, vec![0.0]);
+        assert!((sigmoid(&m).get(0, 0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let m = Matrix::from_rows(&[vec![1., 2., 3.], vec![-5., 0., 5.]]);
+        let s = softmax_rows(&m);
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6, "row {r} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Matrix::from_vec(1, 3, vec![1., 2., 3.]);
+        let b = Matrix::from_vec(1, 3, vec![101., 102., 103.]);
+        assert!(softmax_rows(&a).approx_eq(&softmax_rows(&b), 1e-6));
+    }
+
+    #[test]
+    fn softmax_handles_large_values_without_overflow() {
+        let m = Matrix::from_vec(1, 2, vec![1000., 1001.]);
+        let s = softmax_rows(&m);
+        assert!(s.as_slice().iter().all(|x| x.is_finite()));
+        assert!((s.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let m = Matrix::from_vec(1, 3, vec![0.5, -1.0, 2.0]);
+        let ls = log_softmax_rows(&m);
+        let s = softmax_rows(&m);
+        for c in 0..3 {
+            assert!((ls.get(0, c) - s.get(0, c).ln()).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Dense matrix kernels: multiplication, elementwise arithmetic, reductions.
+//!
+//! The multiply kernels use the classic `i-k-j` loop order so the inner loop
+//! streams over contiguous rows of both the accumulator and the right-hand
+//! side — cache-friendly without any unsafe code or external BLAS.
+
+use crate::dense::Matrix;
+
+/// `C = A · B`.
+///
+/// # Panics
+/// Panics if `A.cols() != B.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul shape mismatch: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for (p, &av) in arow.iter().enumerate().take(k) {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = b.row(p);
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `C = Aᵀ · B` without materializing the transpose.
+///
+/// Used for the weight-gradient computation `Y^{l-1} = (H^{l-1})ᵀ (A G^l)`
+/// (paper Eq. 6).
+pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_at_b shape mismatch: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let m = a.cols();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    for r in 0..a.rows() {
+        let arow = a.row(r);
+        let brow = b.row(r);
+        for (i, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let crow = c.row_mut(i);
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `C = A · Bᵀ` without materializing the transpose.
+///
+/// Used for the gradient flow `G^l ∝ G^{l+1} (W^{l+1})ᵀ` (paper Eq. 5).
+pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_a_bt shape mismatch: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let m = a.rows();
+    let n = b.rows();
+    let k = a.cols();
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for (j, cv) in crow.iter_mut().enumerate().take(n) {
+            let brow = b.row(j);
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += arow[p] * brow[p];
+            }
+            *cv = acc;
+        }
+    }
+    c
+}
+
+/// Elementwise `A + B`.
+pub fn add(a: &Matrix, b: &Matrix) -> Matrix {
+    zip_with(a, b, |x, y| x + y)
+}
+
+/// Elementwise `A - B`.
+pub fn sub(a: &Matrix, b: &Matrix) -> Matrix {
+    zip_with(a, b, |x, y| x - y)
+}
+
+/// Elementwise (Hadamard) product `A ⊙ B`.
+pub fn hadamard(a: &Matrix, b: &Matrix) -> Matrix {
+    zip_with(a, b, |x, y| x * y)
+}
+
+/// `A * s` for a scalar `s`.
+pub fn scale(a: &Matrix, s: f32) -> Matrix {
+    a.map(|x| x * s)
+}
+
+/// In-place `a += b`.
+pub fn add_assign(a: &mut Matrix, b: &Matrix) {
+    assert_eq!(a.shape(), b.shape(), "add_assign shape mismatch");
+    for (x, &y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x += y;
+    }
+}
+
+/// In-place `a -= b`.
+pub fn sub_assign(a: &mut Matrix, b: &Matrix) {
+    assert_eq!(a.shape(), b.shape(), "sub_assign shape mismatch");
+    for (x, &y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x -= y;
+    }
+}
+
+/// In-place `a += b * s` (AXPY).
+pub fn axpy(a: &mut Matrix, b: &Matrix, s: f32) {
+    assert_eq!(a.shape(), b.shape(), "axpy shape mismatch");
+    for (x, &y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x += y * s;
+    }
+}
+
+/// Adds a row vector `bias` (length = `a.cols()`) to every row of `a`.
+pub fn add_bias(a: &Matrix, bias: &[f32]) -> Matrix {
+    assert_eq!(a.cols(), bias.len(), "bias length mismatch");
+    let mut out = a.clone();
+    for r in 0..out.rows() {
+        for (x, &b) in out.row_mut(r).iter_mut().zip(bias) {
+            *x += b;
+        }
+    }
+    out
+}
+
+/// Column-wise sum, producing a vector of length `a.cols()`.
+///
+/// Used for bias gradients: `∂L/∂b = Σ_rows G`.
+pub fn column_sums(a: &Matrix) -> Vec<f32> {
+    let mut sums = vec![0.0f32; a.cols()];
+    for r in 0..a.rows() {
+        for (s, &v) in sums.iter_mut().zip(a.row(r)) {
+            *s += v;
+        }
+    }
+    sums
+}
+
+/// Row-wise mean, producing a vector of length `a.rows()`.
+pub fn row_means(a: &Matrix) -> Vec<f32> {
+    let denom = a.cols().max(1) as f32;
+    a.rows_iter()
+        .map(|row| row.iter().sum::<f32>() / denom)
+        .collect()
+}
+
+fn zip_with(a: &Matrix, b: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+    assert_eq!(
+        a.shape(),
+        b.shape(),
+        "elementwise shape mismatch: {:?} vs {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let data = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| f(x, y))
+        .collect();
+    Matrix::from_vec(a.rows(), a.cols(), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a23() -> Matrix {
+        Matrix::from_rows(&[vec![1., 2., 3.], vec![4., 5., 6.]])
+    }
+
+    fn b32() -> Matrix {
+        Matrix::from_rows(&[vec![7., 8.], vec![9., 10.], vec![11., 12.]])
+    }
+
+    #[test]
+    fn matmul_small_known_answer() {
+        let c = matmul(&a23(), &b32());
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = a23();
+        let c = matmul(&a, &Matrix::identity(3));
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn matmul_at_b_matches_explicit_transpose() {
+        let a = a23();
+        let b = Matrix::from_rows(&[vec![1., 0.], vec![0., 1.]]);
+        let via_t = matmul(&a.transpose(), &b);
+        assert_eq!(matmul_at_b(&a, &b), via_t);
+    }
+
+    #[test]
+    fn matmul_a_bt_matches_explicit_transpose() {
+        let a = a23();
+        let b = Matrix::from_rows(&[vec![1., 2., 3.], vec![4., 5., 6.], vec![7., 8., 9.]]);
+        let via_t = matmul(&a, &b.transpose());
+        assert_eq!(matmul_a_bt(&a, &b), via_t);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_vec(1, 3, vec![1., 2., 3.]);
+        let b = Matrix::from_vec(1, 3, vec![4., 5., 6.]);
+        assert_eq!(add(&a, &b).as_slice(), &[5., 7., 9.]);
+        assert_eq!(sub(&b, &a).as_slice(), &[3., 3., 3.]);
+        assert_eq!(hadamard(&a, &b).as_slice(), &[4., 10., 18.]);
+        assert_eq!(scale(&a, 2.0).as_slice(), &[2., 4., 6.]);
+    }
+
+    #[test]
+    fn in_place_ops() {
+        let mut a = Matrix::from_vec(1, 2, vec![1., 2.]);
+        let b = Matrix::from_vec(1, 2, vec![10., 20.]);
+        add_assign(&mut a, &b);
+        assert_eq!(a.as_slice(), &[11., 22.]);
+        sub_assign(&mut a, &b);
+        assert_eq!(a.as_slice(), &[1., 2.]);
+        axpy(&mut a, &b, 0.5);
+        assert_eq!(a.as_slice(), &[6., 12.]);
+    }
+
+    #[test]
+    fn bias_and_column_sums() {
+        let a = a23();
+        let biased = add_bias(&a, &[1., 1., 1.]);
+        assert_eq!(biased.row(0), &[2., 3., 4.]);
+        assert_eq!(column_sums(&a), vec![5., 7., 9.]);
+    }
+
+    #[test]
+    fn row_means_computed() {
+        assert_eq!(row_means(&a23()), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_rejects_mismatched_shapes() {
+        let _ = matmul(&a23(), &a23());
+    }
+}

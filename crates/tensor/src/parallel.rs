@@ -1,0 +1,163 @@
+//! Thread-parallel variants of the hot kernels.
+//!
+//! Output rows are partitioned across threads, and each output row is
+//! computed by exactly one thread with the same inner-loop order as the
+//! sequential kernel — so results are **bit-identical** to
+//! [`crate::ops::matmul`] / [`CsrMatrix::spmm`], and all determinism
+//! guarantees of the simulation carry over. The paper's workers are
+//! multi-core machines (4- and 32-core Xeons); these kernels are what a
+//! production deployment would run inside each worker. The speedup is of
+//! course hardware-bound: on a single-core host (like some CI runners —
+//! check the `spmm` criterion bench output) the scoped threads are pure
+//! overhead and [`effective_threads`]`(0)` correctly resolves to 1.
+
+use crate::dense::Matrix;
+use crate::sparse::CsrMatrix;
+
+/// Picks a worker count: `threads` if nonzero, else the machine's
+/// parallelism (capped at 16 — beyond that the kernels here are memory
+/// bound).
+pub fn effective_threads(threads: usize) -> usize {
+    if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get().min(16))
+            .unwrap_or(1)
+    }
+}
+
+/// Parallel `C = A · B` over row chunks of `A`.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul shape mismatch");
+    let threads = effective_threads(threads).max(1);
+    let (m, k) = a.shape();
+    let n = b.cols();
+    if threads == 1 || m < 2 * threads {
+        return crate::ops::matmul(a, b);
+    }
+    let mut c = Matrix::zeros(m, n);
+    let chunk = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        // Split the output buffer into disjoint row bands, one per thread.
+        let mut out = c.as_mut_slice();
+        let mut row0 = 0usize;
+        while row0 < m {
+            let rows_here = chunk.min(m - row0);
+            let (band, rest) = out.split_at_mut(rows_here * n);
+            out = rest;
+            let start = row0;
+            scope.spawn(move || {
+                for (local_r, crow) in band.chunks_exact_mut(n).enumerate() {
+                    let arow = a.row(start + local_r);
+                    for (p, &av) in arow.iter().enumerate().take(k) {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let brow = b.row(p);
+                        for (cv, &bv) in crow.iter_mut().zip(brow) {
+                            *cv += av * bv;
+                        }
+                    }
+                }
+            });
+            row0 += rows_here;
+        }
+    });
+    c
+}
+
+/// Parallel sparse × dense product over row chunks of the sparse matrix.
+///
+/// # Panics
+/// Panics if `s.cols() != b.rows()`.
+pub fn spmm(s: &CsrMatrix, b: &Matrix, threads: usize) -> Matrix {
+    assert_eq!(s.cols(), b.rows(), "spmm shape mismatch");
+    let threads = effective_threads(threads).max(1);
+    let m = s.rows();
+    let n = b.cols();
+    if threads == 1 || m < 2 * threads {
+        return s.spmm(b);
+    }
+    let mut c = Matrix::zeros(m, n);
+    let chunk = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut out = c.as_mut_slice();
+        let mut row0 = 0usize;
+        while row0 < m {
+            let rows_here = chunk.min(m - row0);
+            let (band, rest) = out.split_at_mut(rows_here * n);
+            out = rest;
+            let start = row0;
+            scope.spawn(move || {
+                for (local_r, crow) in band.chunks_exact_mut(n).enumerate() {
+                    for (col, v) in s.row_entries(start + local_r) {
+                        let brow = b.row(col);
+                        for (cv, &bv) in crow.iter_mut().zip(brow) {
+                            *cv += v * bv;
+                        }
+                    }
+                }
+            });
+            row0 += rows_here;
+        }
+    });
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{init, ops};
+
+    #[test]
+    fn parallel_matmul_is_bit_identical() {
+        let a = init::uniform(67, 33, -1.0, 1.0, 1);
+        let b = init::uniform(33, 29, -1.0, 1.0, 2);
+        let seq = ops::matmul(&a, &b);
+        for threads in [1usize, 2, 3, 8] {
+            assert_eq!(matmul(&a, &b, threads), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_spmm_is_bit_identical() {
+        let s = CsrMatrix::from_triples(
+            50,
+            40,
+            &(0..200)
+                .map(|i| ((i * 7) % 50, (i * 13) % 40, (i as f32 * 0.3).sin()))
+                .collect::<Vec<_>>(),
+        );
+        let b = init::uniform(40, 8, -1.0, 1.0, 3);
+        let seq = s.spmm(&b);
+        for threads in [2usize, 4, 7] {
+            assert_eq!(spmm(&s, &b, threads), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn small_inputs_fall_back_to_sequential() {
+        let a = Matrix::identity(3);
+        let b = Matrix::from_fn(3, 2, |r, c| (r + c) as f32);
+        assert_eq!(matmul(&a, &b, 8), b);
+    }
+
+    #[test]
+    fn effective_threads_resolves() {
+        assert_eq!(effective_threads(4), 4);
+        assert!(effective_threads(0) >= 1);
+    }
+
+    #[test]
+    fn degenerate_shapes() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 3);
+        assert_eq!(matmul(&a, &b, 4).shape(), (0, 3));
+        let s = CsrMatrix::from_triples(0, 5, &[]);
+        assert_eq!(spmm(&s, &b, 4).shape(), (0, 3));
+    }
+}

@@ -1,0 +1,323 @@
+//! Compressed-sparse-row matrices and SpMM kernels.
+//!
+//! The normalized adjacency matrix `Â = D^{-1/2}(A + I)D^{-1/2}` of a GCN is
+//! stored as a [`CsrMatrix`]. The two products the paper's equations need are
+//!
+//! * forward aggregation `Z = Âᵀ H_cat W` → [`CsrMatrix::spmm`] computes the
+//!   sparse-dense part, and
+//! * backward gradient flow `G^{l} = Â G^{l+1}_cat (W)ᵀ ⊙ σ'` → also SpMM.
+//!
+//! Because `Â` is symmetric for undirected graphs the engine mostly needs
+//! `spmm`; `spmm_t` is provided (and tested against the dense reference) for
+//! directed-graph support.
+
+use crate::dense::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A sparse matrix in compressed-sparse-row format.
+///
+/// Invariants:
+/// * `indptr.len() == rows + 1`, `indptr[0] == 0`,
+///   `indptr[rows] == indices.len() == values.len()`;
+/// * `indptr` is non-decreasing;
+/// * every entry of `indices` is `< cols`;
+/// * column indices within a row are strictly increasing (checked by
+///   [`CsrMatrix::new`]).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from raw parts, validating all invariants.
+    ///
+    /// # Panics
+    /// Panics if any CSR invariant is violated.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
+        assert_eq!(indptr.len(), rows + 1, "indptr length must be rows+1");
+        assert_eq!(indptr[0], 0, "indptr must start at 0");
+        assert_eq!(*indptr.last().unwrap(), indices.len(), "indptr end mismatch");
+        assert_eq!(indices.len(), values.len(), "indices/values length mismatch");
+        for w in indptr.windows(2) {
+            assert!(w[0] <= w[1], "indptr must be non-decreasing");
+        }
+        for r in 0..rows {
+            let row = &indices[indptr[r]..indptr[r + 1]];
+            for pair in row.windows(2) {
+                assert!(pair[0] < pair[1], "columns in row {r} must be strictly increasing");
+            }
+            if let Some(&last) = row.last() {
+                assert!((last as usize) < cols, "column index {last} out of bounds in row {r}");
+            }
+        }
+        Self { rows, cols, indptr, indices, values }
+    }
+
+    /// Builds a CSR matrix from `(row, col, value)` triples (need not be
+    /// sorted; duplicate positions are summed).
+    pub fn from_triples(rows: usize, cols: usize, triples: &[(usize, usize, f32)]) -> Self {
+        let mut per_row: Vec<Vec<(usize, f32)>> = vec![Vec::new(); rows];
+        for &(r, c, v) in triples {
+            assert!(r < rows && c < cols, "triple ({r},{c}) out of bounds");
+            per_row[r].push((c, v));
+        }
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::with_capacity(triples.len());
+        let mut values = Vec::with_capacity(triples.len());
+        indptr.push(0);
+        for row in &mut per_row {
+            row.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < row.len() {
+                let c = row[i].0;
+                let mut v = row[i].1;
+                let mut j = i + 1;
+                while j < row.len() && row[j].0 == c {
+                    v += row[j].1;
+                    j += 1;
+                }
+                indices.push(c as u32);
+                values.push(v);
+                i = j;
+            }
+            indptr.push(indices.len());
+        }
+        Self { rows, cols, indptr, indices, values }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structural) non-zeros.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// The `(column, value)` entries of row `r`.
+    pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let span = self.indptr[r]..self.indptr[r + 1];
+        self.indices[span.clone()]
+            .iter()
+            .zip(&self.values[span])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Sparse × dense product `self · B`.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != b.rows()`.
+    pub fn spmm(&self, b: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols,
+            b.rows(),
+            "spmm shape mismatch: {}x{} * {:?}",
+            self.rows,
+            self.cols,
+            b.shape()
+        );
+        let mut out = Matrix::zeros(self.rows, b.cols());
+        for r in 0..self.rows {
+            let orow = out.row_mut(r);
+            for idx in self.indptr[r]..self.indptr[r + 1] {
+                let c = self.indices[idx] as usize;
+                let v = self.values[idx];
+                let brow = b.row(c);
+                for (o, &x) in orow.iter_mut().zip(brow) {
+                    *o += v * x;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed sparse × dense product `selfᵀ · B` without materializing
+    /// the transpose.
+    pub fn spmm_t(&self, b: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows,
+            b.rows(),
+            "spmm_t shape mismatch: ({}x{})^T * {:?}",
+            self.rows,
+            self.cols,
+            b.shape()
+        );
+        let mut out = Matrix::zeros(self.cols, b.cols());
+        for r in 0..self.rows {
+            let brow = b.row(r);
+            for idx in self.indptr[r]..self.indptr[r + 1] {
+                let c = self.indices[idx] as usize;
+                let v = self.values[idx];
+                let orow = out.row_mut(c);
+                for (o, &x) in orow.iter_mut().zip(brow) {
+                    *o += v * x;
+                }
+            }
+        }
+        out
+    }
+
+    /// Densifies the matrix (testing / small problems only).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                m.set(r, c, v);
+            }
+        }
+        m
+    }
+
+    /// Extracts the sub-matrix of the listed rows (all columns kept).
+    ///
+    /// Used by workers to slice the global normalized adjacency down to
+    /// their local partition.
+    pub fn select_rows(&self, rows: &[usize]) -> CsrMatrix {
+        let mut indptr = Vec::with_capacity(rows.len() + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for &r in rows {
+            assert!(r < self.rows, "row {r} out of bounds");
+            let span = self.indptr[r]..self.indptr[r + 1];
+            indices.extend_from_slice(&self.indices[span.clone()]);
+            values.extend_from_slice(&self.values[span]);
+            indptr.push(indices.len());
+        }
+        CsrMatrix { rows: rows.len(), cols: self.cols, indptr, indices, values }
+    }
+
+    /// Remaps column indices through `map` (new column id per old id) and
+    /// shrinks the column dimension to `new_cols`. Entries whose column maps
+    /// to `None` are dropped.
+    ///
+    /// Workers use this to renumber global vertex ids into the local
+    /// `[local vertices | cached remote vertices]` layout.
+    pub fn remap_columns(&self, map: &dyn Fn(usize) -> Option<usize>, new_cols: usize) -> CsrMatrix {
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        let mut entries: Vec<(u32, f32)> = Vec::new();
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for r in 0..self.rows {
+            entries.clear();
+            for (c, v) in self.row_entries(r) {
+                if let Some(nc) = map(c) {
+                    assert!(nc < new_cols, "mapped column {nc} out of bounds");
+                    entries.push((nc as u32, v));
+                }
+            }
+            entries.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in entries.iter() {
+                indices.push(c);
+                values.push(v);
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix { rows: self.rows, cols: new_cols, indptr, indices, values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::matmul;
+
+    fn sample() -> CsrMatrix {
+        // [[1 0 2]
+        //  [0 3 0]]
+        CsrMatrix::from_triples(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)])
+    }
+
+    #[test]
+    fn from_triples_builds_sorted_rows() {
+        let m = CsrMatrix::from_triples(2, 3, &[(0, 2, 2.0), (0, 0, 1.0), (1, 1, 3.0)]);
+        assert_eq!(m, sample());
+    }
+
+    #[test]
+    fn duplicate_triples_are_summed() {
+        let m = CsrMatrix::from_triples(1, 2, &[(0, 1, 1.0), (0, 1, 2.5)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.to_dense().get(0, 1), 3.5);
+    }
+
+    #[test]
+    fn spmm_matches_dense_reference() {
+        let s = sample();
+        let b = Matrix::from_rows(&[vec![1., 2.], vec![3., 4.], vec![5., 6.]]);
+        let dense = matmul(&s.to_dense(), &b);
+        assert_eq!(s.spmm(&b), dense);
+    }
+
+    #[test]
+    fn spmm_t_matches_dense_reference() {
+        let s = sample();
+        let b = Matrix::from_rows(&[vec![1., 2.], vec![3., 4.]]);
+        let dense = matmul(&s.to_dense().transpose(), &b);
+        assert_eq!(s.spmm_t(&b), dense);
+    }
+
+    #[test]
+    fn select_rows_extracts_submatrix() {
+        let s = sample();
+        let sel = s.select_rows(&[1]);
+        assert_eq!(sel.rows(), 1);
+        assert_eq!(sel.to_dense().row(0), &[0., 3., 0.]);
+    }
+
+    #[test]
+    fn remap_columns_renumbers_and_drops() {
+        let s = sample();
+        // keep columns {0, 2}, renumbered to {0, 1}
+        let remapped = s.remap_columns(
+            &|c| match c {
+                0 => Some(0),
+                2 => Some(1),
+                _ => None,
+            },
+            2,
+        );
+        let d = remapped.to_dense();
+        assert_eq!(d.row(0), &[1., 2.]);
+        assert_eq!(d.row(1), &[0., 0.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "indptr length")]
+    fn new_validates_indptr_length() {
+        let _ = CsrMatrix::new(2, 2, vec![0, 1], vec![0], vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn new_validates_column_order() {
+        let _ = CsrMatrix::new(1, 3, vec![0, 2], vec![2, 1], vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn row_entries_iterates_pairs() {
+        let s = sample();
+        let entries: Vec<_> = s.row_entries(0).collect();
+        assert_eq!(entries, vec![(0, 1.0), (2, 2.0)]);
+    }
+}

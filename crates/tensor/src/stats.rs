@@ -1,0 +1,125 @@
+//! Norms and summary statistics.
+//!
+//! The compensation machinery relies on these: the ReqEC-FP Selector ranks
+//! candidate approximations by row-wise L1 distance (paper Eq. 10), the
+//! Bit-Tuner thresholds a proportion, and the Theorem-1 validation tracks
+//! squared L2 norms of the gradient residuals.
+
+use crate::dense::Matrix;
+
+/// Sum of absolute entry values (entrywise L1 norm).
+pub fn l1_norm(m: &Matrix) -> f32 {
+    m.as_slice().iter().map(|x| x.abs()).sum()
+}
+
+/// Frobenius norm (entrywise L2 norm).
+pub fn l2_norm(m: &Matrix) -> f32 {
+    m.as_slice().iter().map(|x| x * x).sum::<f32>().sqrt()
+}
+
+/// Squared Frobenius norm, avoiding the square root.
+pub fn l2_norm_sq(m: &Matrix) -> f32 {
+    m.as_slice().iter().map(|x| x * x).sum()
+}
+
+/// Row-wise L1 distance between two equally-shaped matrices:
+/// `out[v] = Σ_i |a[v,i] - b[v,i]|` (paper Eq. 10).
+pub fn rowwise_l1_distance(a: &Matrix, b: &Matrix) -> Vec<f32> {
+    assert_eq!(a.shape(), b.shape(), "rowwise_l1_distance shape mismatch");
+    a.rows_iter()
+        .zip(b.rows_iter())
+        .map(|(ra, rb)| ra.iter().zip(rb).map(|(x, y)| (x - y).abs()).sum())
+        .collect()
+}
+
+/// Minimum and maximum entry. Returns `(0.0, 0.0)` for an empty matrix.
+pub fn min_max(m: &Matrix) -> (f32, f32) {
+    if m.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &x in m.as_slice() {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    (lo, hi)
+}
+
+/// Mean entry value. Returns `0.0` for an empty matrix.
+pub fn mean(m: &Matrix) -> f32 {
+    if m.is_empty() {
+        0.0
+    } else {
+        m.as_slice().iter().sum::<f32>() / m.len() as f32
+    }
+}
+
+/// Maximum absolute entry.
+pub fn max_abs(m: &Matrix) -> f32 {
+    m.as_slice().iter().fold(0.0f32, |acc, &x| acc.max(x.abs()))
+}
+
+/// Index of the minimum value of a slice (first occurrence).
+///
+/// Used by the Selector: `argmin(S)` over the three candidate distances.
+pub fn argmin(values: &[f32]) -> usize {
+    assert!(!values.is_empty(), "argmin of empty slice");
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate().skip(1) {
+        if v < values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norms_of_simple_matrix() {
+        let m = Matrix::from_vec(1, 3, vec![3., -4., 0.]);
+        assert_eq!(l1_norm(&m), 7.0);
+        assert_eq!(l2_norm(&m), 5.0);
+        assert_eq!(l2_norm_sq(&m), 25.0);
+    }
+
+    #[test]
+    fn rowwise_l1_distance_per_row() {
+        let a = Matrix::from_rows(&[vec![1., 2.], vec![0., 0.]]);
+        let b = Matrix::from_rows(&[vec![1., 0.], vec![3., -1.]]);
+        assert_eq!(rowwise_l1_distance(&a, &b), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn min_max_and_mean() {
+        let m = Matrix::from_vec(1, 4, vec![-1., 2., 0.5, 2.5]);
+        assert_eq!(min_max(&m), (-1.0, 2.5));
+        assert_eq!(mean(&m), 1.0);
+    }
+
+    #[test]
+    fn min_max_of_empty_matrix_is_zero() {
+        assert_eq!(min_max(&Matrix::zeros(0, 0)), (0.0, 0.0));
+    }
+
+    #[test]
+    fn max_abs_ignores_sign() {
+        let m = Matrix::from_vec(1, 3, vec![-9., 2., 5.]);
+        assert_eq!(max_abs(&m), 9.0);
+    }
+
+    #[test]
+    fn argmin_first_occurrence() {
+        assert_eq!(argmin(&[3., 1., 1., 2.]), 1);
+        assert_eq!(argmin(&[0.5]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn argmin_rejects_empty() {
+        let _ = argmin(&[]);
+    }
+}

@@ -1,0 +1,68 @@
+//! The accuracy/traffic trade-off of message compression, and how much of
+//! it error compensation repairs — the paper's core story in one table.
+//!
+//! For each bit width B, trains (a) plain compression `Cp-fp-B` and
+//! (b) `ReqEC-FP-B`, and prints accuracy plus total forward traffic next
+//! to the uncompressed baseline.
+//!
+//! ```sh
+//! cargo run --release --example compression_tradeoff
+//! ```
+
+use ec_graph_repro::data::DatasetSpec;
+use ec_graph_repro::ecgraph::config::{FpMode, TrainingConfig};
+use ec_graph_repro::ecgraph::report::RunResult;
+use ec_graph_repro::ecgraph::trainer::train;
+use ec_graph_repro::partition::hash::HashPartitioner;
+use std::sync::Arc;
+
+fn run(data: &Arc<ec_graph_repro::data::AttributedGraph>, fp: FpMode, label: &str) -> RunResult {
+    let config = TrainingConfig {
+        dims: vec![data.feature_dim(), 16, data.num_classes],
+        num_workers: 6,
+        fp_mode: fp,
+        max_epochs: 80,
+        seed: 9,
+        ..TrainingConfig::defaults(data.feature_dim(), data.num_classes)
+    };
+    train(Arc::clone(data), &HashPartitioner::default(), config, label)
+}
+
+fn main() {
+    // A dense replica — the regime where compression matters most.
+    let data = Arc::new(DatasetSpec::products().instantiate_with(2_048, 64, 21));
+    println!(
+        "dataset: {} replica — |V|={} |E|={} (avg degree {:.1})\n",
+        data.name,
+        data.num_vertices(),
+        data.graph.num_edges(),
+        data.graph.avg_degree()
+    );
+
+    let fp_gb = |r: &RunResult| r.epochs.iter().map(|e| e.fp_bytes).sum::<u64>() as f64 / 1e9;
+    let baseline = run(&data, FpMode::Exact, "non-cp");
+    println!("{:<14} {:>9} {:>12} {:>10}", "mode", "test-acc", "FP traffic", "vs exact");
+    println!(
+        "{:<14} {:>9.4} {:>10.3}GB {:>10}",
+        "non-cp",
+        baseline.best_test_acc,
+        fp_gb(&baseline),
+        "1.00x"
+    );
+    for bits in [1u8, 2, 4, 8] {
+        let cp = run(&data, FpMode::Compressed { bits }, "cp");
+        let ec = run(&data, FpMode::ReqEc { bits, t_tr: 10, adaptive: false }, "reqec");
+        for (label, r) in [(format!("cp-fp-{bits}"), cp), (format!("reqec-fp-{bits}"), ec)] {
+            println!(
+                "{:<14} {:>9.4} {:>10.3}GB {:>9.2}x",
+                label,
+                r.best_test_acc,
+                fp_gb(&r),
+                fp_gb(&baseline) / fp_gb(&r).max(1e-12)
+            );
+        }
+    }
+    println!("\nReading the table: plain low-bit compression trades accuracy for");
+    println!("bandwidth; ReqEC-FP keeps (nearly) the bandwidth win while closing");
+    println!("the accuracy gap — Fig. 6 of the paper, in miniature.");
+}

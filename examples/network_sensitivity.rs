@@ -1,0 +1,76 @@
+//! How much the network fabric matters — and why compression is a
+//! Gigabit-Ethernet story.
+//!
+//! The paper notes that DistDGL "adopt[s] a high-speed commercial network
+//! device (100Gbps), where communication would not be a bottleneck". This
+//! example trains the same model on the same replica under three network
+//! models and shows how EC-Graph's advantage over uncompressed training
+//! shrinks as the fabric gets faster.
+//!
+//! ```sh
+//! cargo run --release --example network_sensitivity
+//! ```
+
+use ec_graph_repro::comm::NetworkModel;
+use ec_graph_repro::data::DatasetSpec;
+use ec_graph_repro::ecgraph::config::{BpMode, FpMode, TrainingConfig};
+use ec_graph_repro::ecgraph::trainer::train;
+use ec_graph_repro::partition::hash::HashPartitioner;
+use std::sync::Arc;
+
+fn main() {
+    let data = Arc::new(DatasetSpec::reddit().instantiate_with(2_048, 256, 21));
+    println!(
+        "dataset: {} replica — |V|={} |E|={} (avg degree {:.1})\n",
+        data.name,
+        data.num_vertices(),
+        data.graph.num_edges(),
+        data.graph.avg_degree()
+    );
+    println!(
+        "{:<22} {:>14} {:>14} {:>10}",
+        "network", "non-cp s/epoch", "ec-graph s/epoch", "speedup"
+    );
+    let fabrics = [
+        ("gigabit (paper)", NetworkModel::gigabit_ethernet()),
+        ("10 GbE", NetworkModel::ten_gig()),
+        ("100 GbE (DistDGL)", NetworkModel::hundred_gig()),
+    ];
+    for (name, network) in fabrics {
+        let mut times = Vec::new();
+        for compressed in [false, true] {
+            let config = TrainingConfig {
+                dims: vec![data.feature_dim(), 16, data.num_classes],
+                num_workers: 6,
+                fp_mode: if compressed {
+                    FpMode::ReqEc { bits: 2, t_tr: 10, adaptive: true }
+                } else {
+                    FpMode::Exact
+                },
+                bp_mode: if compressed { BpMode::ResEc { bits: 4 } } else { BpMode::Exact },
+                network,
+                max_epochs: 20,
+                seed: 4,
+                ..TrainingConfig::defaults(data.feature_dim(), data.num_classes)
+            };
+            let r = train(
+                Arc::clone(&data),
+                &HashPartitioner::default(),
+                config,
+                if compressed { "ec-graph" } else { "non-cp" },
+            );
+            times.push(r.avg_epoch_time());
+        }
+        println!(
+            "{:<22} {:>14.4} {:>14.4} {:>9.2}x",
+            name,
+            times[0],
+            times[1],
+            times[0] / times[1].max(1e-12)
+        );
+    }
+    println!("\nOn Gigabit Ethernet the epoch is communication-bound and compression");
+    println!("pays; on a 100 GbE fabric the wire is nearly free and the two systems");
+    println!("converge to the same compute-bound epoch time — which is exactly why");
+    println!("DistDGL could claim linear scaling without compressing anything.");
+}
