@@ -25,10 +25,7 @@ fn main() {
     let worker_list = args.get_str("workers", "2,4,6,8,10,13");
     let ds = args.get_str("dataset", "products");
 
-    let spec = DatasetSpec::all()
-        .into_iter()
-        .find(|s| s.name == ds)
-        .expect("unknown dataset");
+    let spec = DatasetSpec::all().into_iter().find(|s| s.name == ds).expect("unknown dataset");
     let data = Arc::new(bench_dataset(&spec, scale, 7));
     println!(
         "== Fig. 11: scalability on {} replica (|V|={} |E|={}) ==",
@@ -63,9 +60,8 @@ fn main() {
                         ec_bench::systems::paper_fanouts(&data.name, 2).unwrap_or(vec![10, 10]);
                     sample_layer_graphs(&data.graph, &fanouts, 5).0
                 } else {
-                    let adj = Arc::new(
-                        ec_graph_data::normalize::gcn_normalized_adjacency(&data.graph),
-                    );
+                    let adj =
+                        Arc::new(ec_graph_data::normalize::gcn_normalized_adjacency(&data.graph));
                     vec![adj; 2]
                 };
                 let r = trainer::train_prepartitioned(

@@ -60,11 +60,7 @@ fn main() {
             ("non-cp", FpMode::Exact, BpMode::Exact),
             ("cp-fp", FpMode::Compressed { bits: b_cpfp }, BpMode::Exact),
             ("cp-bp", FpMode::Exact, BpMode::Compressed { bits: b_cpbp }),
-            (
-                "reqec",
-                FpMode::ReqEc { bits: b_reqec, t_tr: 10, adaptive: false },
-                BpMode::Exact,
-            ),
+            ("reqec", FpMode::ReqEc { bits: b_reqec, t_tr: 10, adaptive: false }, BpMode::Exact),
             ("resec", FpMode::Exact, BpMode::ResEc { bits: b_resec }),
             (
                 "reqec-adapt",

@@ -76,7 +76,7 @@ fn main() {
                             ),
                             serde_json::json!({
                                 "dataset": spec.name, "layers": layers,
-                                "system": system.label(), "epoch_s": null, "error": e,
+                                "system": system.label(), "epoch_s": serde_json::Value::Null, "error": e,
                             }),
                         );
                     }

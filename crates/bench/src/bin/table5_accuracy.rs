@@ -66,7 +66,7 @@ fn main() {
                         &format!("  {:<10} {:<18} -  ({e})", spec.name, system.label()),
                         serde_json::json!({
                             "dataset": spec.name, "system": system.label(),
-                            "test_acc": null, "error": e,
+                            "test_acc": serde_json::Value::Null, "error": e,
                         }),
                     );
                 }

@@ -67,11 +67,8 @@ fn main() {
     }
     // G² from the logits-layer gradient norm of the final model state.
     let logits = engine.forward_global();
-    let (_, g_full) = ec_nn::loss::masked_softmax_cross_entropy(
-        &logits,
-        &data.labels,
-        &data.split.train,
-    );
+    let (_, g_full) =
+        ec_nn::loss::masked_softmax_cross_entropy(&logits, &data.labels, &data.split.train);
     let g_sq = stats::l2_norm_sq(&g_full) as f64;
     let g_bound = (g_sq * 4.0).max(1e-9); // headroom: per-layer norms shrink going down
 

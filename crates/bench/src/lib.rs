@@ -40,10 +40,7 @@ impl Args {
 
     /// Typed lookup with a default.
     pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.map
-            .get(key)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+        self.map.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
     }
 
     /// String lookup with a default.

@@ -157,13 +157,18 @@ pub fn paper_fanouts(dataset: &str, layers: usize) -> Option<Vec<usize>> {
 }
 
 /// Runs `system` on `data` and returns its [`RunResult`].
-pub fn run(system: System, data: &Arc<AttributedGraph>, p: &RunParams) -> Result<RunResult, String> {
+pub fn run(
+    system: System,
+    data: &Arc<AttributedGraph>,
+    p: &RunParams,
+) -> Result<RunResult, String> {
     let dims = p.dims(data);
     let adam = AdamParams { lr: p.lr, ..Default::default() };
     let ec_bits = p.ec_bits.unwrap_or_else(|| paper_ec_bits(&data.name));
     match system {
         System::DglLike | System::PygLike => {
-            let kind = if system == System::DglLike { LocalKind::DglLike } else { LocalKind::PygLike };
+            let kind =
+                if system == System::DglLike { LocalKind::DglLike } else { LocalKind::PygLike };
             let cfg = LocalConfig {
                 dims,
                 lr: p.lr,
@@ -194,12 +199,19 @@ pub fn run(system: System, data: &Arc<AttributedGraph>, p: &RunParams) -> Result
                 bp_mode,
                 adam,
                 network: p.network,
+                faults: ec_faults::FaultPlan::none(),
+                resilience: Default::default(),
                 seed: p.seed,
                 max_epochs: p.epochs,
                 patience: p.patience,
                 eval_every: 1,
             };
-            Ok(trainer::train(Arc::clone(data), &HashPartitioner::default(), config, system.label()))
+            Ok(trainer::train(
+                Arc::clone(data),
+                &HashPartitioner::default(),
+                config,
+                system.label(),
+            ))
         }
         System::EcGraphS => {
             let config = TrainingConfig {
@@ -212,6 +224,8 @@ pub fn run(system: System, data: &Arc<AttributedGraph>, p: &RunParams) -> Result
                 bp_mode: BpMode::ResEc { bits: ec_bits.1 },
                 adam,
                 network: p.network,
+                faults: ec_faults::FaultPlan::none(),
+                resilience: Default::default(),
                 seed: p.seed,
                 max_epochs: p.epochs,
                 patience: p.patience,
@@ -228,8 +242,7 @@ pub fn run(system: System, data: &Arc<AttributedGraph>, p: &RunParams) -> Result
                     // Offline sampling is preprocessing (measured).
                     let sample_start = Instant::now();
                     let (adjs, _) = sample_layer_graphs(&data.graph, &fanouts, p.seed ^ 0x5);
-                    let partition =
-                        HashPartitioner::default().partition(&data.graph, p.workers);
+                    let partition = HashPartitioner::default().partition(&data.graph, p.workers);
                     let sampling_s = sample_start.elapsed().as_secs_f64();
                     Ok(trainer::train_prepartitioned(
                         Arc::clone(data),
@@ -243,8 +256,7 @@ pub fn run(system: System, data: &Arc<AttributedGraph>, p: &RunParams) -> Result
             }
         }
         System::DistDgl | System::Agl => {
-            let fanouts =
-                paper_fanouts(&data.name, p.layers).unwrap_or_else(|| vec![10; p.layers]);
+            let fanouts = paper_fanouts(&data.name, p.layers).unwrap_or_else(|| vec![10; p.layers]);
             let cfg = MiniBatchConfig {
                 dims,
                 fanouts,

@@ -26,6 +26,6 @@ pub mod ps;
 pub mod stats;
 
 pub use clock::NetworkModel;
-pub use network::SimNetwork;
+pub use network::{SendError, SimNetwork};
 pub use ps::ParameterServerGroup;
 pub use stats::TrafficStats;

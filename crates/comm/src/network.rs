@@ -12,9 +12,50 @@
 //! concurrently but serializes its own traffic. Transfers with
 //! `from == to` are shared-memory accesses (the paper's "local neighboring
 //! vertices are obtained from the shared memory") and cost nothing.
+//!
+//! # Fault injection
+//!
+//! A network built with [`SimNetwork::with_faults`] consults a
+//! deterministic [`FaultInjector`] on every transmission. Failed attempts
+//! (drops, corruptions) and redundant duplicates charge their bytes to
+//! [`Channel::Retry`] — so `latency · retries + resent bytes / bandwidth`
+//! lands in the simulated clock through the ordinary NIC accounting — and
+//! each failure additionally charges a timeout-detection delay to both
+//! endpoints, folded into the superstep time at the next
+//! [`SimNetwork::flush_superstep`]. Straggler nodes have their NIC time
+//! scaled by the configured factor. A network built with
+//! [`FaultPlan::none`] (or plain [`SimNetwork::new`]) takes none of these
+//! paths and its ledger and clock are bit-identical to the fault-free
+//! implementation.
 
 use crate::clock::NetworkModel;
 use crate::stats::{Channel, TrafficStats};
+use ec_faults::{FaultDecision, FaultInjector, FaultPlan};
+
+/// Why a [`SimNetwork::try_send`] attempt failed to deliver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendError {
+    /// The message was lost in transit (timeout at the receiver).
+    Dropped,
+    /// The message arrived but failed its checksum.
+    Corrupted,
+}
+
+impl std::fmt::Display for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SendError::Dropped => write!(f, "message dropped"),
+            SendError::Corrupted => write!(f, "message corrupted"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Attempts a guaranteed [`SimNetwork::send`] makes before concluding the
+/// fault pattern cannot be out-waited within the superstep and delivering
+/// anyway (every failed attempt stays charged).
+const FORCED_SEND_ATTEMPTS: u64 = 16;
 
 /// Byte-accurate network simulation for a fixed set of nodes.
 #[derive(Clone, Debug)]
@@ -27,6 +68,15 @@ pub struct SimNetwork {
     total_stats: TrafficStats,
     epoch_time: f64,
     total_time: f64,
+    /// Fault machinery; `None` keeps every hot path identical to the
+    /// fault-free implementation.
+    faults: Option<FaultInjector>,
+    /// Completed supersteps (keys the injector's stateless hashes).
+    superstep: u64,
+    /// Messages attempted within the current superstep.
+    msg_seq: u64,
+    /// Timeout-detection seconds charged per node, consumed at flush.
+    pending_delay: Vec<f64>,
 }
 
 impl SimNetwork {
@@ -41,7 +91,25 @@ impl SimNetwork {
             total_stats: TrafficStats::default(),
             epoch_time: 0.0,
             total_time: 0.0,
+            faults: None,
+            superstep: 0,
+            msg_seq: 0,
+            pending_delay: vec![0.0; num_nodes],
         }
+    }
+
+    /// Creates a network whose transmissions are subjected to `plan`.
+    /// [`FaultPlan::none`] yields a network bit-identical to
+    /// [`SimNetwork::new`].
+    ///
+    /// # Panics
+    /// Panics when the plan fails [`FaultPlan::validate`].
+    pub fn with_faults(num_nodes: usize, model: NetworkModel, plan: FaultPlan) -> Self {
+        let mut net = Self::new(num_nodes, model);
+        if !plan.is_none() {
+            net.faults = Some(FaultInjector::new(plan));
+        }
+        net
     }
 
     /// Number of simulated machines.
@@ -54,13 +122,18 @@ impl SimNetwork {
         self.model
     }
 
-    /// Records one message of `bytes` from `from` to `to` on `channel`.
-    /// Same-node transfers are free and unrecorded.
-    pub fn send(&mut self, from: usize, to: usize, channel: Channel, bytes: u64) {
-        assert!(from < self.num_nodes() && to < self.num_nodes(), "node out of range");
-        if from == to {
-            return;
-        }
+    /// The fault injector, when fault injection is active.
+    pub fn faults(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
+    }
+
+    /// Completed supersteps since construction (the outage clock).
+    pub fn superstep_index(&self) -> u64 {
+        self.superstep
+    }
+
+    /// Records a delivered message on the per-node NICs and the ledgers.
+    fn deliver(&mut self, from: usize, to: usize, channel: Channel, bytes: u64) {
         self.out_bytes[from] += bytes;
         self.out_msgs[from] += 1;
         self.in_bytes[to] += bytes;
@@ -68,18 +141,118 @@ impl SimNetwork {
         self.total_stats.record(channel, bytes);
     }
 
+    /// One transmission attempt under fault injection.
+    fn attempt(
+        &mut self,
+        from: usize,
+        to: usize,
+        channel: Channel,
+        bytes: u64,
+    ) -> Result<(), SendError> {
+        let injector = self.faults.as_ref().expect("attempt requires an injector");
+        let decision = injector.decide(self.superstep, from, to, self.msg_seq);
+        let timeout = injector.timeout_cost(self.model.latency);
+        self.msg_seq += 1;
+        match decision {
+            FaultDecision::Deliver => {
+                self.deliver(from, to, channel, bytes);
+                Ok(())
+            }
+            FaultDecision::Duplicate => {
+                self.deliver(from, to, channel, bytes);
+                // The redundant copy crosses the wire too; the receiver
+                // discards it after paying for its reception.
+                self.deliver(from, to, Channel::Retry, bytes);
+                Ok(())
+            }
+            FaultDecision::Drop => {
+                // The sender transmits into the void; the receiver learns
+                // nothing until its timeout fires.
+                self.out_bytes[from] += bytes;
+                self.out_msgs[from] += 1;
+                self.epoch_stats.record(Channel::Retry, bytes);
+                self.total_stats.record(Channel::Retry, bytes);
+                self.pending_delay[from] += timeout;
+                self.pending_delay[to] += timeout;
+                Err(SendError::Dropped)
+            }
+            FaultDecision::Corrupt => {
+                // Full transfer on both NICs, then the checksum fails.
+                self.deliver(from, to, Channel::Retry, bytes);
+                self.pending_delay[from] += timeout;
+                self.pending_delay[to] += timeout;
+                Err(SendError::Corrupted)
+            }
+        }
+    }
+
+    /// Records one message of `bytes` from `from` to `to` on `channel`.
+    /// Same-node transfers are free and unrecorded.
+    ///
+    /// Under fault injection the message is retried until delivered
+    /// (charging every failed attempt); `send` never loses data, making it
+    /// the right primitive for traffic whose loss the engine cannot absorb
+    /// (gradients, parameters, trend boundaries).
+    pub fn send(&mut self, from: usize, to: usize, channel: Channel, bytes: u64) {
+        debug_assert!(from < self.num_nodes() && to < self.num_nodes(), "node out of range");
+        if from == to {
+            return;
+        }
+        if self.faults.is_none() {
+            self.deliver(from, to, channel, bytes);
+            return;
+        }
+        for _ in 0..FORCED_SEND_ATTEMPTS {
+            if self.attempt(from, to, channel, bytes).is_ok() {
+                return;
+            }
+        }
+        // The link is saturated with faults (e.g. an outage): the transfer
+        // completes once conditions clear; the wait is already charged.
+        self.deliver(from, to, channel, bytes);
+    }
+
+    /// Attempts to deliver one message, reporting a drop or corruption to
+    /// the caller instead of retrying. Failed attempts charge their bytes
+    /// to [`Channel::Retry`] plus a timeout-detection delay on both
+    /// endpoints. Without fault injection this is exactly [`Self::send`].
+    pub fn try_send(
+        &mut self,
+        from: usize,
+        to: usize,
+        channel: Channel,
+        bytes: u64,
+    ) -> Result<(), SendError> {
+        debug_assert!(from < self.num_nodes() && to < self.num_nodes(), "node out of range");
+        if from == to {
+            return Ok(());
+        }
+        if self.faults.is_none() {
+            self.deliver(from, to, channel, bytes);
+            return Ok(());
+        }
+        self.attempt(from, to, channel, bytes)
+    }
+
     /// Closes the current superstep: derives its communication time from
-    /// the busiest NIC, accumulates it, and clears the per-node counters.
+    /// the busiest NIC (straggler-scaled, plus any timeout-detection
+    /// delays), accumulates it, and clears the per-node counters.
     pub fn flush_superstep(&mut self) -> f64 {
         let mut t: f64 = 0.0;
         for node in 0..self.num_nodes() {
             let wire = self.in_bytes[node].max(self.out_bytes[node]);
-            let node_t = self.model.transfer_time(wire, self.out_msgs[node]);
+            let mut node_t = self.model.transfer_time(wire, self.out_msgs[node]);
+            if let Some(injector) = &self.faults {
+                node_t = node_t * injector.straggler_factor(node) + self.pending_delay[node];
+            }
             t = t.max(node_t);
         }
         self.in_bytes.iter_mut().for_each(|x| *x = 0);
         self.out_bytes.iter_mut().for_each(|x| *x = 0);
         self.out_msgs.iter_mut().for_each(|x| *x = 0);
+        self.pending_delay.iter_mut().for_each(|x| *x = 0.0);
+        self.superstep += 1;
+        self.msg_seq = 0;
         self.epoch_time += t;
         self.total_time += t;
         t
@@ -109,6 +282,7 @@ impl SimNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ec_faults::LinkFaults;
 
     fn net(nodes: usize) -> SimNetwork {
         SimNetwork::new(nodes, NetworkModel { bandwidth: 1000.0, latency: 0.0 })
@@ -182,5 +356,117 @@ mod tests {
     fn send_rejects_unknown_node() {
         let mut n = net(2);
         n.send(0, 5, Channel::Forward, 1);
+    }
+
+    #[test]
+    fn none_plan_is_bit_identical_to_plain_network() {
+        let model = NetworkModel { bandwidth: 997.0, latency: 0.003 };
+        let mut plain = SimNetwork::new(3, model);
+        let mut faulty = SimNetwork::with_faults(3, model, FaultPlan::none());
+        assert!(faulty.faults().is_none(), "none plan must not allocate an injector");
+        for step in 0..5u64 {
+            for m in 0..7 {
+                let from = (m % 3) as usize;
+                let to = ((m + step) % 3) as usize;
+                plain.send(from, to, Channel::Forward, 100 + m);
+                faulty.send(from, to, Channel::Forward, 100 + m);
+            }
+            assert_eq!(plain.flush_superstep().to_bits(), faulty.flush_superstep().to_bits());
+        }
+        let (ps, pt) = plain.end_epoch();
+        let (fs, ft) = faulty.end_epoch();
+        assert_eq!(ps, fs);
+        assert_eq!(pt.to_bits(), ft.to_bits());
+    }
+
+    #[test]
+    fn try_send_reports_drops_and_charges_retry_bytes() {
+        let plan = FaultPlan::uniform_drop(11, 1.0);
+        let mut n =
+            SimNetwork::with_faults(2, NetworkModel { bandwidth: 1000.0, latency: 0.01 }, plan);
+        assert_eq!(n.try_send(0, 1, Channel::Forward, 4000), Err(SendError::Dropped));
+        let stats = n.total_stats();
+        assert_eq!(stats.fp_bytes, 0);
+        assert_eq!(stats.retry_bytes, 4000);
+        // Sender NIC spent the bytes, and the timeout delay lands in the
+        // superstep time: 4000/1000 + 1·latency + 4·latency timeout.
+        let t = n.flush_superstep();
+        assert!(t > 4.0, "t={t} missing timeout charge");
+    }
+
+    #[test]
+    fn send_is_guaranteed_even_under_heavy_loss() {
+        let plan = FaultPlan { link: LinkFaults::dropping(0.9), ..FaultPlan::uniform_drop(5, 0.9) };
+        let mut n = SimNetwork::with_faults(2, NetworkModel { bandwidth: 1e9, latency: 0.0 }, plan);
+        n.send(0, 1, Channel::Forward, 1000);
+        let stats = n.total_stats();
+        assert_eq!(stats.fp_bytes, 1000, "payload must eventually deliver");
+        assert!(stats.retry_bytes >= 1000, "failed attempts must be charged");
+    }
+
+    #[test]
+    fn duplicates_deliver_once_and_charge_the_copy() {
+        let plan = FaultPlan {
+            link: LinkFaults { dup_p: 1.0, ..LinkFaults::none() },
+            ..FaultPlan::none()
+        };
+        let plan = FaultPlan { seed: 1, ..plan };
+        let mut n =
+            SimNetwork::with_faults(2, NetworkModel { bandwidth: 1000.0, latency: 0.0 }, plan);
+        n.try_send(0, 1, Channel::Backward, 500).unwrap();
+        let stats = n.total_stats();
+        assert_eq!(stats.bp_bytes, 500);
+        assert_eq!(stats.retry_bytes, 500);
+        assert_eq!(stats.messages, 2);
+    }
+
+    #[test]
+    fn outage_blocks_try_send_until_window_ends() {
+        let plan = FaultPlan::none().with_outage(Some(0), Some(1), 0, 2);
+        let mut n = SimNetwork::with_faults(2, NetworkModel { bandwidth: 1e6, latency: 0.0 }, plan);
+        assert!(n.try_send(0, 1, Channel::Forward, 10).is_err());
+        assert!(n.try_send(1, 0, Channel::Forward, 10).is_ok(), "reverse link unaffected");
+        n.flush_superstep();
+        assert!(n.try_send(0, 1, Channel::Forward, 10).is_err(), "superstep 1 still out");
+        n.flush_superstep();
+        assert!(n.try_send(0, 1, Channel::Forward, 10).is_ok(), "outage over");
+    }
+
+    #[test]
+    fn stragglers_stretch_their_nic_time() {
+        let model = NetworkModel { bandwidth: 1000.0, latency: 0.0 };
+        let mut fast = SimNetwork::with_faults(2, model, FaultPlan::none().with_straggler(9, 3.0));
+        let mut slow = SimNetwork::with_faults(2, model, FaultPlan::none().with_straggler(1, 3.0));
+        fast.send(0, 1, Channel::Forward, 1000);
+        slow.send(0, 1, Channel::Forward, 1000);
+        let t_fast = fast.flush_superstep();
+        let t_slow = slow.flush_superstep();
+        assert!((t_fast - 1.0).abs() < 1e-9, "t_fast={t_fast}");
+        assert!((t_slow - 3.0).abs() < 1e-9, "straggler receiver: t_slow={t_slow}");
+    }
+
+    #[test]
+    fn fault_runs_are_reproducible() {
+        let run = || {
+            let plan = FaultPlan::uniform_drop(1234, 0.2);
+            let mut n =
+                SimNetwork::with_faults(4, NetworkModel { bandwidth: 1e5, latency: 1e-4 }, plan);
+            let mut failures = 0u32;
+            for step in 0..6u64 {
+                for m in 0..40u64 {
+                    let from = (m % 4) as usize;
+                    let to = ((m + 1 + step) % 4) as usize;
+                    if n.try_send(from, to, Channel::Forward, 256).is_err() {
+                        failures += 1;
+                    }
+                }
+                n.flush_superstep();
+            }
+            (failures, n.total_stats(), n.total_time().to_bits())
+        };
+        assert_eq!(run(), run());
+        let (failures, stats, _) = run();
+        assert!(failures > 0, "0.2 drop rate must produce failures");
+        assert!(stats.retry_bytes > 0);
     }
 }

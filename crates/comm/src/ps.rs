@@ -327,10 +327,7 @@ mod tests {
     #[should_panic(expected = "shape mismatch")]
     fn push_rejects_wrong_shape() {
         let mut ps = group();
-        ps.push(&[
-            (Matrix::zeros(2, 2), vec![0.0; 3]),
-            (Matrix::zeros(3, 2), vec![0.0; 2]),
-        ]);
+        ps.push(&[(Matrix::zeros(2, 2), vec![0.0; 3]), (Matrix::zeros(3, 2), vec![0.0; 2])]);
     }
 }
 
@@ -379,6 +376,69 @@ impl ParameterServerGroup {
         self.set_weights(&weights);
         Ok(())
     }
+
+    /// Serializes the complete optimizer state — weights, biases, Adam
+    /// first/second moments, pending gradient accumulators, the Adam step
+    /// counter and pending push count — so a restored group continues
+    /// training bit-identically to an uninterrupted one. (Contrast with
+    /// [`Self::save_weights`], which persists only the inference state.)
+    pub fn state_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&self.step.to_le_bytes());
+        buf.extend_from_slice(&(self.pushes_since_update as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.layers.len() as u32).to_le_bytes());
+        let put_vec = |buf: &mut Vec<u8>, v: &[f32]| {
+            crate::codec::put_matrix(buf, &Matrix::from_vec(1, v.len(), v.to_vec()));
+        };
+        for lp in &self.layers {
+            crate::codec::put_matrix(&mut buf, &lp.w);
+            put_vec(&mut buf, &lp.b);
+            crate::codec::put_matrix(&mut buf, &lp.m_w);
+            crate::codec::put_matrix(&mut buf, &lp.v_w);
+            put_vec(&mut buf, &lp.m_b);
+            put_vec(&mut buf, &lp.v_b);
+            crate::codec::put_matrix(&mut buf, &lp.grad_w);
+            put_vec(&mut buf, &lp.grad_b);
+        }
+        buf
+    }
+
+    /// Restores state captured by [`Self::state_bytes`].
+    ///
+    /// Fails when the snapshot's layer shapes do not match this group's.
+    pub fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
+        if bytes.len() < 20 {
+            return Err("state snapshot truncated".into());
+        }
+        let step = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+        let pushes = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        let count = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
+        if count != self.layers.len() {
+            return Err(format!("snapshot has {count} layers, expected {}", self.layers.len()));
+        }
+        let mut slice = &bytes[20..];
+        let mut restored = Vec::with_capacity(count);
+        for _ in 0..count {
+            let w = crate::codec::get_matrix(&mut slice)?;
+            let b = crate::codec::get_matrix(&mut slice)?.into_vec();
+            let m_w = crate::codec::get_matrix(&mut slice)?;
+            let v_w = crate::codec::get_matrix(&mut slice)?;
+            let m_b = crate::codec::get_matrix(&mut slice)?.into_vec();
+            let v_b = crate::codec::get_matrix(&mut slice)?.into_vec();
+            let grad_w = crate::codec::get_matrix(&mut slice)?;
+            let grad_b = crate::codec::get_matrix(&mut slice)?.into_vec();
+            restored.push(LayerParams { w, b, m_w, v_w, m_b, v_b, grad_w, grad_b });
+        }
+        for (lp, new) in self.layers.iter().zip(&restored) {
+            if new.w.shape() != lp.w.shape() || new.b.len() != lp.b.len() {
+                return Err("snapshot shape mismatch".into());
+            }
+        }
+        self.step = step;
+        self.pushes_since_update = pushes;
+        self.layers = restored;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -402,6 +462,61 @@ mod checkpoint_tests {
         assert_eq!(other.pull(0).0, ps.pull(0).0);
         assert_eq!(other.pull(1).1, ps.pull(1).1);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn full_state_round_trip_resumes_bit_identically() {
+        // Train a few steps, snapshot, train more; a group restored from
+        // the snapshot and fed the same gradients must match exactly —
+        // this requires the Adam moments and step counter, not just the
+        // weights.
+        let shapes = [(4, 3), (3, 2)];
+        let grads = |s: f32| {
+            vec![(Matrix::filled(4, 3, s), vec![s; 3]), (Matrix::filled(3, 2, s), vec![s; 2])]
+        };
+        let mut ps = ParameterServerGroup::new(&shapes, 2, AdamParams::default(), 7);
+        for i in 0..5 {
+            ps.push(&grads(0.1 * i as f32));
+            ps.apply_update();
+        }
+        let snapshot = ps.state_bytes();
+        let mut restored = ParameterServerGroup::new(&shapes, 2, AdamParams::default(), 99);
+        restored.restore_state(&snapshot).unwrap();
+        for i in 0..5 {
+            let g = grads(0.05 * i as f32);
+            ps.push(&g);
+            ps.apply_update();
+            restored.push(&g);
+            restored.apply_update();
+        }
+        assert_eq!(ps.pull(0).0, restored.pull(0).0);
+        assert_eq!(ps.pull(1).1, restored.pull(1).1);
+
+        // Weights-only restore diverges once moments matter.
+        let mut weights_only = ParameterServerGroup::new(&shapes, 2, AdamParams::default(), 99);
+        let path = tmp("weights-only.bin");
+        ps.save_weights(&path).unwrap();
+        weights_only.load_weights(&path).unwrap();
+        std::fs::remove_file(path).ok();
+        let g = grads(0.2);
+        ps.push(&g);
+        ps.apply_update();
+        weights_only.push(&g);
+        weights_only.apply_update();
+        assert_ne!(ps.pull(0).0, weights_only.pull(0).0);
+    }
+
+    #[test]
+    fn restore_state_rejects_mismatch() {
+        let ps = ParameterServerGroup::new(&[(4, 3)], 1, AdamParams::default(), 1);
+        let snap = ps.state_bytes();
+        let mut other = ParameterServerGroup::new(&[(4, 3), (3, 2)], 1, AdamParams::default(), 1);
+        assert!(other.restore_state(&snap).is_err());
+        let mut wrong_shape = ParameterServerGroup::new(&[(5, 3)], 1, AdamParams::default(), 1);
+        assert!(wrong_shape.restore_state(&snap).is_err());
+        let mut ok = ParameterServerGroup::new(&[(4, 3)], 1, AdamParams::default(), 2);
+        assert!(ok.restore_state(&snap[..10]).is_err(), "truncated snapshot must fail");
+        assert!(ok.restore_state(&snap).is_ok());
     }
 
     #[test]

@@ -18,6 +18,9 @@ pub enum Channel {
     Parameter,
     /// Control traffic (vertex-id requests, selector arrays, proportions).
     Control,
+    /// Wasted transmissions under fault injection: dropped or corrupted
+    /// attempts and redundant duplicate deliveries.
+    Retry,
 }
 
 /// Byte and message counters, split per channel.
@@ -31,6 +34,8 @@ pub struct TrafficStats {
     pub param_bytes: u64,
     /// Request/selector/control bytes.
     pub control_bytes: u64,
+    /// Bytes wasted on failed or duplicated transmissions (fault injection).
+    pub retry_bytes: u64,
     /// Total number of messages.
     pub messages: u64,
 }
@@ -43,13 +48,14 @@ impl TrafficStats {
             Channel::Backward => self.bp_bytes += bytes,
             Channel::Parameter => self.param_bytes += bytes,
             Channel::Control => self.control_bytes += bytes,
+            Channel::Retry => self.retry_bytes += bytes,
         }
         self.messages += 1;
     }
 
     /// Total bytes across all channels.
     pub fn total_bytes(&self) -> u64 {
-        self.fp_bytes + self.bp_bytes + self.param_bytes + self.control_bytes
+        self.fp_bytes + self.bp_bytes + self.param_bytes + self.control_bytes + self.retry_bytes
     }
 
     /// Adds another ledger into this one.
@@ -58,6 +64,7 @@ impl TrafficStats {
         self.bp_bytes += other.bp_bytes;
         self.param_bytes += other.param_bytes;
         self.control_bytes += other.control_bytes;
+        self.retry_bytes += other.retry_bytes;
         self.messages += other.messages;
     }
 
@@ -96,6 +103,18 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.fp_bytes, 42);
         assert_eq!(a.messages, 3);
+    }
+
+    #[test]
+    fn retry_bytes_count_toward_total() {
+        let mut s = TrafficStats::default();
+        s.record(Channel::Forward, 100);
+        s.record(Channel::Retry, 40);
+        assert_eq!(s.retry_bytes, 40);
+        assert_eq!(s.total_bytes(), 140);
+        let mut merged = TrafficStats::default();
+        merged.merge(&s);
+        assert_eq!(merged.retry_bytes, 40);
     }
 
     #[test]

@@ -47,7 +47,13 @@ pub fn mean_abs_error(original: &Matrix, q: &Quantized) -> f32 {
 /// `(1+α)^{L-l} · G² / (1 - α²(1 + 1/ρ))`.
 ///
 /// Returns `None` when the bound's precondition `α² (1 + 1/ρ) < 1` fails.
-pub fn theorem1_bound(alpha: f64, rho: f64, grad_norm_sq: f64, num_layers: usize, layer: usize) -> Option<f64> {
+pub fn theorem1_bound(
+    alpha: f64,
+    rho: f64,
+    grad_norm_sq: f64,
+    num_layers: usize,
+    layer: usize,
+) -> Option<f64> {
     assert!(layer >= 1 && layer <= num_layers, "layer out of range");
     let denom = 1.0 - alpha * alpha * (1.0 + 1.0 / rho);
     if denom <= 0.0 || rho <= 0.0 {

@@ -67,14 +67,7 @@ impl Quantized {
                 })
                 .collect()
         };
-        Self {
-            rows: m.rows(),
-            cols: m.cols(),
-            bits,
-            min,
-            max,
-            packed: bitpack::pack(&codes, bits),
-        }
+        Self { rows: m.rows(), cols: m.cols(), bits, min, max, packed: bitpack::pack(&codes, bits) }
     }
 
     /// Reconstructs the matrix, each coordinate becoming the midpoint of its
@@ -87,10 +80,8 @@ impl Quantized {
             return Matrix::filled(self.rows, self.cols, self.min);
         }
         let width = range / (1u32 << self.bits) as f32;
-        let data: Vec<f32> = codes
-            .into_iter()
-            .map(|c| self.min + (c as f32 + 0.5) * width)
-            .collect();
+        let data: Vec<f32> =
+            codes.into_iter().map(|c| self.min + (c as f32 + 0.5) * width).collect();
         Matrix::from_vec(self.rows, self.cols, data)
     }
 
@@ -159,10 +150,7 @@ impl Quantized {
             .map(|total_bits| total_bits.div_ceil(8))
             .ok_or_else(|| format!("claimed size {rows}x{cols} overflows"))?;
         if buf.len() - 17 != expected {
-            return Err(format!(
-                "payload length {} != expected {expected}",
-                buf.len() - 17
-            ));
+            return Err(format!("payload length {} != expected {expected}", buf.len() - 17));
         }
         Ok(Self { rows, cols, bits, min, max, packed: buf[17..].to_vec() })
     }
@@ -233,10 +221,7 @@ mod tests {
         for bits in [1u8, 2, 4, 8, 16] {
             let r = Quantized::compress(&m, bits).compression_ratio();
             let ideal = 32.0 / bits as f64;
-            assert!(
-                (r - ideal).abs() / ideal < 0.02,
-                "bits={bits}: ratio {r} vs ideal {ideal}"
-            );
+            assert!((r - ideal).abs() / ideal < 0.02, "bits={bits}: ratio {r} vs ideal {ideal}");
         }
     }
 

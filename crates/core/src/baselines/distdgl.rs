@@ -75,11 +75,7 @@ pub fn train_minibatch(
     let num_layers = config.fanouts.len();
     let mut network = SimNetwork::new(num_workers + config.num_servers, config.network);
     let mut ps = ParameterServerGroup::new(
-        &config
-            .dims
-            .windows(2)
-            .map(|w| (w[0], w[1]))
-            .collect::<Vec<_>>(),
+        &config.dims.windows(2).map(|w| (w[0], w[1])).collect::<Vec<_>>(),
         config.num_servers,
         config.adam,
         config.seed,
@@ -228,8 +224,7 @@ pub fn train_minibatch(
                 }
                 let labels: Vec<u32> = seeds.iter().map(|&v| data.labels[v]).collect();
                 let mask: Vec<usize> = (0..seeds.len()).collect();
-                let (loss, mut grad) =
-                    masked_softmax_cross_entropy(tape.value(h), &labels, &mask);
+                let (loss, mut grad) = masked_softmax_cross_entropy(tape.value(h), &labels, &mask);
                 // Rescale from batch-mean to global-batch-mean so worker
                 // contributions sum correctly at the servers.
                 let scale = seeds.len() as f32 / total_train as f32 * max_batches as f32;
@@ -272,6 +267,7 @@ pub fn train_minibatch(
             bp_bytes: traffic.bp_bytes,
             param_bytes: traffic.param_bytes,
             total_bytes: traffic.total_bytes(),
+            ..Default::default()
         });
         if val_acc > best_val {
             best_val = val_acc;
@@ -345,11 +341,7 @@ mod tests {
     #[test]
     fn agl_like_prefetches_and_learns() {
         let d = data();
-        let cfg = MiniBatchConfig {
-            online_sampling: false,
-            prefetch_features: true,
-            ..config(&d)
-        };
+        let cfg = MiniBatchConfig { online_sampling: false, prefetch_features: true, ..config(&d) };
         let r = train_minibatch(Arc::clone(&d), &cfg, "agl-like");
         assert!(r.best_val_acc > 0.5, "val {}", r.best_val_acc);
         // ML-centered: no per-epoch forward feature traffic.

@@ -174,7 +174,8 @@ pub fn train_local(
                 g = ops::hadamard(&ops::matmul_a_bt(&ag, &weights[l]), &mask);
             }
         }
-        let mut params: Vec<Matrix> = weights.iter().cloned().chain(biases.iter().cloned()).collect();
+        let mut params: Vec<Matrix> =
+            weights.iter().cloned().chain(biases.iter().cloned()).collect();
         let grads: Vec<Matrix> = w_grads.into_iter().chain(b_grads).collect();
         adam.step(&mut params, &grads);
         weights = params[..num_layers].to_vec();

@@ -70,8 +70,7 @@ fn build_closures(
     let train_set: std::collections::HashSet<usize> = data.split.train.iter().copied().collect();
     (0..num_workers)
         .map(|w| {
-            let locals: Vec<usize> =
-                (0..data.num_vertices()).filter(|&v| owner(v) == w).collect();
+            let locals: Vec<usize> = (0..data.num_vertices()).filter(|&v| owner(v) == w).collect();
             // BFS out to L hops.
             let mut in_closure: Vec<bool> = vec![false; data.num_vertices()];
             let mut vertices = locals.clone();
@@ -99,11 +98,8 @@ fn build_closures(
             let sub = rows.remap_columns(&|c| index.get(&c).copied(), vertices.len());
             let features = data.features.gather_rows(&vertices);
             let labels = vertices.iter().map(|&v| data.labels[v]).collect();
-            let train_local = locals
-                .iter()
-                .filter(|v| train_set.contains(v))
-                .map(|v| index[v])
-                .collect();
+            let train_local =
+                locals.iter().filter(|v| train_set.contains(v)).map(|v| index[v]).collect();
             Closure { vertices, adj: sub, features, labels, train_local }
         })
         .collect()
@@ -235,6 +231,7 @@ pub fn train_ml_centered(
             bp_bytes: traffic.bp_bytes,
             param_bytes: traffic.param_bytes,
             total_bytes: traffic.total_bytes(),
+            ..Default::default()
         });
         if val_acc > best_val {
             best_val = val_acc;

@@ -25,9 +25,7 @@ fn main() -> ExitCode {
     match args.next().as_deref() {
         Some("train") => {
             let kv: HashMap<String, String> = args
-                .filter_map(|a| {
-                    a.split_once('=').map(|(k, v)| (k.to_string(), v.to_string()))
-                })
+                .filter_map(|a| a.split_once('=').map(|(k, v)| (k.to_string(), v.to_string())))
                 .collect();
             match run_train(&kv) {
                 Ok(()) => ExitCode::SUCCESS,
@@ -38,11 +36,19 @@ fn main() -> ExitCode {
             }
         }
         Some("datasets") => {
-            println!("{:<10} {:>12} {:>10} {:>8} {:>8} {:>8}", "name", "paper |V|", "replica", "d0", "classes", "degree");
+            println!(
+                "{:<10} {:>12} {:>10} {:>8} {:>8} {:>8}",
+                "name", "paper |V|", "replica", "d0", "classes", "degree"
+            );
             for s in DatasetSpec::all() {
                 println!(
                     "{:<10} {:>12} {:>10} {:>8} {:>8} {:>8.1}",
-                    s.name, s.paper_vertices, s.default_vertices, s.feature_dim, s.num_classes, s.avg_degree
+                    s.name,
+                    s.paper_vertices,
+                    s.default_vertices,
+                    s.feature_dim,
+                    s.num_classes,
+                    s.avg_degree
                 );
             }
             ExitCode::SUCCESS
@@ -144,9 +150,9 @@ fn parse_fp(s: &str) -> Result<FpMode, String> {
         "cp" => Ok(FpMode::Compressed { bits: num()? }),
         "reqec" => Ok(FpMode::ReqEc { bits: num()?, t_tr: 10, adaptive: false }),
         "reqec-adapt" => Ok(FpMode::ReqEc { bits: num()?, t_tr: 10, adaptive: true }),
-        "delayed" => Ok(FpMode::Delayed {
-            r: arg.parse().map_err(|_| format!("bad delay in '{s}'"))?,
-        }),
+        "delayed" => {
+            Ok(FpMode::Delayed { r: arg.parse().map_err(|_| format!("bad delay in '{s}'"))? })
+        }
         other => Err(format!("unknown fp mode '{other}'")),
     }
 }

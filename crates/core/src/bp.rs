@@ -22,6 +22,16 @@ impl ResidualState {
     pub fn residual_norm_sq(&self) -> f32 {
         self.residual.as_ref().map_or(0.0, ec_tensor::stats::l2_norm_sq)
     }
+
+    /// The residual matrix, for checkpointing.
+    pub fn residual(&self) -> Option<&Matrix> {
+        self.residual.as_ref()
+    }
+
+    /// Rebuilds a state captured via [`ResidualState::residual`].
+    pub fn from_residual(residual: Option<Matrix>) -> Self {
+        Self { residual }
+    }
 }
 
 /// Uncompressed gradient response.
@@ -152,7 +162,7 @@ mod tests {
             max_norm = max_norm.max(st.residual_norm_sq());
         }
         let g_norm_sq = 16.0; // ‖G‖² ≤ rows·cols·1
-        // Bound with α ~ 2^-4 · √(range): generous constant-factor check.
+                              // Bound with α ~ 2^-4 · √(range): generous constant-factor check.
         assert!(max_norm < g_norm_sq, "residual norm² {max_norm} unbounded");
     }
 

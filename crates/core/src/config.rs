@@ -1,7 +1,8 @@
 //! Training configuration for the distributed engine.
 
-use ec_comm::NetworkModel;
 use ec_comm::ps::AdamParams;
+use ec_comm::NetworkModel;
+use ec_faults::FaultPlan;
 use serde::{Deserialize, Serialize};
 
 /// Which GNN model the distributed engine trains.
@@ -71,6 +72,40 @@ pub enum BpMode {
     },
 }
 
+/// How the engine reacts when a forward-pass embedding fetch fails
+/// (dropped or corrupted under fault injection).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResiliencePolicy {
+    /// Keep retrying until the message arrives; every failed attempt is
+    /// charged to the simulated clock (the conventional baseline).
+    #[default]
+    RetryOnly,
+    /// After `max_attempts` failures, substitute the ReqEC-FP predicted
+    /// candidate `Ĥ_pdt = H_base + M_cr · k` for the missing message — zero
+    /// payload, zero further waiting. Falls back to retrying for traffic
+    /// that has no trend state (exact modes, trend boundaries, gradients).
+    EcDegrade,
+}
+
+/// Resilience knobs for training under an active [`FaultPlan`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResilienceConfig {
+    /// Reaction to failed forward-pass fetches.
+    pub policy: ResiliencePolicy,
+    /// Transmission attempts before the policy's fallback engages.
+    pub max_attempts: u32,
+    /// Snapshot the full engine state every this many epochs (crash
+    /// recovery restarts from the latest snapshot). `0` disables periodic
+    /// checkpoints; a crash then replays from epoch 0.
+    pub checkpoint_every: usize,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self { policy: ResiliencePolicy::RetryOnly, max_attempts: 3, checkpoint_every: 0 }
+    }
+}
+
 /// Full configuration of one distributed training run.
 #[derive(Clone, Debug)]
 pub struct TrainingConfig {
@@ -92,6 +127,11 @@ pub struct TrainingConfig {
     pub adam: AdamParams,
     /// Network timing model for the simulated cluster.
     pub network: NetworkModel,
+    /// Fault-injection plan for the simulated cluster
+    /// ([`FaultPlan::none`] = the ideal, loss-free network).
+    pub faults: FaultPlan,
+    /// Reaction to injected faults (ignored when `faults` is none).
+    pub resilience: ResilienceConfig,
     /// Seed for weight initialization.
     pub seed: u64,
     /// Maximum training epochs.
@@ -117,6 +157,8 @@ impl TrainingConfig {
             bp_mode: BpMode::Exact,
             adam: AdamParams::default(),
             network: NetworkModel::gigabit_ethernet(),
+            faults: FaultPlan::none(),
+            resilience: ResilienceConfig::default(),
             seed: 1,
             max_epochs: 200,
             patience: None,
@@ -176,6 +218,18 @@ impl TrainingConfig {
             }
             BpMode::Exact => {}
         }
+        self.faults.validate()?;
+        if self.resilience.max_attempts == 0 {
+            return Err("resilience.max_attempts must be positive".into());
+        }
+        for crash in &self.faults.crashes {
+            if crash.worker >= self.num_workers {
+                return Err(format!(
+                    "crash event targets worker {} but only {} exist",
+                    crash.worker, self.num_workers
+                ));
+            }
+        }
         Ok(())
     }
 }
@@ -213,6 +267,21 @@ mod tests {
         c.bp_mode = BpMode::TopkEc { ratio: 1.5 };
         assert!(c.validate().is_err());
         c.bp_mode = BpMode::TopkEc { ratio: 0.1 };
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_resilience() {
+        let mut c = TrainingConfig::defaults(8, 2);
+        c.resilience.max_attempts = 0;
+        assert!(c.validate().is_err());
+        let mut c = TrainingConfig::defaults(8, 2);
+        c.faults = FaultPlan::uniform_drop(1, 2.0);
+        assert!(c.validate().is_err(), "probabilities above 1 must be rejected");
+        let mut c = TrainingConfig::defaults(8, 2);
+        c.faults = FaultPlan::none().with_crash(c.num_workers, 3);
+        assert!(c.validate().is_err(), "crash must target an existing worker");
+        c.faults = FaultPlan::none().with_crash(0, 3);
         assert!(c.validate().is_ok());
     }
 

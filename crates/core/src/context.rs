@@ -70,7 +70,8 @@ pub fn build_layer_topologies(adj: &CsrMatrix, partition: &Partition) -> Vec<Arc
                 local.iter().enumerate().map(|(i, &v)| (v, i)).collect();
             // Collect remote columns referenced by the local rows.
             let rows = adj.select_rows(local);
-            let mut remote_set: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+            let mut remote_set: std::collections::BTreeSet<usize> =
+                std::collections::BTreeSet::new();
             for r in 0..rows.rows() {
                 for (c, _) in rows.row_entries(r) {
                     if !local_index.contains_key(&c) {
@@ -130,8 +131,7 @@ pub fn build_worker_contexts(adjs: &[Arc<CsrMatrix>], partition: &Partition) -> 
     (0..num_parts)
         .map(|w| {
             let local_vertices = locals[w].clone();
-            let global_to_local =
-                local_vertices.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+            let global_to_local = local_vertices.iter().enumerate().map(|(i, &v)| (v, i)).collect();
             let layers = per_layer.iter().map(|l| Arc::clone(&l[w])).collect();
             WorkerContext { worker_id: w, local_vertices, global_to_local, layers }
         })
@@ -199,7 +199,8 @@ mod tests {
         let global = adj.spmm(&ops::matmul(&h, &w));
         for ctx in &ctxs {
             let topo = &ctx.layers[0];
-            let h_cat = h.gather_rows(&ctx.local_vertices).vstack(&h.gather_rows(&topo.remote_deps));
+            let h_cat =
+                h.gather_rows(&ctx.local_vertices).vstack(&h.gather_rows(&topo.remote_deps));
             let local_out = topo.adj_local.spmm(&ops::matmul(&h_cat, &w));
             assert!(local_out.approx_eq(&global.gather_rows(&ctx.local_vertices), 1e-5));
         }

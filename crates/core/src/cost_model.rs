@@ -57,10 +57,7 @@ pub fn ec_graph_costs(p: &CostParams) -> CostEstimate {
     CostEstimate {
         memory: p.avg_degree * p.avg_dim,
         compute: p.layers as f64 * p.avg_dim * p.avg_dim,
-        communication: p.iterations as f64
-            * p.layers as f64
-            * p.avg_remote_degree
-            * p.avg_dim
+        communication: p.iterations as f64 * p.layers as f64 * p.avg_remote_degree * p.avg_dim
             / (32.0 / p.bits as f64),
     }
 }

@@ -23,7 +23,7 @@
 #![allow(clippy::needless_range_loop)] // worker indices double as node ids
 
 use crate::bp::{self, ResidualState};
-use crate::config::{BpMode, FpMode, ModelKind, TrainingConfig};
+use crate::config::{BpMode, FpMode, ModelKind, ResiliencePolicy, TrainingConfig};
 use crate::context::{build_worker_contexts, WorkerContext};
 use crate::fp::{self, TrendState};
 use ec_comm::stats::Channel;
@@ -52,6 +52,9 @@ pub struct EpochStats {
     pub comm_s: f64,
     /// Traffic ledger for this epoch.
     pub traffic: TrafficStats,
+    /// Forward-pass messages replaced by the ReqEC-FP prediction because
+    /// the transfer kept failing (EC-degrade resilience policy).
+    pub degraded: u64,
 }
 
 impl EpochStats {
@@ -120,8 +123,35 @@ pub struct DistributedEngine {
     /// Total L1 reconstruction error of all FP messages in the last epoch
     /// (diagnostics; exact modes report 0).
     fp_recon_err: f64,
+    /// FP messages degraded to the prediction in the current epoch.
+    fp_degraded: u64,
 
     epoch: usize,
+}
+
+/// A complete in-memory image of the mutable training state: model
+/// parameters with their Adam moments, the epoch counter, and every piece
+/// of error-compensation memory (FP trend groups, delayed-mode caches,
+/// adaptive bit widths, pending Bit-Tuner observations, BP residuals).
+/// Restoring it into an engine built from the same inputs resumes training
+/// with losses identical to the uninterrupted run — activations and
+/// gradients are recomputed each epoch and need no snapshotting.
+#[derive(Clone)]
+pub struct EngineSnapshot {
+    epoch: usize,
+    ps_state: Vec<u8>,
+    fp_trend: HashMap<(usize, usize, usize), TrendState>,
+    fp_cache: HashMap<(usize, usize, usize), Option<Matrix>>,
+    fp_bits: Vec<Vec<u8>>,
+    fp_prop: HashMap<(usize, usize), f32>,
+    bp_residual: HashMap<(usize, usize, usize), ResidualState>,
+}
+
+impl EngineSnapshot {
+    /// The epoch count at capture time (number of completed epochs).
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
 }
 
 impl DistributedEngine {
@@ -153,7 +183,7 @@ impl DistributedEngine {
 
         let num_workers = config.num_workers;
         let num_nodes = num_workers + config.num_servers;
-        let mut network = SimNetwork::new(num_nodes, config.network);
+        let mut network = SimNetwork::with_faults(num_nodes, config.network, config.faults.clone());
         // Sage carries a second (root/self) weight matrix per layer; the
         // servers store it at slot `L + l`.
         let mut shapes = config.layer_shapes();
@@ -244,6 +274,7 @@ impl DistributedEngine {
             fp_bits,
             fp_prop: HashMap::new(),
             fp_recon_err: 0.0,
+            fp_degraded: 0,
             bp_residual: HashMap::new(),
             epoch: 0,
         }
@@ -284,6 +315,38 @@ impl DistributedEngine {
         self.ps.load_weights(path)
     }
 
+    /// Captures the complete mutable training state — see
+    /// [`EngineSnapshot`]. This is the checkpoint crash recovery restores
+    /// from; unlike [`Self::save_checkpoint`] it includes the Adam moments
+    /// and all error-compensation state, so the resumed loss curve matches
+    /// the uninterrupted one exactly.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            epoch: self.epoch,
+            ps_state: self.ps.state_bytes(),
+            fp_trend: self.fp_trend.clone(),
+            fp_cache: self.fp_cache.clone(),
+            fp_bits: self.fp_bits.clone(),
+            fp_prop: self.fp_prop.clone(),
+            bp_residual: self.bp_residual.clone(),
+        }
+    }
+
+    /// Restores a state captured by [`Self::snapshot`]. The engine must
+    /// have been built from the same configuration (layer shapes are
+    /// checked; graph/partition consistency is the caller's contract).
+    pub fn restore(&mut self, snapshot: &EngineSnapshot) {
+        self.ps.restore_state(&snapshot.ps_state).expect("snapshot/engine mismatch");
+        self.epoch = snapshot.epoch;
+        self.fp_trend = snapshot.fp_trend.clone();
+        self.fp_cache = snapshot.fp_cache.clone();
+        self.fp_bits = snapshot.fp_bits.clone();
+        self.fp_prop = snapshot.fp_prop.clone();
+        self.bp_residual = snapshot.bp_residual.clone();
+        self.fp_degraded = 0;
+        self.fp_recon_err = 0.0;
+    }
+
     /// Current adaptive bit widths, `[requester][owner]`.
     pub fn fp_bits(&self) -> &[Vec<u8>] {
         &self.fp_bits
@@ -292,14 +355,17 @@ impl DistributedEngine {
     /// Squared L2 norms of all live ResEC-BP residuals, keyed by exchange
     /// layer (Theorem-1 instrumentation).
     pub fn bp_residual_norms(&self) -> Vec<(usize, f32)> {
-        self.bp_residual
-            .iter()
-            .map(|(&(_, layer, _), st)| (layer, st.residual_norm_sq()))
-            .collect()
+        self.bp_residual.iter().map(|(&(_, layer, _), st)| (layer, st.residual_norm_sq())).collect()
     }
 
     fn server_node(&self, s: usize) -> usize {
         self.config.num_workers + s
+    }
+
+    /// Straggler slowdown applied to worker `w`'s measured compute time
+    /// (1.0 without fault injection).
+    fn compute_factor(&self, w: usize) -> f64 {
+        self.network.faults().map_or(1.0, |f| f.straggler_factor(w))
     }
 
     /// Runs one full training epoch (Algorithms 1 + 2).
@@ -310,6 +376,7 @@ impl DistributedEngine {
         let mut compute_s = 0.0f64;
         let mut comm_s = 0.0f64;
         self.fp_recon_err = 0.0;
+        self.fp_degraded = 0;
 
         // ---------------- Forward propagation ----------------
         let sage = self.config.model == ModelKind::Sage;
@@ -355,10 +422,9 @@ impl DistributedEngine {
                     ops::add_assign(&mut z, &ops::matmul(&self.h_local[w][l - 1], ws));
                 }
                 z = ops::add_bias(&z, &b_l);
-                self.h_local[w][l] =
-                    if l < num_layers { activations::relu(&z) } else { z.clone() };
+                self.h_local[w][l] = if l < num_layers { activations::relu(&z) } else { z.clone() };
                 self.z_local[w][l - 1] = z;
-                step_max = step_max.max(start.elapsed().as_secs_f64());
+                step_max = step_max.max(start.elapsed().as_secs_f64() * self.compute_factor(w));
             }
             compute_s += step_max;
         }
@@ -377,7 +443,7 @@ impl DistributedEngine {
             );
             loss_sum += loss;
             g_cur.push(g);
-            step_max = step_max.max(start.elapsed().as_secs_f64());
+            step_max = step_max.max(start.elapsed().as_secs_f64() * self.compute_factor(w));
         }
         compute_s += step_max;
 
@@ -419,7 +485,7 @@ impl DistributedEngine {
                     ops::add_assign(&mut flow, &ops::matmul_a_bt(&g_cur[w], ws));
                 }
                 g_cur[w] = ops::hadamard(&flow, &mask);
-                step_max = step_max.max(start.elapsed().as_secs_f64());
+                step_max = step_max.max(start.elapsed().as_secs_f64() * self.compute_factor(w));
             }
             compute_s += step_max;
             grads[l - 1] = Some((y_sum, b_sum));
@@ -447,7 +513,7 @@ impl DistributedEngine {
                 for (acc, g) in b_sum.iter_mut().zip(ops::column_sums(&g_cur[w])) {
                     *acc += g;
                 }
-                step_max = step_max.max(start.elapsed().as_secs_f64());
+                step_max = step_max.max(start.elapsed().as_secs_f64() * self.compute_factor(w));
             }
             compute_s += step_max;
             grads[0] = Some((y_sum, b_sum));
@@ -477,7 +543,14 @@ impl DistributedEngine {
 
         self.epoch += 1;
         let (traffic, _) = self.network.end_epoch();
-        EpochStats { epoch: t, loss: loss_sum, compute_s, comm_s, traffic }
+        EpochStats {
+            epoch: t,
+            loss: loss_sum,
+            compute_s,
+            comm_s,
+            traffic,
+            degraded: self.fp_degraded,
+        }
     }
 
     /// Fetches the remote rows of `H^{l-1}` for requester `i` (exchange for
@@ -495,31 +568,63 @@ impl DistributedEngine {
                 deps.iter().map(|v| self.contexts[j].global_to_local[v]).collect();
             let h_rows = self.h_local[j][l - 1].gather_rows(&local_idx);
 
-            let (reconstructed, wire) = match self.config.fp_mode {
-                FpMode::Exact => fp::respond_exact(&h_rows),
-                FpMode::Compressed { bits } => fp::respond_compressed(&h_rows, bits),
+            let (reconstructed, wire, degrade_pdt) = match self.config.fp_mode {
+                FpMode::Exact => {
+                    let (m, w) = fp::respond_exact(&h_rows);
+                    (m, w, None)
+                }
+                FpMode::Compressed { bits } => {
+                    let (m, w) = fp::respond_compressed(&h_rows, bits);
+                    (m, w, None)
+                }
                 FpMode::ReqEc { t_tr, .. } => {
                     let bits = self.fp_bits[i][j];
                     let granularity = self.config.reqec_granularity;
+                    let ec_degrade = self.config.resilience.policy == ResiliencePolicy::EcDegrade
+                        && self.network.faults().is_some();
                     let state = self.fp_trend.entry((i, l, j)).or_default();
                     let out = fp::reqec_step_with(state, &h_rows, bits, t_tr, t, granularity);
+                    // Degrading is only safe for non-boundary messages:
+                    // boundaries mutate the shared trend state, so losing
+                    // one would desynchronize requester and responder.
+                    let pdt = if ec_degrade && !out.exact_sent { state.predict(t) } else { None };
                     // Record the proportion for the Bit-Tuner when this is
                     // the last FP exchange (Alg. 3 line 13: l == L).
                     if l == self.config.num_layers() && !out.exact_sent {
                         self.fp_bits_feedback(i, j, out.proportion);
                     }
-                    (out.reconstructed, out.wire)
+                    (out.reconstructed, out.wire, pdt)
                 }
                 FpMode::Delayed { r } => {
                     let cache = self.fp_cache.entry((i, l, j)).or_default();
-                    fp::delayed_step(cache, &h_rows, r, t)
+                    let (m, w) = fp::delayed_step(cache, &h_rows, r, t);
+                    (m, w, None)
+                }
+            };
+            self.network.send(i, j, Channel::Control, REQUEST_BYTES);
+            let reconstructed = match degrade_pdt {
+                // EC-degrade: give the transfer a bounded number of
+                // attempts, then fall back to the zero-payload prediction
+                // `Ĥ_pdt = H_base + M_cr·k` instead of waiting further.
+                Some(pdt) => {
+                    let attempts = self.config.resilience.max_attempts;
+                    let delivered = (0..attempts)
+                        .any(|_| self.network.try_send(j, i, Channel::Forward, wire).is_ok());
+                    if delivered {
+                        reconstructed
+                    } else {
+                        self.fp_degraded += 1;
+                        pdt
+                    }
+                }
+                None => {
+                    self.network.send(j, i, Channel::Forward, wire);
+                    reconstructed
                 }
             };
             self.fp_recon_err += ec_tensor::stats::rowwise_l1_distance(&reconstructed, &h_rows)
                 .iter()
                 .sum::<f32>() as f64;
-            self.network.send(i, j, Channel::Control, REQUEST_BYTES);
-            self.network.send(j, i, Channel::Forward, wire);
             for (row, v) in local_rows(&topo.remote_index, deps) {
                 remote.set_row(row, reconstructed.row(v));
             }
@@ -575,8 +680,7 @@ impl DistributedEngine {
     }
 
     fn apply_bit_tuner(&mut self, _t: usize) {
-        let updates: Vec<((usize, usize), f32)> =
-            self.fp_prop.drain().collect();
+        let updates: Vec<((usize, usize), f32)> = self.fp_prop.drain().collect();
         for ((i, j), p) in updates {
             self.fp_bits[i][j] = fp::tune_bits(self.fp_bits[i][j], p);
         }

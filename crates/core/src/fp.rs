@@ -33,6 +33,33 @@ pub struct TrendState {
     base_t: usize,
 }
 
+impl TrendState {
+    /// The predicted candidate `Ĥ_pdt = H_base + M_cr · k` at iteration
+    /// `t`, or `None` before the first trend boundary. This is what a
+    /// requester can substitute for a lost non-boundary message under the
+    /// EC-degrade resilience policy: the prediction needs no payload, and
+    /// because non-boundary exchanges never mutate the trend state, both
+    /// ends stay consistent.
+    pub fn predict(&self, t: usize) -> Option<Matrix> {
+        let base = self.base.as_ref()?;
+        let m_cr = self.m_cr.as_ref()?;
+        let k = t.saturating_sub(self.base_t) as f32;
+        let mut pdt = base.clone();
+        ops::axpy(&mut pdt, m_cr, k);
+        Some(pdt)
+    }
+
+    /// Decomposes the state for checkpointing.
+    pub fn to_parts(&self) -> (Option<&Matrix>, Option<&Matrix>, usize) {
+        (self.base.as_ref(), self.m_cr.as_ref(), self.base_t)
+    }
+
+    /// Rebuilds a state captured by [`TrendState::to_parts`].
+    pub fn from_parts(base: Option<Matrix>, m_cr: Option<Matrix>, base_t: usize) -> Self {
+        Self { base, m_cr, base_t }
+    }
+}
+
 /// Granularity at which the Selector chooses among the three candidate
 /// approximations. The paper: "There are three kinds of granularity for
 /// the approximate representations, including element-wise, vertex-wise
@@ -138,8 +165,7 @@ pub fn reqec_step_with(
             }
             None => Matrix::zeros(rows, cols),
         };
-        let wire =
-            (codec::matrix_wire_size(h_rows) + codec::matrix_wire_size(&m_cr)) as u64;
+        let wire = (codec::matrix_wire_size(h_rows) + codec::matrix_wire_size(&m_cr)) as u64;
         state.base = Some(h_rows.clone());
         state.m_cr = Some(m_cr);
         state.base_t = t;
@@ -218,11 +244,8 @@ pub fn reqec_step_with(
             }
             let non_pdt = h.len() - predicted;
             let selector_bytes = 4 + (h.len() * 2).div_ceil(8);
-            let payload_bytes = if non_pdt > 0 {
-                17 + ec_compress::bitpack::packed_len(non_pdt, bits)
-            } else {
-                0
-            };
+            let payload_bytes =
+                if non_pdt > 0 { 17 + ec_compress::bitpack::packed_len(non_pdt, bits) } else { 0 };
             let wire = (selector_bytes + payload_bytes + 4) as u64;
             let proportion = predicted as f32 / h.len() as f32;
             ReqEcOutcome {
@@ -254,7 +277,12 @@ pub fn reqec_step_with(
 /// `(row + t) % r == 0` are refreshed (uncompressed); the requester keeps
 /// using its stale cache for the rest. The first call populates the cache
 /// in full.
-pub fn delayed_step(cache: &mut Option<Matrix>, h_rows: &Matrix, r: usize, t: usize) -> (Matrix, u64) {
+pub fn delayed_step(
+    cache: &mut Option<Matrix>,
+    h_rows: &Matrix,
+    r: usize,
+    t: usize,
+) -> (Matrix, u64) {
     let rows = h_rows.rows();
     if rows == 0 {
         return (h_rows.clone(), 0);
@@ -397,6 +425,23 @@ mod tests {
     }
 
     #[test]
+    fn predict_matches_the_pdt_candidate() {
+        let mut st = TrendState::default();
+        assert!(st.predict(0).is_none(), "no prediction before the bootstrap");
+        let at = |t: usize| Matrix::from_fn(4, 3, |r, c| 0.1 * t as f32 + 0.01 * (r + c) as f32);
+        reqec_step(&mut st, &at(0), 1, 5, 0);
+        reqec_step(&mut st, &at(4), 1, 5, 4);
+        // Linear trend ⇒ the prediction at t = 6 is (nearly) exact, and it
+        // must agree with what the Selector would build internally.
+        let pdt = st.predict(6).unwrap();
+        assert!(pdt.approx_eq(&at(6), 1e-4));
+        // Round-trip through the checkpoint accessors.
+        let (base, m_cr, base_t) = st.to_parts();
+        let rebuilt = TrendState::from_parts(base.cloned(), m_cr.cloned(), base_t);
+        assert_eq!(rebuilt.predict(6).unwrap(), pdt);
+    }
+
+    #[test]
     fn delayed_first_call_ships_everything() {
         let mut cache = None;
         let h = rows(&[[1.0, 2.0], [3.0, 4.0]]);
@@ -453,9 +498,8 @@ mod tests {
         // reconstruction error is ≤ the vertex-wise one.
         let mut st_v = TrendState::default();
         let mut st_e = TrendState::default();
-        let at = |t: usize| {
-            Matrix::from_fn(8, 6, |r, c| ((t * 13 + r * 7 + c * 3) as f32 * 0.17).sin())
-        };
+        let at =
+            |t: usize| Matrix::from_fn(8, 6, |r, c| ((t * 13 + r * 7 + c * 3) as f32 * 0.17).sin());
         reqec_step_with(&mut st_v, &at(0), 1, 5, 0, Granularity::Vertex);
         reqec_step_with(&mut st_e, &at(0), 1, 5, 0, Granularity::Element);
         for t in 1..4 {
@@ -494,7 +538,11 @@ mod tests {
         reqec_step_with(&mut st_v, &base, 1, 10, 0, Granularity::Vertex);
         reqec_step_with(&mut st_m, &base, 1, 10, 0, Granularity::Matrix);
         let h = Matrix::from_fn(8, 4, |r, c| {
-            if r < 4 { 0.1 * (r + c) as f32 } else { ((r * 5 + c) as f32 * 0.77).sin() }
+            if r < 4 {
+                0.1 * (r + c) as f32
+            } else {
+                ((r * 5 + c) as f32 * 0.77).sin()
+            }
         });
         let v = reqec_step_with(&mut st_v, &h, 1, 10, 1, Granularity::Vertex);
         let m = reqec_step_with(&mut st_m, &h, 1, 10, 1, Granularity::Matrix);

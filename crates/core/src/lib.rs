@@ -47,7 +47,7 @@ pub mod sampling;
 pub mod trainer;
 pub mod wire;
 
-pub use config::{BpMode, FpMode, TrainingConfig};
-pub use engine::DistributedEngine;
+pub use config::{BpMode, FpMode, ResilienceConfig, ResiliencePolicy, TrainingConfig};
+pub use engine::{DistributedEngine, EngineSnapshot};
 pub use report::{EpochRecord, RunResult};
 pub use trainer::train;

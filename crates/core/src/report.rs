@@ -27,8 +27,12 @@ pub struct EpochRecord {
     pub bp_bytes: u64,
     /// Bytes of parameter traffic.
     pub param_bytes: u64,
+    /// Bytes wasted on failed/duplicated transmissions (fault injection).
+    pub retry_bytes: u64,
     /// Total bytes (all channels).
     pub total_bytes: u64,
+    /// FP messages replaced by the ReqEC prediction (EC-degrade policy).
+    pub degraded: u64,
 }
 
 impl EpochRecord {
@@ -53,6 +57,12 @@ pub struct RunResult {
     pub epochs: Vec<EpochRecord>,
     /// Preprocessing seconds (partitioning, caches, offline sampling).
     pub preprocessing_s: f64,
+    /// Simulated seconds lost to worker crashes: the work discarded when
+    /// rolling back to the latest checkpoint (the replay itself appears in
+    /// `epochs` like any other training time).
+    pub recovery_s: f64,
+    /// Worker crashes survived during the run.
+    pub crashes_recovered: usize,
     /// Epoch (0-based) at which validation accuracy peaked.
     pub best_epoch: usize,
     /// Peak validation accuracy.
@@ -78,11 +88,7 @@ impl RunResult {
     /// Simulated time to reach the best-validation epoch — the paper's
     /// "full convergence time".
     pub fn convergence_time(&self) -> f64 {
-        self.epochs
-            .iter()
-            .take(self.best_epoch + 1)
-            .map(EpochRecord::sim_time)
-            .sum()
+        self.epochs.iter().take(self.best_epoch + 1).map(EpochRecord::sim_time).sum()
     }
 
     /// First epoch whose validation accuracy is within `tol` of the run's
@@ -90,10 +96,7 @@ impl RunResult {
     /// should not count as "still converging").
     pub fn convergence_epoch_within(&self, tol: f64) -> usize {
         let threshold = self.best_val_acc - tol;
-        self.epochs
-            .iter()
-            .position(|e| e.val_acc >= threshold)
-            .unwrap_or(self.best_epoch)
+        self.epochs.iter().position(|e| e.val_acc >= threshold).unwrap_or(self.best_epoch)
     }
 
     /// Simulated time to reach [`Self::convergence_epoch_within`].
@@ -105,9 +108,10 @@ impl RunResult {
             .sum()
     }
 
-    /// End-to-end time: preprocessing + convergence time (Fig. 9).
+    /// End-to-end time: preprocessing + crash-recovery losses +
+    /// convergence time (Fig. 9).
     pub fn end_to_end_time(&self) -> f64 {
-        self.preprocessing_s + self.convergence_time()
+        self.preprocessing_s + self.recovery_s + self.convergence_time()
     }
 
     /// Total bytes communicated over the run.
@@ -179,6 +183,16 @@ mod tests {
         assert!((r.convergence_time() - 3.0).abs() < 1e-12);
         assert!((r.end_to_end_time() - 5.0).abs() < 1e-12);
         assert_eq!(r.total_bytes(), 300);
+    }
+
+    #[test]
+    fn recovery_time_counts_toward_end_to_end() {
+        let mut r = sample();
+        r.recovery_s = 2.5;
+        r.crashes_recovered = 1;
+        assert!((r.end_to_end_time() - 7.5).abs() < 1e-12);
+        // ... but not toward the per-epoch averages.
+        assert!((r.avg_epoch_time() - 1.5).abs() < 1e-12);
     }
 
     #[test]

@@ -78,7 +78,12 @@ pub struct Block {
 /// `1` draws `fanouts[l-1]` random neighbours per frontier vertex. Returns
 /// blocks in *forward* order: `blocks[0]` consumes raw features,
 /// `blocks.last()` produces the seed logits.
-pub fn sample_blocks(g: &Graph, seeds: &[usize], fanouts: &[usize], rng: &mut SmallRng) -> Vec<Block> {
+pub fn sample_blocks(
+    g: &Graph,
+    seeds: &[usize],
+    fanouts: &[usize],
+    rng: &mut SmallRng,
+) -> Vec<Block> {
     assert!(!fanouts.is_empty(), "need at least one fan-out");
     let mut blocks: Vec<Block> = Vec::with_capacity(fanouts.len());
     let mut frontier: Vec<usize> = seeds.to_vec();

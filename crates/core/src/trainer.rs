@@ -57,6 +57,15 @@ pub fn train_prepartitioned(
 }
 
 /// Shared epoch loop with early stopping; appends records to `result`.
+///
+/// When the configured [`ec_faults::FaultPlan`] schedules worker crashes,
+/// the loop also plays the failure-recovery protocol: it keeps an
+/// in-memory checkpoint (refreshed every `resilience.checkpoint_every`
+/// epochs), and a crash at epoch `E` discards all work since that
+/// checkpoint — the discarded epochs' simulated time is charged to
+/// [`RunResult::recovery_s`] — before restoring and replaying. Because a
+/// restored engine replays deterministically, the post-recovery loss curve
+/// matches the uninterrupted one.
 pub fn run_epoch_loop(
     engine: &mut DistributedEngine,
     config: &TrainingConfig,
@@ -66,7 +75,51 @@ pub fn run_epoch_loop(
     let mut since_best = 0usize;
     let mut last_val = 0.0f64;
     let mut last_test = 0.0f64;
-    for _ in 0..config.max_epochs {
+
+    let mut crash_epochs: Vec<usize> = config.faults.crashes.iter().map(|c| c.epoch).collect();
+    crash_epochs.sort_unstable();
+    let mut next_crash = 0usize;
+    let ckpt_every = config.resilience.checkpoint_every;
+    // Only pay for snapshots when they can ever be consumed.
+    let mut checkpoint = (!crash_epochs.is_empty()).then(|| engine.snapshot());
+    // Records that predate this loop (normally none) survive any rollback.
+    let base_records = result.epochs.len();
+
+    while engine.epochs_run() < config.max_epochs {
+        let t = engine.epochs_run();
+        if next_crash < crash_epochs.len() && crash_epochs[next_crash] == t {
+            // A worker dies during epoch `t`: its in-memory state is gone,
+            // so the cluster rolls back to the latest checkpoint. Each
+            // scheduled crash fires once (the restarted worker stays up).
+            next_crash += 1;
+            let ckpt = checkpoint.as_ref().expect("crash schedule implies a checkpoint");
+            let keep = (base_records + ckpt.epoch()).min(result.epochs.len());
+            result.recovery_s += result.epochs.drain(keep..).map(|e| e.sim_time()).sum::<f64>();
+            result.crashes_recovered += 1;
+            engine.restore(ckpt);
+            // Rebuild the early-stopping trackers from the surviving
+            // history so the replay is indistinguishable from a run that
+            // never went past the checkpoint.
+            best_val = f64::MIN;
+            since_best = 0;
+            last_val = 0.0;
+            last_test = 0.0;
+            for e in &result.epochs[base_records..] {
+                last_val = e.val_acc;
+                last_test = e.test_acc;
+                if e.val_acc > best_val {
+                    best_val = e.val_acc;
+                    since_best = 0;
+                } else {
+                    since_best += 1;
+                }
+            }
+            continue;
+        }
+        if checkpoint.is_some() && ckpt_every > 0 && t > 0 && t.is_multiple_of(ckpt_every) {
+            checkpoint = Some(engine.snapshot());
+        }
+
         let stats = engine.run_epoch();
         if stats.epoch.is_multiple_of(config.eval_every) {
             let eval = engine.evaluate();
@@ -89,7 +142,9 @@ pub fn run_epoch_loop(
             fp_bytes: stats.traffic.fp_bytes,
             bp_bytes: stats.traffic.bp_bytes,
             param_bytes: stats.traffic.param_bytes,
+            retry_bytes: stats.traffic.retry_bytes,
             total_bytes: stats.traffic.total_bytes(),
+            degraded: stats.degraded,
         });
         if let Some(patience) = config.patience {
             if since_best >= patience {
@@ -144,10 +199,7 @@ mod tests {
         let r_cp = train(Arc::clone(&data), &HashPartitioner::default(), cfg_cp, "cp-2");
         let fp_exact: u64 = r_exact.epochs.iter().map(|e| e.fp_bytes).sum();
         let fp_cp: u64 = r_cp.epochs.iter().map(|e| e.fp_bytes).sum();
-        assert!(
-            fp_cp * 8 < fp_exact,
-            "2-bit FP traffic {fp_cp} not ≪ exact {fp_exact}"
-        );
+        assert!(fp_cp * 8 < fp_exact, "2-bit FP traffic {fp_cp} not ≪ exact {fp_exact}");
     }
 
     #[test]

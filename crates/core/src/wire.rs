@@ -115,11 +115,8 @@ impl FpMessage {
                     return Err("invalid selector code".into());
                 }
                 let middle = &rest[4 + packed_len..rest.len() - 4];
-                let compressed = if middle.is_empty() {
-                    None
-                } else {
-                    Some(Quantized::from_bytes(middle)?)
-                };
+                let compressed =
+                    if middle.is_empty() { None } else { Some(Quantized::from_bytes(middle)?) };
                 let tail: [u8; 4] = rest[rest.len() - 4..].try_into().unwrap();
                 Ok(FpMessage::Selected {
                     selector,
@@ -189,10 +186,7 @@ mod tests {
 
     #[test]
     fn exact_fp_round_trips_and_sizes_match() {
-        let msg = FpMessage::Exact {
-            h: sample_matrix(6, 4, 1),
-            m_cr: sample_matrix(6, 4, 2),
-        };
+        let msg = FpMessage::Exact { h: sample_matrix(6, 4, 1), m_cr: sample_matrix(6, 4, 2) };
         let bytes = msg.to_bytes();
         assert_eq!(bytes.len(), msg.wire_size());
         assert_eq!(FpMessage::from_bytes(&bytes).unwrap(), msg);
@@ -222,11 +216,7 @@ mod tests {
 
     #[test]
     fn selected_fp_round_trips_all_predicted() {
-        let msg = FpMessage::Selected {
-            selector: vec![1; 9],
-            compressed: None,
-            proportion: 1.0,
-        };
+        let msg = FpMessage::Selected { selector: vec![1; 9], compressed: None, proportion: 1.0 };
         let bytes = msg.to_bytes();
         assert_eq!(bytes.len(), msg.wire_size());
         assert_eq!(FpMessage::from_bytes(&bytes).unwrap(), msg);

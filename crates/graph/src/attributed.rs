@@ -44,7 +44,9 @@ impl Split {
         let n_train = (n as f64 * train_frac).round() as usize;
         let n_val = (n as f64 * val_frac).round() as usize;
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_unstable_by_key(|&v| (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17));
+        order.sort_unstable_by_key(|&v| {
+            (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17)
+        });
         for (i, &v) in order.iter().enumerate() {
             if i < n_train {
                 split.train.push(v);
@@ -120,10 +122,7 @@ impl AttributedGraph {
     pub fn validate(&self) -> Result<(), String> {
         let n = self.num_vertices();
         if self.features.rows() != n {
-            return Err(format!(
-                "feature rows {} != vertices {n}",
-                self.features.rows()
-            ));
+            return Err(format!("feature rows {} != vertices {n}", self.features.rows()));
         }
         if self.labels.len() != n {
             return Err(format!("labels {} != vertices {n}", self.labels.len()));

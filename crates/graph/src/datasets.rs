@@ -185,7 +185,12 @@ impl DatasetSpec {
     /// Instantiates with custom vertex count *and* feature dimension
     /// (benches shrink the huge Cora feature dim when it is not the object
     /// of study).
-    pub fn instantiate_with(&self, num_vertices: usize, feature_dim: usize, seed: u64) -> AttributedGraph {
+    pub fn instantiate_with(
+        &self,
+        num_vertices: usize,
+        feature_dim: usize,
+        seed: u64,
+    ) -> AttributedGraph {
         let classes = self.num_classes.min(num_vertices);
         let mut rng = SmallRng::seed_from_u64(seed);
         let true_labels: Vec<u32> =
@@ -208,16 +213,17 @@ impl DatasetSpec {
         // what keeps high-degree GCN aggregation from collapsing onto the
         // shared positive component (see normalize::standardize_columns).
         crate::normalize::standardize_columns(&mut features);
-        let labels: Vec<u32> = true_labels
-            .iter()
-            .map(|&c| {
-                if rng.gen_bool(self.label_noise) {
-                    rng.gen_range(0..classes) as u32
-                } else {
-                    c
-                }
-            })
-            .collect();
+        let labels: Vec<u32> =
+            true_labels
+                .iter()
+                .map(|&c| {
+                    if rng.gen_bool(self.label_noise) {
+                        rng.gen_range(0..classes) as u32
+                    } else {
+                        c
+                    }
+                })
+                .collect();
         // The paper's split *fractions* scale down with the vertex count,
         // but semi-supervised learning needs an absolute label floor: the
         // full OGBN-Papers has 1.2 M training labels (1.1 %), while 1.1 %
@@ -319,10 +325,7 @@ mod tests {
         // Small instantiations clamp to the structural degree ceiling.
         let ceiling = n as f64 / (s.num_classes as f64 * s.homophily) * 0.8;
         let expected = s.avg_degree.min(ceiling);
-        assert!(
-            (d - expected).abs() / expected < 0.15,
-            "avg degree {d} too far from {expected}"
-        );
+        assert!((d - expected).abs() / expected < 0.15, "avg degree {d} too far from {expected}");
     }
 
     #[test]
@@ -360,9 +363,8 @@ mod tests {
         let f = class_features(&labels, 2, 64, 0.2, 9);
         assert!(f.as_slice().iter().all(|&x| (0.0..=1.0).contains(&x)));
         // Same-class rows are closer than cross-class rows on average.
-        let dist = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
-        };
+        let dist =
+            |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
         let same = dist(f.row(0), f.row(1)) + dist(f.row(2), f.row(3));
         let cross = dist(f.row(0), f.row(2)) + dist(f.row(1), f.row(3));
         assert!(same < cross, "same-class distance {same} >= cross {cross}");

@@ -127,8 +127,7 @@ pub fn planted_partition(
     // Sample distinct undirected edges until the exact target count is hit,
     // so the replica's average degree matches the spec instead of drifting
     // down with duplicate/reciprocal collisions.
-    let target = ((n as f64 * avg_degree / 2.0).round() as usize)
-        .min(n * (n - 1) / 2);
+    let target = ((n as f64 * avg_degree / 2.0).round() as usize).min(n * (n - 1) / 2);
     let mut seen = std::collections::HashSet::with_capacity(target * 2);
     let mut edges = Vec::with_capacity(target);
     let mut attempts = 0usize;
@@ -321,4 +320,3 @@ mod tests {
         assert_eq!(labels.iter().filter(|&&c| c == 0).count(), 20);
     }
 }
-

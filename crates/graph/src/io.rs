@@ -45,7 +45,9 @@ pub fn load_edge_list(path: &Path) -> io::Result<Graph> {
         let parse = |t: Option<&str>| -> io::Result<u32> {
             t.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing endpoint"))?
                 .parse()
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad vertex id: {e}")))
+                .map_err(|e| {
+                    io::Error::new(io::ErrorKind::InvalidData, format!("bad vertex id: {e}"))
+                })
         };
         let u = parse(it.next())?;
         let v = parse(it.next())?;

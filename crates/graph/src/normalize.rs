@@ -13,9 +13,7 @@ use ec_tensor::CsrMatrix;
 pub fn gcn_normalized_adjacency(g: &Graph) -> CsrMatrix {
     let n = g.num_vertices();
     // Degree of A + I.
-    let inv_sqrt: Vec<f32> = (0..n)
-        .map(|v| 1.0 / ((g.degree(v) + 1) as f32).sqrt())
-        .collect();
+    let inv_sqrt: Vec<f32> = (0..n).map(|v| 1.0 / ((g.degree(v) + 1) as f32).sqrt()).collect();
     let mut indptr = Vec::with_capacity(n + 1);
     let mut indices: Vec<u32> = Vec::with_capacity(g.num_arcs() + n);
     let mut values: Vec<f32> = Vec::with_capacity(g.num_arcs() + n);
@@ -89,7 +87,11 @@ pub fn standardize_columns(features: &mut ec_tensor::Matrix) {
         .iter()
         .map(|&v| {
             let std = (v / rows as f64).sqrt();
-            if std > 1e-12 { (1.0 / std) as f32 } else { 0.0 }
+            if std > 1e-12 {
+                (1.0 / std) as f32
+            } else {
+                0.0
+            }
         })
         .collect();
     for r in 0..rows {

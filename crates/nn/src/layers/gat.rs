@@ -105,9 +105,8 @@ impl GatLayer {
         assert_eq!(h.rows(), n, "feature rows must match the vertex count");
         let p = ops::matmul(h, &self.w);
         let d_out = p.cols();
-        let dot = |row: &[f32], a: &Matrix| -> f32 {
-            row.iter().zip(a.row(0)).map(|(x, y)| x * y).sum()
-        };
+        let dot =
+            |row: &[f32], a: &Matrix| -> f32 { row.iter().zip(a.row(0)).map(|(x, y)| x * y).sum() };
         let s: Vec<f32> = (0..n).map(|v| dot(p.row(v), &self.a_self)).collect();
         let t: Vec<f32> = (0..n).map(|v| dot(p.row(v), &self.a_neigh)).collect();
 
@@ -115,8 +114,7 @@ impl GatLayer {
         let mut alpha = Vec::with_capacity(n);
         for v in 0..n {
             // Numerically stable softmax over the closed neighbourhood.
-            let logits: Vec<f32> =
-                closed_neighbors(g, v).map(|u| leaky(s[v] + t[u])).collect();
+            let logits: Vec<f32> = closed_neighbors(g, v).map(|u| leaky(s[v] + t[u])).collect();
             let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let mut weights: Vec<f32> = logits.iter().map(|&e| (e - max).exp()).collect();
             let sum: f32 = weights.iter().sum();
@@ -154,9 +152,7 @@ impl GatLayer {
                 .map(|u| gv.iter().zip(cache.p.row(u)).map(|(x, y)| x * y).sum())
                 .collect();
             let mean: f32 = weights.iter().zip(&dalpha).map(|(a, d)| a * d).sum();
-            for ((&a_vu, &da), u) in
-                weights.iter().zip(&dalpha).zip(closed_neighbors(g, v))
-            {
+            for ((&a_vu, &da), u) in weights.iter().zip(&dalpha).zip(closed_neighbors(g, v)) {
                 // Attention-weighted aggregation: dP_u += α_vu · G_v.
                 for (pc, &gc) in dp.row_mut(u).iter_mut().zip(gv) {
                     *pc += a_vu * gc;
@@ -228,11 +224,7 @@ impl GatNetwork {
         let mut h = features.clone();
         for (i, layer) in self.layers.iter().enumerate() {
             let (z, _) = layer.forward(g, &h);
-            h = if i + 1 < self.layers.len() {
-                ec_tensor::activations::relu(&z)
-            } else {
-                z
-            };
+            h = if i + 1 < self.layers.len() { ec_tensor::activations::relu(&z) } else { z };
         }
         h
     }
@@ -347,7 +339,8 @@ mod tests {
                 lp.w.set(r, c, lp.w.get(r, c) + eps);
                 let mut lm = layer.clone();
                 lm.w.set(r, c, lm.w.get(r, c) - eps);
-                let num = (objective(&lp, &g, &h0, &dz) - objective(&lm, &g, &h0, &dz)) / (2.0 * eps);
+                let num =
+                    (objective(&lp, &g, &h0, &dz) - objective(&lm, &g, &h0, &dz)) / (2.0 * eps);
                 let ana = grads.w.get(r, c);
                 assert!((num - ana).abs() <= tol * (1.0 + num.abs()), "W[{r},{c}]: {ana} vs {num}");
             }
@@ -365,7 +358,10 @@ mod tests {
                     objective(&l, &g, &h0, &dz)
                 };
                 let num = (bump(eps) - bump(-eps)) / (2.0 * eps);
-                assert!((num - ana).abs() <= tol * (1.0 + num.abs()), "a[{which}][{c}]: {ana} vs {num}");
+                assert!(
+                    (num - ana).abs() <= tol * (1.0 + num.abs()),
+                    "a[{which}][{c}]: {ana} vs {num}"
+                );
             }
         }
         // input H
@@ -401,8 +397,7 @@ mod tests {
         }
         let last = net.train_epoch(&g, &features, &labels, &train);
         assert!(last < first * 0.6, "GAT loss {first} → {last}");
-        let acc =
-            crate::metrics::accuracy(&net.forward(&g, &features), &labels, &test);
+        let acc = crate::metrics::accuracy(&net.forward(&g, &features), &labels, &test);
         assert!(acc > 0.8, "GAT test accuracy {acc}");
     }
 

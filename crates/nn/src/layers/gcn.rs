@@ -81,11 +81,7 @@ impl GcnNetwork {
             let xw = ec_tensor::ops::matmul(&h, &self.weights[l]);
             let mut z = adj.spmm(&xw);
             z = ec_tensor::ops::add_bias(&z, self.biases[l].row(0));
-            h = if l + 1 < self.num_layers() {
-                ec_tensor::activations::relu(&z)
-            } else {
-                z
-            };
+            h = if l + 1 < self.num_layers() { ec_tensor::activations::relu(&z) } else { z };
         }
         h
     }

@@ -57,11 +57,7 @@ impl SageNetwork {
             let hs = ec_tensor::ops::matmul(&h, &self.w_self[l]);
             let mut z = ec_tensor::ops::add(&hn, &hs);
             z = ec_tensor::ops::add_bias(&z, self.biases[l].row(0));
-            h = if l + 1 < self.num_layers() {
-                ec_tensor::activations::relu(&z)
-            } else {
-                z
-            };
+            h = if l + 1 < self.num_layers() { ec_tensor::activations::relu(&z) } else { z };
         }
         h
     }

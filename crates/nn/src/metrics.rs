@@ -107,12 +107,8 @@ mod tests {
     #[test]
     fn macro_f1_penalizes_minority_errors_more_than_accuracy() {
         // 3 of class 0 predicted right, 1 of class 1 predicted wrong.
-        let m = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![1.0, 0.0],
-            vec![1.0, 0.0],
-            vec![1.0, 0.0],
-        ]);
+        let m =
+            Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 0.0], vec![1.0, 0.0], vec![1.0, 0.0]]);
         let labels = [0u32, 0, 0, 1];
         let idx = [0usize, 1, 2, 3];
         let acc = accuracy(&m, &labels, &idx);

@@ -51,10 +51,8 @@ impl Adam {
         self.step += 1;
         let bc1 = 1.0 - self.beta1.powi(self.step as i32);
         let bc2 = 1.0 - self.beta2.powi(self.step as i32);
-        for ((p, g), (m, v)) in params
-            .iter_mut()
-            .zip(grads)
-            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        for ((p, g), (m, v)) in
+            params.iter_mut().zip(grads).zip(self.m.iter_mut().zip(self.v.iter_mut()))
         {
             assert_eq!(p.shape(), g.shape(), "parameter/gradient shape mismatch");
             let (ps, gs) = (p.as_mut_slice(), g.as_slice());
@@ -81,11 +79,7 @@ pub struct Sgd {
 impl Sgd {
     /// Creates SGD state; `momentum = 0` gives vanilla gradient descent.
     pub fn new(shapes: &[(usize, usize)], lr: f32, momentum: f32) -> Self {
-        Self {
-            lr,
-            momentum,
-            velocity: shapes.iter().map(|&(r, c)| Matrix::zeros(r, c)).collect(),
-        }
+        Self { lr, momentum, velocity: shapes.iter().map(|&(r, c)| Matrix::zeros(r, c)).collect() }
     }
 
     /// Applies one update step.

@@ -138,11 +138,7 @@ impl Tape {
     /// # Panics
     /// Panics if `seed`'s shape differs from `root`'s value.
     pub fn backward(&mut self, root: VarId, seed: Matrix) {
-        assert_eq!(
-            seed.shape(),
-            self.nodes[root.0].value.shape(),
-            "seed gradient shape mismatch"
-        );
+        assert_eq!(seed.shape(), self.nodes[root.0].value.shape(), "seed gradient shape mismatch");
         for n in &mut self.nodes {
             n.grad = None;
         }
@@ -358,7 +354,11 @@ mod tests {
         let y = tape.scale(x, 2.0);
         tape.backward(y, Matrix::filled(1, 1, 1.0));
         tape.backward(y, Matrix::filled(1, 1, 1.0));
-        assert_eq!(tape.grad(x).unwrap().get(0, 0), 2.0, "grads must not accumulate across backwards");
+        assert_eq!(
+            tape.grad(x).unwrap().get(0, 0),
+            2.0,
+            "grads must not accumulate across backwards"
+        );
     }
 
     #[test]

@@ -29,9 +29,7 @@ impl Partitioner for HashPartitioner {
         assert!(num_parts > 0, "need at least one part");
         let assignment = (0..g.num_vertices())
             .map(|v| {
-                let h = (v as u64 ^ self.seed)
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .rotate_left(31);
+                let h = (v as u64 ^ self.seed).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(31);
                 (h % num_parts as u64) as u32
             })
             .collect();

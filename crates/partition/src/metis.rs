@@ -97,9 +97,8 @@ impl Partitioner for MetisLikePartitioner {
             if li + 1 < levels.len() {
                 // Project the coarser assignment through this level's map.
                 let map = &level.coarse_map;
-                assignment = (0..level.vweight.len())
-                    .map(|v| assignment[map[v] as usize])
-                    .collect();
+                assignment =
+                    (0..level.vweight.len()).map(|v| assignment[map[v] as usize]).collect();
             }
             refine(level, &mut assignment, num_parts, self.balance_factor, self.refine_passes);
         }
@@ -256,7 +255,13 @@ fn initial_partition(level: &Level, num_parts: usize, seed: u64) -> Vec<u32> {
 
 /// Boundary refinement: repeatedly move vertices to the neighbouring part
 /// with the highest positive gain, respecting the balance cap.
-fn refine(level: &Level, assignment: &mut [u32], num_parts: usize, balance_factor: f64, passes: usize) {
+fn refine(
+    level: &Level,
+    assignment: &mut [u32],
+    num_parts: usize,
+    balance_factor: f64,
+    passes: usize,
+) {
     let n = level.vweight.len();
     let total: f64 = level.vweight.iter().sum();
     let cap = total / num_parts as f64 * balance_factor;

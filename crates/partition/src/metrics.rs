@@ -10,9 +10,7 @@ use ec_graph_data::Graph;
 
 /// Number of undirected edges whose endpoints live on different parts.
 pub fn edge_cut(g: &Graph, p: &Partition) -> usize {
-    g.edges()
-        .filter(|&(u, v)| p.part_of(u as usize) != p.part_of(v as usize))
-        .count()
+    g.edges().filter(|&(u, v)| p.part_of(u as usize) != p.part_of(v as usize)).count()
 }
 
 /// Fraction of edges cut (0 when the graph has no edges).
@@ -147,7 +145,7 @@ mod tests {
         let p = Partition::new(vec![1, 0, 0, 0], 2);
         let deps = remote_dependencies(&g, &p);
         assert_eq!(deps[0], vec![0]); // fetched once, not three times
-        // part 1 needs all of 1,2,3
+                                      // part 1 needs all of 1,2,3
         assert_eq!(deps[1], vec![1, 2, 3]);
         assert_eq!(replication_factor(&g, &p), 2.0);
     }

@@ -100,11 +100,7 @@ pub fn greedy_vertex_cut(g: &Graph, num_parts: usize) -> EdgePartition {
             // Case 2: a part hosts one endpoint — prefer the endpoint with
             // more remaining edges (we approximate by current replica
             // count), break ties toward the lighter part.
-            ru.iter()
-                .chain(rv.iter())
-                .copied()
-                .min_by_key(|&p| sizes[p as usize])
-                .unwrap()
+            ru.iter().chain(rv.iter()).copied().min_by_key(|&p| sizes[p as usize]).unwrap()
         } else {
             // Case 3: fresh edge — lightest part overall.
             (0..num_parts as u32).min_by_key(|&p| sizes[p as usize]).unwrap()
@@ -185,10 +181,7 @@ mod tests {
                 .fold((0usize, 0usize), |(s, c), r| (s + r.len(), c + 1));
             s as f64 / c as f64
         };
-        assert!(
-            greedy < random * 0.8,
-            "greedy {greedy} not well below random {random}"
-        );
+        assert!(greedy < random * 0.8, "greedy {greedy} not well below random {random}");
     }
 
     #[test]

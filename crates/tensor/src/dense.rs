@@ -168,11 +168,7 @@ impl Matrix {
 
     /// Applies `f` to every entry, returning a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Self { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Applies `f` to every entry in place.
@@ -244,11 +240,7 @@ impl Matrix {
     /// by at most `tol`.
     pub fn approx_eq(&self, other: &Matrix, tol: f32) -> bool {
         self.shape() == other.shape()
-            && self
-                .data
-                .iter()
-                .zip(&other.data)
-                .all(|(a, b)| (a - b).abs() <= tol)
+            && self.data.iter().zip(&other.data).all(|(a, b)| (a - b).abs() <= tol)
     }
 }
 

@@ -11,13 +11,7 @@ use crate::dense::Matrix;
 /// # Panics
 /// Panics if `A.cols() != B.rows()`.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(
-        a.cols(),
-        b.rows(),
-        "matmul shape mismatch: {:?} x {:?}",
-        a.shape(),
-        b.shape()
-    );
+    assert_eq!(a.cols(), b.rows(), "matmul shape mismatch: {:?} x {:?}", a.shape(), b.shape());
     let (m, k) = a.shape();
     let n = b.cols();
     let mut c = Matrix::zeros(m, n);
@@ -42,13 +36,7 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
 /// Used for the weight-gradient computation `Y^{l-1} = (H^{l-1})ᵀ (A G^l)`
 /// (paper Eq. 6).
 pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(
-        a.rows(),
-        b.rows(),
-        "matmul_at_b shape mismatch: {:?} x {:?}",
-        a.shape(),
-        b.shape()
-    );
+    assert_eq!(a.rows(), b.rows(), "matmul_at_b shape mismatch: {:?} x {:?}", a.shape(), b.shape());
     let m = a.cols();
     let n = b.cols();
     let mut c = Matrix::zeros(m, n);
@@ -72,13 +60,7 @@ pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
 ///
 /// Used for the gradient flow `G^l ∝ G^{l+1} (W^{l+1})ᵀ` (paper Eq. 5).
 pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(
-        a.cols(),
-        b.cols(),
-        "matmul_a_bt shape mismatch: {:?} x {:?}",
-        a.shape(),
-        b.shape()
-    );
+    assert_eq!(a.cols(), b.cols(), "matmul_a_bt shape mismatch: {:?} x {:?}", a.shape(), b.shape());
     let m = a.rows();
     let n = b.rows();
     let k = a.cols();
@@ -170,9 +152,7 @@ pub fn column_sums(a: &Matrix) -> Vec<f32> {
 /// Row-wise mean, producing a vector of length `a.rows()`.
 pub fn row_means(a: &Matrix) -> Vec<f32> {
     let denom = a.cols().max(1) as f32;
-    a.rows_iter()
-        .map(|row| row.iter().sum::<f32>() / denom)
-        .collect()
+    a.rows_iter().map(|row| row.iter().sum::<f32>() / denom).collect()
 }
 
 fn zip_with(a: &Matrix, b: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
@@ -183,12 +163,7 @@ fn zip_with(a: &Matrix, b: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
         a.shape(),
         b.shape()
     );
-    let data = a
-        .as_slice()
-        .iter()
-        .zip(b.as_slice())
-        .map(|(&x, &y)| f(x, y))
-        .collect();
+    let data = a.as_slice().iter().zip(b.as_slice()).map(|(&x, &y)| f(x, y)).collect();
     Matrix::from_vec(a.rows(), a.cols(), data)
 }
 

@@ -21,9 +21,7 @@ pub fn effective_threads(threads: usize) -> usize {
     if threads > 0 {
         threads
     } else {
-        std::thread::available_parallelism()
-            .map(|n| n.get().min(16))
-            .unwrap_or(1)
+        std::thread::available_parallelism().map(|n| n.get().min(16)).unwrap_or(1)
     }
 }
 

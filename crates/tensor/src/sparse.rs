@@ -116,10 +116,7 @@ impl CsrMatrix {
     /// The `(column, value)` entries of row `r`.
     pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
         let span = self.indptr[r]..self.indptr[r + 1];
-        self.indices[span.clone()]
-            .iter()
-            .zip(&self.values[span])
-            .map(|(&c, &v)| (c as usize, v))
+        self.indices[span.clone()].iter().zip(&self.values[span]).map(|(&c, &v)| (c as usize, v))
     }
 
     /// Sparse × dense product `self · B`.
@@ -212,7 +209,11 @@ impl CsrMatrix {
     ///
     /// Workers use this to renumber global vertex ids into the local
     /// `[local vertices | cached remote vertices]` layout.
-    pub fn remap_columns(&self, map: &dyn Fn(usize) -> Option<usize>, new_cols: usize) -> CsrMatrix {
+    pub fn remap_columns(
+        &self,
+        map: &dyn Fn(usize) -> Option<usize>,
+        new_cols: usize,
+    ) -> CsrMatrix {
         let mut indptr = Vec::with_capacity(self.rows + 1);
         let mut entries: Vec<(u32, f32)> = Vec::new();
         let mut indices = Vec::new();

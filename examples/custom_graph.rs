@@ -9,8 +9,8 @@
 //! cargo run --release --example custom_graph
 //! ```
 
-use ec_graph_repro::data::{datasets, io, AttributedGraph, Split};
 use ec_graph_repro::data::generators;
+use ec_graph_repro::data::{datasets, io, AttributedGraph, Split};
 use ec_graph_repro::ecgraph::config::{BpMode, FpMode, TrainingConfig};
 use ec_graph_repro::ecgraph::trainer::train;
 use ec_graph_repro::partition::ldg::LdgPartitioner;

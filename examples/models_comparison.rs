@@ -38,8 +38,11 @@ fn main() {
             net.train_epoch(&gcn_adj, &data.features, &data.labels, &data.split.train);
         }
         let per_epoch = start.elapsed().as_secs_f64() / epochs as f64;
-        let acc =
-            metrics::accuracy(&net.forward(&gcn_adj, &data.features), &data.labels, &data.split.test);
+        let acc = metrics::accuracy(
+            &net.forward(&gcn_adj, &data.features),
+            &data.labels,
+            &data.split.test,
+        );
         let params: usize = dims.windows(2).map(|w| w[0] * w[1] + w[1]).sum();
         println!("{:<10} {:>10.4} {:>12.4} {:>12}", "gcn", acc, per_epoch, params);
     }

@@ -1,0 +1,194 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Runs every benchmark closure with a short warm-up followed by timed
+//! iterations and prints the mean time per iteration (plus throughput when
+//! configured). None of criterion's statistical machinery (outlier
+//! analysis, HTML reports, comparisons) is reproduced — this exists so
+//! `cargo bench` works without registry access.
+
+use std::time::{Duration, Instant};
+
+/// Measured-value throughput annotation.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier (`BenchmarkId::from_parameter(4)` etc.).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier combining a function name and a parameter.
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        Self { id: format!("{name}/{param}") }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        Self { id: param.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Runs closures under measurement.
+pub struct Bencher {
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean duration per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until ~10ms or 3 iterations, whichever is later.
+        let warm = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_iters < 3 || warm.elapsed() < Duration::from_millis(10) {
+            std::hint::black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm.elapsed().as_secs_f64() / warm_iters as f64;
+        // Timed: target ~100ms of measurement.
+        let iters = ((0.1 / per_iter.max(1e-9)) as u64).clamp(3, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.mean = start.elapsed() / iters as u32;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for compatibility; the simplified runner ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the simplified runner ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { mean: Duration::ZERO };
+        f(&mut b);
+        self.report(&id.id, b.mean);
+        self
+    }
+
+    /// Benchmarks `f` with an explicit input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher { mean: Duration::ZERO };
+        f(&mut b, input);
+        self.report(&id.id, b.mean);
+        self
+    }
+
+    /// Ends the group (report-flush point in real criterion; a no-op here).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, mean: Duration) {
+        let per = mean.as_secs_f64();
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(b)) if per > 0.0 => {
+                format!("  {:>10.1} MiB/s", b as f64 / per / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(e)) if per > 0.0 => {
+                format!("  {:>10.2} Melem/s", e as f64 / per / 1e6)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{:<24} {:>12.3} µs/iter{rate}", self.name, id, per * 1e6);
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group-runner function over benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,218 @@
+//! Offline stand-in for `serde_json`: a [`Value`] tree, the [`json!`]
+//! constructor macro, and RFC 8259 text output via `Display`/`to_string`.
+//!
+//! Only the construction-and-print path the bench harness uses is
+//! implemented; parsing is intentionally absent.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A double (non-finite values print as `null`, as upstream does).
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Conversion into a [`Value`], used by the [`json!`] macro.
+pub trait ToJson {
+    /// Converts `self` into a JSON value.
+    fn to_json(&self) -> Value;
+}
+
+macro_rules! impl_to_json_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value { Value::Int(*self as i64) }
+        }
+    )*};
+}
+impl_to_json_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Value {
+        i64::try_from(*self).map(Value::Int).unwrap_or(Value::UInt(*self))
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Value {
+        (*self as u64).to_json()
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        self.as_ref().map_or(Value::Null, ToJson::to_json)
+    }
+}
+
+/// Free-function form of [`ToJson`], what `json!` expands to.
+pub fn to_value<T: ToJson>(v: T) -> Value {
+    v.to_json()
+}
+
+fn escape(s: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::UInt(u) => write!(f, "{u}"),
+            Value::Float(x) if x.is_finite() => {
+                if *x == x.trunc() && x.abs() < 1e15 {
+                    // Match serde_json: doubles with no fraction keep ".0".
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Value::Float(_) => f.write_str("null"),
+            Value::String(s) => escape(s, f),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape(k, f)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Builds a [`Value`] from JSON-ish syntax: objects with literal keys,
+/// arrays, and arbitrary expressions as values.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$item) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            // By reference, like upstream: values stay usable after json!.
+            $( (($key).to_string(), $crate::to_value(&$val)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn object_prints_like_serde_json() {
+        let v = json!({"a": 1usize, "b": 2.5f64, "s": "x", "t": true});
+        assert_eq!(v.to_string(), r#"{"a":1,"b":2.5,"s":"x","t":true}"#);
+    }
+
+    #[test]
+    fn nested_values_and_arrays() {
+        let inner = json!({"k": 7u64});
+        let v = json!({"outer": inner, "arr": vec![1u32, 2, 3]});
+        assert_eq!(v.to_string(), r#"{"outer":{"k":7},"arr":[1,2,3]}"#);
+    }
+
+    #[test]
+    fn floats_keep_a_fraction() {
+        assert_eq!(json!(3.0f64).to_string(), "3.0");
+        assert_eq!(json!(0.125f64).to_string(), "0.125");
+        assert_eq!(json!(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(json!("a\"b\n").to_string(), r#""a\"b\n""#);
+    }
+}

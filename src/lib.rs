@@ -11,12 +11,15 @@
 //! * [`partition`] — Hash / Range / METIS-like / streaming partitioners,
 //! * [`compress`] — B-bit bucket quantization with bit-packing,
 //! * [`comm`] — the simulated cluster (network model, parameter servers),
+//! * [`faults`] — deterministic fault injection (drops, stragglers,
+//!   outages, crashes) for the simulated cluster,
 //! * [`nn`] — hand-rolled autodiff, GCN/SAGE layers, optimizers,
 //! * [`ecgraph`] — the EC-Graph distributed engine, ReqEC-FP, ResEC-BP and
 //!   every baseline system from the paper's evaluation.
 
 pub use ec_comm as comm;
 pub use ec_compress as compress;
+pub use ec_faults as faults;
 pub use ec_graph as ecgraph;
 pub use ec_graph_data as data;
 pub use ec_nn as nn;

@@ -21,15 +21,8 @@ fn all_systems_learn_the_small_replica() {
         let r = run(system, &data, &params(40)).unwrap_or_else(|e| panic!("{system:?}: {e}"));
         let first = r.epochs.first().unwrap().loss;
         let last = r.epochs.last().unwrap().loss;
-        assert!(
-            last < first,
-            "{system:?}: loss {first} → {last} did not decrease"
-        );
-        assert!(
-            r.best_val_acc > 0.3,
-            "{system:?}: val accuracy {} too low",
-            r.best_val_acc
-        );
+        assert!(last < first, "{system:?}: loss {first} → {last} did not decrease");
+        assert!(r.best_val_acc > 0.3, "{system:?}: val accuracy {} too low", r.best_val_acc);
     }
 }
 

@@ -3,6 +3,7 @@
 //! number of workers, any partitioner) must follow *exactly* the same
 //! training trajectory as the single-machine autodiff trainer.
 
+use ec_graph_repro::data::normalize;
 use ec_graph_repro::data::DatasetSpec;
 use ec_graph_repro::ecgraph::config::TrainingConfig;
 use ec_graph_repro::ecgraph::engine::DistributedEngine;
@@ -10,7 +11,6 @@ use ec_graph_repro::nn::GcnNetwork;
 use ec_graph_repro::partition::hash::HashPartitioner;
 use ec_graph_repro::partition::metis::MetisLikePartitioner;
 use ec_graph_repro::partition::Partitioner;
-use ec_graph_repro::data::normalize;
 use std::sync::Arc;
 
 fn build_engine(
@@ -77,10 +77,7 @@ fn three_layer_engine_matches_autodiff_trajectory() {
     }
     let reference = local_reference(&data, &dims, 7, 4);
     for (l, (w, _)) in engine.weights().iter().enumerate() {
-        assert!(
-            w.approx_eq(&reference.weights()[l], 3e-3),
-            "3-layer engine diverged at layer {l}"
-        );
+        assert!(w.approx_eq(&reference.weights()[l], 3e-3), "3-layer engine diverged at layer {l}");
     }
 }
 
@@ -90,7 +87,8 @@ fn trajectory_is_independent_of_worker_count() {
     let dims = vec![8, 8, data.num_classes];
     let mut weights = Vec::new();
     for workers in [1usize, 2, 5] {
-        let mut engine = build_engine(&data, dims.clone(), workers, &HashPartitioner::default(), 11);
+        let mut engine =
+            build_engine(&data, dims.clone(), workers, &HashPartitioner::default(), 11);
         for _ in 0..3 {
             engine.run_epoch();
         }
@@ -128,11 +126,7 @@ fn engine_loss_matches_local_loss_epoch_one() {
     let adj = Arc::new(normalize::gcn_normalized_adjacency(&data.graph));
     let net = GcnNetwork::new(&dims, 0.01, 5);
     let (loss, _, _) = net.compute_gradients(&adj, &data.features, &data.labels, &data.split.train);
-    assert!(
-        (stats.loss - loss).abs() < 1e-4,
-        "distributed loss {} vs local {loss}",
-        stats.loss
-    );
+    assert!((stats.loss - loss).abs() < 1e-4, "distributed loss {} vs local {loss}", stats.loss);
 }
 
 /// Sage-mode cross-check: the engine's manual Sage gradients must follow
@@ -141,9 +135,9 @@ fn engine_loss_matches_local_loss_epoch_one() {
 #[test]
 fn sage_engine_matches_autodiff_trajectory() {
     use ec_graph_repro::ecgraph::config::ModelKind;
-    use ec_graph_repro::nn::Tape;
     use ec_graph_repro::nn::loss::masked_softmax_cross_entropy;
     use ec_graph_repro::nn::optim::Adam;
+    use ec_graph_repro::nn::Tape;
     use ec_graph_repro::tensor::{init, Matrix};
 
     let data = Arc::new(DatasetSpec::cora().instantiate_with(90, 10, 31));
@@ -204,12 +198,7 @@ fn sage_engine_matches_autodiff_trajectory() {
         let (_, grad) =
             masked_softmax_cross_entropy(tape.value(h), &data.labels, &data.split.train);
         tape.backward(h, grad);
-        let mut params: Vec<Matrix> = w_n
-            .iter()
-            .chain(&w_s)
-            .chain(&biases)
-            .cloned()
-            .collect();
+        let mut params: Vec<Matrix> = w_n.iter().chain(&w_s).chain(&biases).cloned().collect();
         let grads: Vec<Matrix> = wn_ids
             .iter()
             .chain(&ws_ids)
@@ -224,14 +213,8 @@ fn sage_engine_matches_autodiff_trajectory() {
 
     let dist = engine.weights();
     for l in 0..num_layers {
-        assert!(
-            dist[l].0.approx_eq(&w_n[l], 3e-3),
-            "layer {l} W_n diverged"
-        );
-        assert!(
-            dist[num_layers + l].0.approx_eq(&w_s[l], 3e-3),
-            "layer {l} W_s diverged"
-        );
+        assert!(dist[l].0.approx_eq(&w_n[l], 3e-3), "layer {l} W_n diverged");
+        assert!(dist[num_layers + l].0.approx_eq(&w_s[l], 3e-3), "layer {l} W_s diverged");
         for (a, b) in dist[l].1.iter().zip(biases[l].row(0)) {
             assert!((a - b).abs() < 3e-3, "layer {l} bias diverged");
         }

@@ -1,9 +1,9 @@
 //! Cross-crate property tests: invariants that must hold for *arbitrary*
 //! inputs, not just the fixtures the unit tests use.
 
+use ec_graph_repro::comm::codec;
 use ec_graph_repro::compress::Quantized;
 use ec_graph_repro::data::{generators, normalize, Graph};
-use ec_graph_repro::comm::codec;
 use ec_graph_repro::partition::hash::HashPartitioner;
 use ec_graph_repro::partition::ldg::LdgPartitioner;
 use ec_graph_repro::partition::metis::MetisLikePartitioner;
