@@ -8,6 +8,7 @@
 //! [workers=2,4,6,8,10,13]`
 
 use ec_bench::{bench_dataset, emit, Args};
+use ec_comm::HostTimer;
 use ec_graph::config::{BpMode, FpMode, TrainingConfig};
 use ec_graph::sampling::sample_layer_graphs;
 use ec_graph::trainer;
@@ -16,7 +17,6 @@ use ec_partition::hash::HashPartitioner;
 use ec_partition::metis::MetisLikePartitioner;
 use ec_partition::{metrics, Partitioner};
 use std::sync::Arc;
-use std::time::Instant;
 
 fn main() {
     let args = Args::from_env();
@@ -51,9 +51,9 @@ fn main() {
                     seed: 3,
                     ..TrainingConfig::defaults(data.feature_dim(), data.num_classes)
                 };
-                let part_start = Instant::now();
+                let part_start = HostTimer::start();
                 let partition = partitioner.partition(&data.graph, workers);
-                let partition_s = part_start.elapsed().as_secs_f64();
+                let partition_s = part_start.elapsed_s();
                 let g_rmt = metrics::avg_remote_degree(&data.graph, &partition);
                 let adjs = if sampled {
                     let fanouts =

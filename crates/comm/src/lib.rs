@@ -25,7 +25,7 @@ pub mod network;
 pub mod ps;
 pub mod stats;
 
-pub use clock::NetworkModel;
+pub use clock::{set_deterministic_timing, HostTimer, NetworkModel};
 pub use network::{SendError, SimNetwork};
-pub use ps::ParameterServerGroup;
+pub use ps::{CheckpointError, ParameterServerGroup};
 pub use stats::TrafficStats;

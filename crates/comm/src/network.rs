@@ -149,7 +149,11 @@ impl SimNetwork {
         channel: Channel,
         bytes: u64,
     ) -> Result<(), SendError> {
-        let injector = self.faults.as_ref().expect("attempt requires an injector");
+        let Some(injector) = self.faults.as_ref() else {
+            // No injector means a perfect link: every attempt delivers.
+            self.deliver(from, to, channel, bytes);
+            return Ok(());
+        };
         let decision = injector.decide(self.superstep, from, to, self.msg_seq);
         let timeout = injector.timeout_cost(self.model.latency);
         self.msg_seq += 1;

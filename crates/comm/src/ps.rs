@@ -16,6 +16,71 @@
 
 use ec_tensor::{init, Matrix};
 
+/// Why loading or restoring parameter-server state failed.
+///
+/// `load_weights` / `restore_state` run on the crash-recovery hot path, so
+/// they report malformed input through this type instead of panicking
+/// (`ec-lint`'s `no-panic-hot-path` rule enforces the absence of `unwrap`
+/// in this file).
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The input ended before the named field could be read.
+    Truncated(&'static str),
+    /// The snapshot holds a different number of layers than this group.
+    LayerCount {
+        /// Layer count found in the snapshot.
+        found: usize,
+        /// Layer count of the group being restored.
+        expected: usize,
+    },
+    /// A layer's weight or bias shape does not match this group's.
+    ShapeMismatch,
+    /// A serialized matrix failed to decode.
+    Decode(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Truncated(what) => write!(f, "checkpoint truncated: {what}"),
+            CheckpointError::LayerCount { found, expected } => {
+                write!(f, "checkpoint has {found} layers, expected {expected}")
+            }
+            CheckpointError::ShapeMismatch => write!(f, "checkpoint shape mismatch"),
+            CheckpointError::Decode(msg) => write!(f, "checkpoint decode error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<String> for CheckpointError {
+    fn from(msg: String) -> Self {
+        CheckpointError::Decode(msg)
+    }
+}
+
+/// Reads a fixed-size field at `off`, or reports which field was cut off.
+fn read_array<const N: usize>(
+    bytes: &[u8],
+    off: usize,
+    what: &'static str,
+) -> Result<[u8; N], CheckpointError> {
+    bytes
+        .get(off..off + N)
+        .and_then(|s| <[u8; N]>::try_from(s).ok())
+        .ok_or(CheckpointError::Truncated(what))
+}
+
 /// Adam hyper-parameters (the paper uses the standard Adam optimizer).
 #[derive(Clone, Copy, Debug)]
 pub struct AdamParams {
@@ -334,7 +399,7 @@ mod tests {
 impl ParameterServerGroup {
     /// Persists the current weights (not the optimizer state) to `path`
     /// using the wire codec: one `(W, b)` pair per layer.
-    pub fn save_weights(&self, path: &std::path::Path) -> std::io::Result<()> {
+    pub fn save_weights(&self, path: &std::path::Path) -> Result<(), CheckpointError> {
         let mut buf = Vec::new();
         buf.extend_from_slice(&(self.layers.len() as u32).to_le_bytes());
         for lp in &self.layers {
@@ -342,35 +407,29 @@ impl ParameterServerGroup {
             let bias = Matrix::from_vec(1, lp.b.len(), lp.b.clone());
             crate::codec::put_matrix(&mut buf, &bias);
         }
-        std::fs::write(path, buf)
+        std::fs::write(path, buf)?;
+        Ok(())
     }
 
     /// Restores weights saved by [`Self::save_weights`].
     ///
     /// Fails when the file's layer shapes do not match this group's.
-    pub fn load_weights(&mut self, path: &std::path::Path) -> std::io::Result<()> {
+    pub fn load_weights(&mut self, path: &std::path::Path) -> Result<(), CheckpointError> {
         let buf = std::fs::read(path)?;
-        let err = |m: String| std::io::Error::new(std::io::ErrorKind::InvalidData, m);
-        if buf.len() < 4 {
-            return Err(err("checkpoint truncated".into()));
-        }
-        let count = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+        let count = u32::from_le_bytes(read_array(&buf, 0, "layer count")?) as usize;
         if count != self.layers.len() {
-            return Err(err(format!(
-                "checkpoint has {count} layers, expected {}",
-                self.layers.len()
-            )));
+            return Err(CheckpointError::LayerCount { found: count, expected: self.layers.len() });
         }
         let mut slice = &buf[4..];
         let mut weights = Vec::with_capacity(count);
         for _ in 0..count {
-            let w = crate::codec::get_matrix(&mut slice).map_err(err)?;
-            let b = crate::codec::get_matrix(&mut slice).map_err(err)?;
+            let w = crate::codec::get_matrix(&mut slice)?;
+            let b = crate::codec::get_matrix(&mut slice)?;
             weights.push((w, b.into_vec()));
         }
         for (lp, (w, b)) in self.layers.iter().zip(&weights) {
             if w.shape() != lp.w.shape() || b.len() != lp.b.len() {
-                return Err(err("checkpoint shape mismatch".into()));
+                return Err(CheckpointError::ShapeMismatch);
             }
         }
         self.set_weights(&weights);
@@ -406,15 +465,12 @@ impl ParameterServerGroup {
     /// Restores state captured by [`Self::state_bytes`].
     ///
     /// Fails when the snapshot's layer shapes do not match this group's.
-    pub fn restore_state(&mut self, bytes: &[u8]) -> Result<(), String> {
-        if bytes.len() < 20 {
-            return Err("state snapshot truncated".into());
-        }
-        let step = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
-        let pushes = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
-        let count = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
+    pub fn restore_state(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let step = u64::from_le_bytes(read_array(bytes, 0, "Adam step counter")?);
+        let pushes = u64::from_le_bytes(read_array(bytes, 8, "pending push count")?) as usize;
+        let count = u32::from_le_bytes(read_array(bytes, 16, "layer count")?) as usize;
         if count != self.layers.len() {
-            return Err(format!("snapshot has {count} layers, expected {}", self.layers.len()));
+            return Err(CheckpointError::LayerCount { found: count, expected: self.layers.len() });
         }
         let mut slice = &bytes[20..];
         let mut restored = Vec::with_capacity(count);
@@ -431,7 +487,7 @@ impl ParameterServerGroup {
         }
         for (lp, new) in self.layers.iter().zip(&restored) {
             if new.w.shape() != lp.w.shape() || new.b.len() != lp.b.len() {
-                return Err("snapshot shape mismatch".into());
+                return Err(CheckpointError::ShapeMismatch);
             }
         }
         self.step = step;

@@ -22,6 +22,7 @@ use crate::report::{EpochRecord, RunResult};
 use crate::sampling::{make_batches, sample_blocks, Block};
 use ec_comm::ps::AdamParams;
 use ec_comm::stats::Channel;
+use ec_comm::HostTimer;
 use ec_comm::{NetworkModel, ParameterServerGroup, SimNetwork};
 use ec_graph_data::{normalize, AttributedGraph};
 use ec_nn::loss::masked_softmax_cross_entropy;
@@ -30,7 +31,6 @@ use ec_tensor::Matrix;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Configuration of a distributed mini-batch run.
 #[derive(Clone, Debug)]
@@ -95,7 +95,7 @@ pub fn train_minibatch(
 
     // Preprocessing: offline sampling (and feature prefetch for the
     // ML-centered variant).
-    let pre_start = Instant::now();
+    let pre_start = HostTimer::start();
     let mut offline_blocks: Vec<Vec<(Vec<usize>, Vec<Block>)>> = Vec::new();
     if !config.online_sampling {
         let mut rng = SmallRng::seed_from_u64(config.seed ^ 0xB10C);
@@ -124,7 +124,7 @@ pub fn train_minibatch(
         }
     }
     let (_, prefetch_s) = network.end_epoch();
-    let preprocessing_s = pre_start.elapsed().as_secs_f64() + prefetch_s;
+    let preprocessing_s = pre_start.elapsed_s() + prefetch_s;
 
     let mut result = RunResult {
         system: system.to_string(),
@@ -171,7 +171,7 @@ pub fn train_minibatch(
                         network.send(server_node(s), w, Channel::Parameter, bytes);
                     }
                 }
-                let start = Instant::now();
+                let start = HostTimer::start();
                 let batch: Option<(Vec<usize>, Vec<Block>)> = if config.online_sampling {
                     online_batches[w].get(it).map(|seeds| {
                         let blocks = sample_blocks(&data.graph, seeds, &config.fanouts, &mut rng);
@@ -244,7 +244,7 @@ pub fn train_minibatch(
                 }
                 loss_sum += loss;
                 loss_count += 1;
-                step_max = step_max.max(start.elapsed().as_secs_f64());
+                step_max = step_max.max(start.elapsed_s());
             }
             ps.apply_update();
             compute_s += step_max;

@@ -14,12 +14,12 @@
 //!   in the paper's Table IV. The same cutoff is modelled here.
 
 use crate::report::{EpochRecord, RunResult};
+use ec_comm::HostTimer;
 use ec_graph_data::{normalize, AttributedGraph};
 use ec_nn::loss::masked_softmax_cross_entropy;
 use ec_nn::optim::Adam;
 use ec_tensor::{activations, init, ops, CsrMatrix, Matrix};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Which single-machine toolkit to emulate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -107,7 +107,7 @@ pub fn train_local(
     kind: LocalKind,
     config: &LocalConfig,
 ) -> Result<RunResult, String> {
-    let pre_start = Instant::now();
+    let pre_start = HostTimer::start();
     let adj = normalize::gcn_normalized_adjacency(&data.graph);
     let peak = estimated_peak_bytes(kind, &adj, &config.dims);
     if peak > config.memory_limit {
@@ -128,7 +128,7 @@ pub fn train_local(
     let mut shapes: Vec<(usize, usize)> = weights.iter().map(Matrix::shape).collect();
     shapes.extend(biases.iter().map(Matrix::shape));
     let mut adam = Adam::new(&shapes, config.lr);
-    let preprocessing_s = pre_start.elapsed().as_secs_f64();
+    let preprocessing_s = pre_start.elapsed_s();
 
     let aggregate = |m: &Matrix| -> Matrix {
         match kind {
@@ -148,7 +148,7 @@ pub fn train_local(
     let mut best_val = f64::MIN;
     let mut since_best = 0usize;
     for epoch in 0..config.max_epochs {
-        let start = Instant::now();
+        let start = HostTimer::start();
         // Forward.
         let mut hs: Vec<Matrix> = vec![data.features.clone()];
         let mut zs: Vec<Matrix> = Vec::with_capacity(num_layers);
@@ -180,7 +180,7 @@ pub fn train_local(
         adam.step(&mut params, &grads);
         weights = params[..num_layers].to_vec();
         biases = params[num_layers..].to_vec();
-        let compute_s = start.elapsed().as_secs_f64();
+        let compute_s = start.elapsed_s();
 
         // Evaluate (out-of-band, like the engine).
         let logits = &hs[num_layers];

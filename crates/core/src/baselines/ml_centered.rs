@@ -13,11 +13,11 @@
 use crate::report::{EpochRecord, RunResult};
 use ec_comm::ps::AdamParams;
 use ec_comm::stats::Channel;
+use ec_comm::HostTimer;
 use ec_comm::{NetworkModel, ParameterServerGroup, SimNetwork};
 use ec_graph_data::{normalize, AttributedGraph};
 use ec_tensor::{activations, ops, CsrMatrix, Matrix};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Configuration for the AliGraph-FG-style run.
 #[derive(Clone, Debug)]
@@ -124,7 +124,7 @@ pub fn train_ml_centered(
 
     // Preprocessing: build + ship each closure (features and adjacency
     // pulled once from the parameter servers / graph store).
-    let pre_start = Instant::now();
+    let pre_start = HostTimer::start();
     let adj = normalize::gcn_normalized_adjacency(&data.graph);
     let closures = build_closures(&data, &adj, num_workers, num_layers);
     for (w, c) in closures.iter().enumerate() {
@@ -132,7 +132,7 @@ pub fn train_ml_centered(
         network.send(server_node(0), w, Channel::Forward, bytes);
     }
     let (_, transfer_s) = network.end_epoch();
-    let preprocessing_s = pre_start.elapsed().as_secs_f64() + transfer_s;
+    let preprocessing_s = pre_start.elapsed_s() + transfer_s;
 
     let total_train = data.split.train.len().max(1);
     let full_adj = Arc::new(adj);
@@ -155,7 +155,7 @@ pub fn train_ml_centered(
                     network.send(server_node(s), w, Channel::Parameter, bytes);
                 }
             }
-            let start = Instant::now();
+            let start = HostTimer::start();
             if c.train_local.is_empty() {
                 continue;
             }
@@ -201,7 +201,7 @@ pub fn train_ml_centered(
             for (s, &bytes) in ps.push_wire_sizes().iter().enumerate() {
                 network.send(w, server_node(s), Channel::Parameter, bytes);
             }
-            step_max = step_max.max(start.elapsed().as_secs_f64());
+            step_max = step_max.max(start.elapsed_s());
         }
         ps.apply_update();
         let comm_s = network.flush_superstep();

@@ -26,14 +26,14 @@ use crate::bp::{self, ResidualState};
 use crate::config::{BpMode, FpMode, ModelKind, ResiliencePolicy, TrainingConfig};
 use crate::context::{build_worker_contexts, WorkerContext};
 use crate::fp::{self, TrendState};
+use ec_comm::ps::CheckpointError;
 use ec_comm::stats::Channel;
-use ec_comm::{ParameterServerGroup, SimNetwork, TrafficStats};
+use ec_comm::{HostTimer, ParameterServerGroup, SimNetwork, TrafficStats};
 use ec_graph_data::AttributedGraph;
 use ec_partition::Partition;
 use ec_tensor::{activations, ops, CsrMatrix, Matrix};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Size we charge for a `get`/`pull` request envelope (ids are exchanged
 /// once during preprocessing; steady-state requests are tiny).
@@ -109,16 +109,18 @@ pub struct DistributedEngine {
     total_train: usize,
 
     /// ReqEC-FP trend state per (requester, exchange layer, owner).
-    fp_trend: HashMap<(usize, usize, usize), TrendState>,
+    /// `BTreeMap` keeps every walk over compensation state in key order, so
+    /// identical runs touch identical state in an identical sequence.
+    fp_trend: BTreeMap<(usize, usize, usize), TrendState>,
     /// Delayed-mode (DistGNN) stale caches per (requester, layer, owner).
-    fp_cache: HashMap<(usize, usize, usize), Option<Matrix>>,
+    fp_cache: BTreeMap<(usize, usize, usize), Option<Matrix>>,
     /// Current adaptive bit width per (requester, owner).
     fp_bits: Vec<Vec<u8>>,
     /// Last observed predicted-proportion per (requester, owner), consumed
     /// by the Bit-Tuner at epoch end.
-    fp_prop: HashMap<(usize, usize), f32>,
+    fp_prop: BTreeMap<(usize, usize), f32>,
     /// ResEC-BP residual state per (requester, exchange layer, owner).
-    bp_residual: HashMap<(usize, usize, usize), ResidualState>,
+    bp_residual: BTreeMap<(usize, usize, usize), ResidualState>,
 
     /// Total L1 reconstruction error of all FP messages in the last epoch
     /// (diagnostics; exact modes report 0).
@@ -140,11 +142,11 @@ pub struct DistributedEngine {
 pub struct EngineSnapshot {
     epoch: usize,
     ps_state: Vec<u8>,
-    fp_trend: HashMap<(usize, usize, usize), TrendState>,
-    fp_cache: HashMap<(usize, usize, usize), Option<Matrix>>,
+    fp_trend: BTreeMap<(usize, usize, usize), TrendState>,
+    fp_cache: BTreeMap<(usize, usize, usize), Option<Matrix>>,
     fp_bits: Vec<Vec<u8>>,
-    fp_prop: HashMap<(usize, usize), f32>,
-    bp_residual: HashMap<(usize, usize, usize), ResidualState>,
+    fp_prop: BTreeMap<(usize, usize), f32>,
+    bp_residual: BTreeMap<(usize, usize, usize), ResidualState>,
 }
 
 impl EngineSnapshot {
@@ -165,21 +167,21 @@ impl DistributedEngine {
         partition: Partition,
         config: TrainingConfig,
     ) -> Self {
-        config.validate().expect("invalid training config");
+        let validated = config.validate();
+        assert!(validated.is_ok(), "invalid training config: {validated:?}");
         let num_layers = config.num_layers();
         assert_eq!(adjs.len(), num_layers, "need one adjacency per layer");
         assert_eq!(config.dims[0], data.feature_dim(), "dims[0] must equal the feature dim");
         assert_eq!(
-            *config.dims.last().unwrap(),
-            data.num_classes,
+            config.dims[num_layers], data.num_classes,
             "output dim must equal the class count"
         );
         assert_eq!(partition.num_vertices(), data.num_vertices(), "partition size mismatch");
         assert_eq!(partition.num_parts(), config.num_workers, "partition/worker count mismatch");
 
-        let build_start = Instant::now();
+        let build_start = HostTimer::start();
         let contexts = build_worker_contexts(&adjs, &partition);
-        let build_s = build_start.elapsed().as_secs_f64();
+        let build_s = build_start.elapsed_s();
 
         let num_workers = config.num_workers;
         let num_nodes = num_workers + config.num_servers;
@@ -269,13 +271,13 @@ impl DistributedEngine {
             labels_local,
             train_local,
             total_train,
-            fp_trend: HashMap::new(),
-            fp_cache: HashMap::new(),
+            fp_trend: BTreeMap::new(),
+            fp_cache: BTreeMap::new(),
             fp_bits,
-            fp_prop: HashMap::new(),
+            fp_prop: BTreeMap::new(),
             fp_recon_err: 0.0,
             fp_degraded: 0,
-            bp_residual: HashMap::new(),
+            bp_residual: BTreeMap::new(),
             epoch: 0,
         }
     }
@@ -306,12 +308,12 @@ impl DistributedEngine {
     }
 
     /// Persists the current model weights to `path` (wire-codec format).
-    pub fn save_checkpoint(&self, path: &std::path::Path) -> std::io::Result<()> {
+    pub fn save_checkpoint(&self, path: &std::path::Path) -> Result<(), CheckpointError> {
         self.ps.save_weights(path)
     }
 
     /// Restores model weights saved by [`Self::save_checkpoint`].
-    pub fn load_checkpoint(&mut self, path: &std::path::Path) -> std::io::Result<()> {
+    pub fn load_checkpoint(&mut self, path: &std::path::Path) -> Result<(), CheckpointError> {
         self.ps.load_weights(path)
     }
 
@@ -335,8 +337,12 @@ impl DistributedEngine {
     /// Restores a state captured by [`Self::snapshot`]. The engine must
     /// have been built from the same configuration (layer shapes are
     /// checked; graph/partition consistency is the caller's contract).
-    pub fn restore(&mut self, snapshot: &EngineSnapshot) {
-        self.ps.restore_state(&snapshot.ps_state).expect("snapshot/engine mismatch");
+    ///
+    /// # Errors
+    /// Returns a [`CheckpointError`] when the snapshot's parameter state
+    /// does not match this engine's layer shapes.
+    pub fn restore(&mut self, snapshot: &EngineSnapshot) -> Result<(), CheckpointError> {
+        self.ps.restore_state(&snapshot.ps_state)?;
         self.epoch = snapshot.epoch;
         self.fp_trend = snapshot.fp_trend.clone();
         self.fp_cache = snapshot.fp_cache.clone();
@@ -345,6 +351,7 @@ impl DistributedEngine {
         self.bp_residual = snapshot.bp_residual.clone();
         self.fp_degraded = 0;
         self.fp_recon_err = 0.0;
+        Ok(())
     }
 
     /// Current adaptive bit widths, `[requester][owner]`.
@@ -411,7 +418,7 @@ impl DistributedEngine {
             let w_self = sage.then(|| self.ps.pull(num_layers + l - 1).0.clone());
             let mut step_max = 0.0f64;
             for w in 0..num_workers {
-                let start = Instant::now();
+                let start = HostTimer::start();
                 let h_cat = match &remotes[w] {
                     None => self.h0_cat[w].clone(),
                     Some(remote) => self.h_local[w][l - 1].vstack(remote),
@@ -424,7 +431,7 @@ impl DistributedEngine {
                 z = ops::add_bias(&z, &b_l);
                 self.h_local[w][l] = if l < num_layers { activations::relu(&z) } else { z.clone() };
                 self.z_local[w][l - 1] = z;
-                step_max = step_max.max(start.elapsed().as_secs_f64() * self.compute_factor(w));
+                step_max = step_max.max(start.elapsed_s() * self.compute_factor(w));
             }
             compute_s += step_max;
         }
@@ -434,7 +441,7 @@ impl DistributedEngine {
         let mut g_cur: Vec<Matrix> = Vec::with_capacity(num_workers);
         let mut step_max = 0.0f64;
         for w in 0..num_workers {
-            let start = Instant::now();
+            let start = HostTimer::start();
             let (loss, g) = local_loss_grad(
                 &self.h_local[w][num_layers],
                 &self.labels_local[w],
@@ -443,7 +450,7 @@ impl DistributedEngine {
             );
             loss_sum += loss;
             g_cur.push(g);
-            step_max = step_max.max(start.elapsed().as_secs_f64() * self.compute_factor(w));
+            step_max = step_max.max(start.elapsed_s() * self.compute_factor(w));
         }
         compute_s += step_max;
 
@@ -463,7 +470,7 @@ impl DistributedEngine {
             let mut ys_sum = Matrix::zeros(self.config.dims[l - 1], self.config.dims[l]);
             let mut b_sum = vec![0.0f32; self.config.dims[l]];
             for w in 0..num_workers {
-                let start = Instant::now();
+                let start = HostTimer::start();
                 let topo = &self.contexts[w].layers[l - 1];
                 let g_cat = g_cur[w].vstack(&g_remote[w]);
                 let ag = topo.adj_local.spmm(&g_cat);
@@ -485,7 +492,7 @@ impl DistributedEngine {
                     ops::add_assign(&mut flow, &ops::matmul_a_bt(&g_cur[w], ws));
                 }
                 g_cur[w] = ops::hadamard(&flow, &mask);
-                step_max = step_max.max(start.elapsed().as_secs_f64() * self.compute_factor(w));
+                step_max = step_max.max(start.elapsed_s() * self.compute_factor(w));
             }
             compute_s += step_max;
             grads[l - 1] = Some((y_sum, b_sum));
@@ -501,7 +508,7 @@ impl DistributedEngine {
             let mut ys_sum = Matrix::zeros(self.config.dims[0], self.config.dims[1]);
             let mut b_sum = vec![0.0f32; self.config.dims[1]];
             for w in 0..num_workers {
-                let start = Instant::now();
+                let start = HostTimer::start();
                 let topo = &self.contexts[w].layers[0];
                 let ah0 = topo.adj_local.spmm(&self.h0_cat[w]);
                 let y_part = ops::matmul_at_b(&ah0, &g_cur[w]);
@@ -513,7 +520,7 @@ impl DistributedEngine {
                 for (acc, g) in b_sum.iter_mut().zip(ops::column_sums(&g_cur[w])) {
                     *acc += g;
                 }
-                step_max = step_max.max(start.elapsed().as_secs_f64() * self.compute_factor(w));
+                step_max = step_max.max(start.elapsed_s() * self.compute_factor(w));
             }
             compute_s += step_max;
             grads[0] = Some((y_sum, b_sum));
@@ -531,7 +538,8 @@ impl DistributedEngine {
                 self.network.send(w, self.server_node(s), Channel::Parameter, bytes);
             }
         }
-        let grads: Vec<(Matrix, Vec<f32>)> = grads.into_iter().map(Option::unwrap).collect();
+        let grads: Vec<(Matrix, Vec<f32>)> = grads.into_iter().flatten().collect();
+        assert_eq!(grads.len(), num_slots, "every gradient slot must be filled before the push");
         self.ps.push(&grads);
         self.ps.apply_update();
         comm_s += self.network.flush_superstep();
@@ -680,7 +688,7 @@ impl DistributedEngine {
     }
 
     fn apply_bit_tuner(&mut self, _t: usize) {
-        let updates: Vec<((usize, usize), f32)> = self.fp_prop.drain().collect();
+        let updates = std::mem::take(&mut self.fp_prop);
         for ((i, j), p) in updates {
             self.fp_bits[i][j] = fp::tune_bits(self.fp_bits[i][j], p);
         }

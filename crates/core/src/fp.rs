@@ -153,33 +153,48 @@ pub fn reqec_step_with(
             exact_sent: false,
         };
     }
-    let boundary = state.base.is_none() || (t + 1).is_multiple_of(t_tr);
-    if boundary {
-        let m_cr = match &state.base {
-            // Per-step changing rate over the actual elapsed interval
-            // (equal to T_tr between regular boundaries; shorter only for
-            // the bootstrap group).
-            Some(base) => {
-                let elapsed = (t - state.base_t).max(1) as f32;
-                ops::scale(&ops::sub(h_rows, base), 1.0 / elapsed)
-            }
-            None => Matrix::zeros(rows, cols),
-        };
-        let wire = (codec::matrix_wire_size(h_rows) + codec::matrix_wire_size(&m_cr)) as u64;
-        state.base = Some(h_rows.clone());
-        state.m_cr = Some(m_cr);
-        state.base_t = t;
-        return ReqEcOutcome {
-            reconstructed: h_rows.clone(),
-            proportion: 0.0,
-            wire,
-            exact_sent: true,
-        };
+    // Non-boundary steps read the live trend group; when the group has not
+    // been bootstrapped yet (`base` is `None`) control falls through to the
+    // boundary path below, which creates it.
+    if !(t + 1).is_multiple_of(t_tr) {
+        if let (Some(base), Some(m_cr)) = (&state.base, &state.m_cr) {
+            return reqec_nonboundary(base, m_cr, state.base_t, h_rows, bits, t, granularity);
+        }
     }
 
-    let base = state.base.as_ref().expect("trend state initialized");
-    let m_cr = state.m_cr.as_ref().expect("trend state initialized");
-    let k = (t - state.base_t) as f32;
+    // Trend boundary (or bootstrap): ship the exact embeddings plus the
+    // changing-rate matrix and reset the group.
+    let m_cr = match &state.base {
+        // Per-step changing rate over the actual elapsed interval
+        // (equal to T_tr between regular boundaries; shorter only for
+        // the bootstrap group).
+        Some(base) => {
+            let elapsed = (t - state.base_t).max(1) as f32;
+            ops::scale(&ops::sub(h_rows, base), 1.0 / elapsed)
+        }
+        None => Matrix::zeros(rows, cols),
+    };
+    let wire = (codec::matrix_wire_size(h_rows) + codec::matrix_wire_size(&m_cr)) as u64;
+    state.base = Some(h_rows.clone());
+    state.m_cr = Some(m_cr);
+    state.base_t = t;
+    ReqEcOutcome { reconstructed: h_rows.clone(), proportion: 0.0, wire, exact_sent: true }
+}
+
+/// The non-boundary arm of [`reqec_step_with`]: candidate construction and
+/// Selector choice against an established trend group.
+fn reqec_nonboundary(
+    base: &Matrix,
+    m_cr: &Matrix,
+    base_t: usize,
+    h_rows: &Matrix,
+    bits: u8,
+    t: usize,
+    granularity: Granularity,
+) -> ReqEcOutcome {
+    let rows = h_rows.rows();
+    let cols = h_rows.cols();
+    let k = (t - base_t) as f32;
 
     // The three candidates (Eqs. 7–9).
     let mut pdt = base.clone();

@@ -119,6 +119,46 @@ impl RunResult {
         self.epochs.iter().map(|e| e.total_bytes).sum()
     }
 
+    /// Canonical JSON image of the full run: every summary field plus the
+    /// complete epoch history, with keys in a fixed order. Two runs are
+    /// byte-identical here iff they are behaviorally identical — the
+    /// determinism suite diffs these strings directly.
+    pub fn to_json(&self) -> serde_json::Value {
+        let epochs: Vec<serde_json::Value> = self
+            .epochs
+            .iter()
+            .map(|e| {
+                serde_json::json!({
+                    "epoch": e.epoch,
+                    "loss": e.loss,
+                    "val_acc": e.val_acc,
+                    "test_acc": e.test_acc,
+                    "compute_s": e.compute_s,
+                    "comm_s": e.comm_s,
+                    "fp_bytes": e.fp_bytes,
+                    "bp_bytes": e.bp_bytes,
+                    "param_bytes": e.param_bytes,
+                    "retry_bytes": e.retry_bytes,
+                    "total_bytes": e.total_bytes,
+                    "degraded": e.degraded,
+                })
+            })
+            .collect();
+        serde_json::json!({
+            "system": self.system,
+            "dataset": self.dataset,
+            "num_layers": self.num_layers,
+            "num_workers": self.num_workers,
+            "preprocessing_s": self.preprocessing_s,
+            "recovery_s": self.recovery_s,
+            "crashes_recovered": self.crashes_recovered,
+            "best_epoch": self.best_epoch,
+            "best_val_acc": self.best_val_acc,
+            "best_test_acc": self.best_test_acc,
+            "epochs": epochs,
+        })
+    }
+
     /// Recomputes the best-epoch summary fields from the history.
     pub fn finalize(&mut self) {
         let mut best = (0usize, f64::MIN, 0.0f64);

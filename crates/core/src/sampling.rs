@@ -42,11 +42,15 @@ pub fn sample_layer_graphs(
                 }
             } else {
                 // Floyd-style distinct sampling over the neighbour list.
+                // Emit in sorted order: HashSet iteration order varies per
+                // process and would leak into the sampled edge list.
                 let mut chosen = std::collections::HashSet::with_capacity(fanout);
                 while chosen.len() < fanout {
                     chosen.insert(nb[rng.gen_range(0..nb.len())]);
                 }
-                for u in chosen {
+                let mut picked: Vec<u32> = chosen.into_iter().collect();
+                picked.sort_unstable();
+                for u in picked {
                     edges.push((v as u32, u));
                 }
             }

@@ -4,11 +4,11 @@
 use crate::config::TrainingConfig;
 use crate::engine::DistributedEngine;
 use crate::report::{EpochRecord, RunResult};
+use ec_comm::HostTimer;
 use ec_graph_data::{normalize, AttributedGraph};
 use ec_partition::{Partition, Partitioner};
 use ec_tensor::CsrMatrix;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Trains EC-Graph (or any mode expressible in [`TrainingConfig`]) on
 /// `data` partitioned by `partitioner`, using the standard GCN-normalized
@@ -22,9 +22,9 @@ pub fn train(
     config: TrainingConfig,
     system: &str,
 ) -> RunResult {
-    let part_start = Instant::now();
+    let part_start = HostTimer::start();
     let partition = partitioner.partition(&data.graph, config.num_workers);
-    let partition_s = part_start.elapsed().as_secs_f64();
+    let partition_s = part_start.elapsed_s();
     let adj = Arc::new(normalize::gcn_normalized_adjacency(&data.graph));
     let adjs = vec![Arc::clone(&adj); config.num_layers()];
     train_prepartitioned(data, adjs, partition, config, system, partition_s)
@@ -96,7 +96,7 @@ pub fn run_epoch_loop(
             let keep = (base_records + ckpt.epoch()).min(result.epochs.len());
             result.recovery_s += result.epochs.drain(keep..).map(|e| e.sim_time()).sum::<f64>();
             result.crashes_recovered += 1;
-            engine.restore(ckpt);
+            engine.restore(ckpt).expect("crash checkpoint matches the engine it came from");
             // Rebuild the early-stopping trackers from the surviving
             // history so the replay is indistinguishable from a run that
             // never went past the checkpoint.

@@ -11,9 +11,10 @@
 use ec_comm::codec;
 use ec_compress::{bitpack, Quantized};
 use ec_tensor::Matrix;
+use serde::{Deserialize, Serialize};
 
 /// A forward-pass response from a responding worker.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum FpMessage {
     /// Trend-boundary message: exact embeddings plus the changing-rate
     /// matrix (`rm.buildMessage(H_res, M_cr)` in Alg. 4).
@@ -130,7 +131,7 @@ impl FpMessage {
 }
 
 /// A backward-pass response from a responding worker.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum BpMessage {
     /// Uncompressed gradient rows.
     Exact(Matrix),

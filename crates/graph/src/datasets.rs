@@ -373,7 +373,7 @@ mod tests {
     #[test]
     fn labels_cover_multiple_classes() {
         let g = DatasetSpec::reddit().instantiate_with(500, 8, 11);
-        let distinct: std::collections::HashSet<_> = g.labels.iter().collect();
+        let distinct: std::collections::BTreeSet<_> = g.labels.iter().collect();
         assert!(distinct.len() > 10);
     }
 }

@@ -53,7 +53,12 @@ pub fn barabasi_albert(n: usize, m_per_vertex: usize, seed: u64) -> Graph {
             let t = targets[rng.gen_range(0..targets.len())];
             chosen.insert(t);
         }
-        for &t in &chosen {
+        // Attach in sorted order: HashSet iteration order differs between
+        // processes, and `targets` grows as edges land, so an unordered walk
+        // here would make the whole graph differ from run to run.
+        let mut picked: Vec<u32> = chosen.into_iter().collect();
+        picked.sort_unstable();
+        for t in picked {
             edges.push((v as u32, t));
             targets.push(v as u32);
             targets.push(t);

@@ -6,9 +6,48 @@
 //! own edge lists into the examples.
 
 use crate::csr::Graph;
+use std::fmt;
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
+
+/// Why a graph or label file failed to load.
+#[derive(Debug)]
+pub enum GraphIoError {
+    /// The underlying file could not be read.
+    Io(io::Error),
+    /// A line was malformed; `line` is 1-based.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        msg: String,
+    },
+}
+
+impl fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphIoError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphIoError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphIoError::Io(e) => Some(e),
+            GraphIoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphIoError {
+    fn from(e: io::Error) -> Self {
+        GraphIoError::Io(e)
+    }
+}
 
 /// Writes a graph as `u<TAB>v` lines, one per undirected edge, preceded by a
 /// `# vertices <n>` header.
@@ -23,12 +62,16 @@ pub fn save_edge_list(g: &Graph, path: &Path) -> io::Result<()> {
 
 /// Reads a graph written by [`save_edge_list`]. Lines starting with `#`
 /// other than the header are ignored; blank lines are skipped.
-pub fn load_edge_list(path: &Path) -> io::Result<Graph> {
+///
+/// # Errors
+/// [`GraphIoError::Io`] when the file cannot be read,
+/// [`GraphIoError::Parse`] when an edge line is malformed.
+pub fn load_edge_list(path: &Path) -> Result<Graph, GraphIoError> {
     let r = BufReader::new(File::open(path)?);
     let mut n: Option<usize> = None;
     let mut edges = Vec::new();
     let mut max_seen = 0u32;
-    for line in r.lines() {
+    for (idx, line) in r.lines().enumerate() {
         let line = line?;
         let line = line.trim();
         if line.is_empty() {
@@ -42,12 +85,15 @@ pub fn load_edge_list(path: &Path) -> io::Result<Graph> {
             continue;
         }
         let mut it = line.split_whitespace();
-        let parse = |t: Option<&str>| -> io::Result<u32> {
-            t.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing endpoint"))?
-                .parse()
-                .map_err(|e| {
-                    io::Error::new(io::ErrorKind::InvalidData, format!("bad vertex id: {e}"))
-                })
+        let parse = |t: Option<&str>| -> Result<u32, GraphIoError> {
+            let tok = t.ok_or(GraphIoError::Parse {
+                line: idx + 1,
+                msg: "missing endpoint".to_string(),
+            })?;
+            tok.parse().map_err(|e| GraphIoError::Parse {
+                line: idx + 1,
+                msg: format!("bad vertex id {tok:?}: {e}"),
+            })
         };
         let u = parse(it.next())?;
         let v = parse(it.next())?;
@@ -68,14 +114,21 @@ pub fn save_labels(labels: &[u32], path: &Path) -> io::Result<()> {
 }
 
 /// Reads labels written by [`save_labels`].
-pub fn load_labels(path: &Path) -> io::Result<Vec<u32>> {
+///
+/// # Errors
+/// [`GraphIoError::Io`] when the file cannot be read,
+/// [`GraphIoError::Parse`] when a line is not an unsigned label.
+pub fn load_labels(path: &Path) -> Result<Vec<u32>, GraphIoError> {
     let r = BufReader::new(File::open(path)?);
     r.lines()
-        .filter(|l| !matches!(l, Ok(s) if s.trim().is_empty()))
-        .map(|l| {
-            l?.trim()
-                .parse()
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad label: {e}")))
+        .enumerate()
+        .filter(|(_, l)| !matches!(l, Ok(s) if s.trim().is_empty()))
+        .map(|(idx, l)| {
+            let s = l?;
+            s.trim().parse().map_err(|e| GraphIoError::Parse {
+                line: idx + 1,
+                msg: format!("bad label {:?}: {e}", s.trim()),
+            })
         })
         .collect()
 }

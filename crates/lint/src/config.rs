@@ -1,0 +1,227 @@
+//! `lint.toml` — which rules run where.
+//!
+//! The parser is a hand-rolled subset of TOML (the offline build has no
+//! `toml` crate): `[section]` headers, `key = "string"`, and
+//! `key = ["a", "b"]` single-line string arrays. Comments start with `#`.
+//!
+//! ```toml
+//! [no-wall-clock]
+//! severity = "error"
+//! include = ["crates"]
+//! exclude = ["crates/bench", "crates/comm/src/clock.rs"]
+//! ```
+//!
+//! `include`/`exclude` entries are workspace-relative path prefixes,
+//! matched at component boundaries (`crates/core` matches
+//! `crates/core/src/engine.rs`, not `crates/core2`). A rule only runs on
+//! files under some `include` prefix and under no `exclude` prefix.
+
+use crate::diag::Severity;
+use std::collections::BTreeMap;
+
+/// Where one rule applies, and how hard it fails.
+#[derive(Clone, Debug)]
+pub struct RuleConfig {
+    /// Diagnostics from this rule carry this severity.
+    pub severity: Severity,
+    /// Path prefixes the rule runs on.
+    pub include: Vec<String>,
+    /// Path prefixes carved out of `include`.
+    pub exclude: Vec<String>,
+}
+
+impl RuleConfig {
+    /// Whether `rel_path` (workspace-relative, `/`-separated) is in scope.
+    pub fn applies_to(&self, rel_path: &str) -> bool {
+        self.include.iter().any(|p| prefix_match(p, rel_path))
+            && !self.exclude.iter().any(|p| prefix_match(p, rel_path))
+    }
+}
+
+fn prefix_match(prefix: &str, path: &str) -> bool {
+    path == prefix
+        || (path.len() > prefix.len()
+            && path.starts_with(prefix)
+            && path.as_bytes()[prefix.len()] == b'/')
+}
+
+/// The whole config: rule name → scope. `BTreeMap` so rules run (and
+/// report) in a stable order.
+#[derive(Clone, Debug, Default)]
+pub struct LintConfig {
+    /// Per-rule scopes, keyed by rule name.
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+impl LintConfig {
+    /// Parses the `lint.toml` subset described in the module docs.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut rules: BTreeMap<String, RuleConfig> = BTreeMap::new();
+        let mut current: Option<String> = None;
+        // Fold multi-line arrays into one logical line so `include = [`
+        // followed by indented entries parses like its single-line form.
+        let mut logical: Vec<(usize, String)> = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some((_, buf)) = logical.last_mut() {
+                if buf.contains('=') && buf.matches('[').count() > buf.matches(']').count() {
+                    buf.push(' ');
+                    buf.push_str(line);
+                    continue;
+                }
+            }
+            logical.push((idx, line.to_string()));
+        }
+        for (idx, line) in &logical {
+            let line = line.as_str();
+            let err = |msg: String| format!("lint.toml:{}: {msg}", idx + 1);
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let name = name.trim();
+                if name.is_empty() {
+                    return Err(err("empty section name".into()));
+                }
+                rules.entry(name.to_string()).or_insert(RuleConfig {
+                    severity: Severity::Error,
+                    include: Vec::new(),
+                    exclude: Vec::new(),
+                });
+                current = Some(name.to_string());
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(err(format!("expected `key = value`, got {line:?}")));
+            };
+            let section = current.as_ref().ok_or_else(|| err("key before any [section]".into()))?;
+            let rule = rules.get_mut(section).ok_or_else(|| err("unknown section".into()))?;
+            match key.trim() {
+                "severity" => {
+                    rule.severity = Severity::parse(&parse_string(value.trim()).map_err(&err)?)
+                        .map_err(&err)?;
+                }
+                "include" => rule.include = parse_string_array(value.trim()).map_err(&err)?,
+                "exclude" => rule.exclude = parse_string_array(value.trim()).map_err(&err)?,
+                other => return Err(err(format!("unknown key {other:?}"))),
+            }
+        }
+        for (name, rule) in &rules {
+            if rule.include.is_empty() {
+                return Err(format!("rule [{name}] has no include paths"));
+            }
+        }
+        Ok(Self { rules })
+    }
+}
+
+/// Cuts a trailing `# comment` — safe because values in this subset never
+/// contain `#` inside strings (paths and severities).
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn parse_string(v: &str) -> Result<String, String> {
+    let v = v.trim();
+    v.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("expected a quoted string, got {v:?}"))
+}
+
+fn parse_string_array(v: &str) -> Result<Vec<String>, String> {
+    let v = v.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| format!("expected [\"a\", \"b\"], got {v:?}"))?;
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(str::trim)
+        .filter(|item| !item.is_empty()) // tolerate a trailing comma
+        .map(parse_string)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_keys_and_arrays() {
+        let cfg = LintConfig::parse(
+            r#"
+# top comment
+[no-wall-clock]
+severity = "error"
+include = ["crates"]           # trailing comment
+exclude = ["crates/bench", "crates/comm/src/clock.rs"]
+
+[no-unseeded-rng]
+severity = "warn"
+include = ["crates", "tests"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.rules.len(), 2);
+        let wc = &cfg.rules["no-wall-clock"];
+        assert_eq!(wc.severity, Severity::Error);
+        assert_eq!(wc.exclude.len(), 2);
+        assert_eq!(cfg.rules["no-unseeded-rng"].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn parses_multi_line_arrays_with_trailing_commas() {
+        let cfg = LintConfig::parse(
+            r#"
+[no-unordered-iteration]
+severity = "error"
+include = [
+    "crates/core",   # comment on an entry
+    "crates/comm",
+]
+"#,
+        )
+        .unwrap();
+        let rule = &cfg.rules["no-unordered-iteration"];
+        assert_eq!(rule.include, vec!["crates/core".to_string(), "crates/comm".to_string()]);
+    }
+
+    #[test]
+    fn prefix_matching_respects_component_boundaries() {
+        let rule = RuleConfig {
+            severity: Severity::Error,
+            include: vec!["crates/core".into()],
+            exclude: vec!["crates/core/src/bin".into()],
+        };
+        assert!(rule.applies_to("crates/core/src/engine.rs"));
+        assert!(!rule.applies_to("crates/core2/src/engine.rs"));
+        assert!(!rule.applies_to("crates/core/src/bin/ecgraph.rs"));
+    }
+
+    #[test]
+    fn exact_file_includes_work() {
+        let rule = RuleConfig {
+            severity: Severity::Error,
+            include: vec!["crates/comm/src/ps.rs".into()],
+            exclude: vec![],
+        };
+        assert!(rule.applies_to("crates/comm/src/ps.rs"));
+        assert!(!rule.applies_to("crates/comm/src/network.rs"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(LintConfig::parse("severity = \"error\"").is_err(), "key before section");
+        assert!(LintConfig::parse("[r]\nseverity error").is_err(), "missing =");
+        assert!(LintConfig::parse("[r]\nseverity = \"loud\"").is_err(), "bad severity");
+        assert!(LintConfig::parse("[r]\nseverity = \"warn\"").is_err(), "no includes");
+    }
+}

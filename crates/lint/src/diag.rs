@@ -1,0 +1,108 @@
+//! Diagnostics: what a rule reports and how it is printed.
+
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: printed, never fails the build.
+    Warn,
+    /// Hard failure under `--check`.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parses a severity from config text.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "warn" | "warning" => Ok(Severity::Warn),
+            "error" | "deny" => Ok(Severity::Error),
+            other => Err(format!("unknown severity {other:?} (expected \"warn\" or \"error\")")),
+        }
+    }
+}
+
+/// One finding at a `file:line`.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: String,
+    /// Its configured severity.
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human explanation of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} [{}] {}",
+            self.path,
+            self.line,
+            self.severity.as_str(),
+            self.rule,
+            self.message
+        )
+    }
+}
+
+impl Diagnostic {
+    /// Machine-readable form for `--json`.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "rule": self.rule,
+            "severity": self.severity.as_str(),
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_file_line_rule() {
+        let d = Diagnostic {
+            rule: "no-wall-clock".into(),
+            severity: Severity::Error,
+            path: "crates/core/src/engine.rs".into(),
+            line: 42,
+            message: "std::time::Instant used".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/core/src/engine.rs:42: error [no-wall-clock] std::time::Instant used"
+        );
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let d = Diagnostic {
+            rule: "r".into(),
+            severity: Severity::Warn,
+            path: "p.rs".into(),
+            line: 1,
+            message: "m".into(),
+        };
+        assert_eq!(
+            d.to_json().to_string(),
+            r#"{"rule":"r","severity":"warn","path":"p.rs","line":1,"message":"m"}"#
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! # `ec-lint` — workspace static analysis for determinism invariants
+//!
+//! The reproduction's claims rest on the simulated cluster being a
+//! *measurement instrument*: two runs of one config must produce identical
+//! traffic, losses, and reports. Nothing in rustc or clippy stops a
+//! contributor from iterating a `HashMap` in the engine, reading the wall
+//! clock in a baseline, or `unwrap()`ing in a superstep — the exact bug
+//! classes that silently break that property. `ec-lint` is a self-contained
+//! analyzer (the offline build has no `syn`/`dylint`) that enforces them:
+//!
+//! * [`rules::no_unordered_iteration`] — no `HashMap`/`HashSet` iteration
+//!   in deterministic paths;
+//! * [`rules::no_wall_clock`] — `std::time::{Instant, SystemTime}` only in
+//!   the sanctioned clock module;
+//! * [`rules::no_unseeded_rng`] — no `thread_rng`/`from_entropy` anywhere;
+//! * [`rules::no_panic_hot_path`] — no `unwrap`/`expect`/`panic!` in the
+//!   superstep hot paths;
+//! * [`rules::wire_hygiene`] — wire types derive both serde directions and
+//!   have round-trip tests.
+//!
+//! Scopes live in `lint.toml` ([`config::LintConfig`]); inline escapes are
+//! `// ec-lint: allow(<rule>)` on or directly above the flagged line.
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+use config::{LintConfig, RuleConfig};
+use diag::Diagnostic;
+use lexer::LexedFile;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Directories never worth descending into.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".claude", "node_modules"];
+
+/// Recursively collects `.rs` files under `root`, returned as
+/// workspace-relative `/`-separated paths in sorted order.
+pub fn collect_rust_files(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Runs every configured rule over the workspace at `root`.
+///
+/// Returns unsuppressed diagnostics sorted by `(path, line, rule)`.
+///
+/// # Errors
+/// An unknown rule name in the config, or an unreadable file.
+pub fn run(root: &Path, config: &LintConfig) -> Result<Vec<Diagnostic>, String> {
+    let files = collect_rust_files(root).map_err(|e| format!("walking {root:?}: {e}"))?;
+    let mut cache: BTreeMap<String, LexedFile> = BTreeMap::new();
+    let lexed = |rel: &str, cache: &mut BTreeMap<String, LexedFile>| -> Result<LexedFile, String> {
+        if let Some(f) = cache.get(rel) {
+            return Ok(f.clone());
+        }
+        let full: PathBuf = root.join(rel);
+        let src = std::fs::read_to_string(&full).map_err(|e| format!("reading {rel}: {e}"))?;
+        let f = lexer::lex(&src);
+        cache.insert(rel.to_string(), f.clone());
+        Ok(f)
+    };
+
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+    for (rule_name, rc) in &config.rules {
+        let scoped: Vec<&String> = files.iter().filter(|f| rc.applies_to(f)).collect();
+        match rule_name.as_str() {
+            "no-wall-clock"
+            | "no-unseeded-rng"
+            | "no-panic-hot-path"
+            | "no-unordered-iteration" => {
+                for rel in scoped {
+                    let file = lexed(rel, &mut cache)?;
+                    diagnostics.extend(run_file_rule(rule_name, rc, rel, &file));
+                }
+            }
+            "wire-hygiene" => {
+                let mut set = Vec::new();
+                for rel in scoped {
+                    set.push((rel.clone(), lexed(rel, &mut cache)?));
+                }
+                diagnostics.extend(rules::wire_hygiene(rc, &set));
+            }
+            other => return Err(format!("lint.toml: unknown rule [{other}]")),
+        }
+    }
+
+    // Drop findings the source explicitly allows: a suppression comment
+    // covers its own line and the line below it.
+    diagnostics.retain(|d| {
+        let Some(file) = cache.get(&d.path) else { return true };
+        !file.suppressions.iter().any(|s| {
+            (s.rule == d.rule || s.rule == "all") && (s.line == d.line || s.line + 1 == d.line)
+        })
+    });
+    diagnostics.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    Ok(diagnostics)
+}
+
+fn run_file_rule(name: &str, rc: &RuleConfig, path: &str, file: &LexedFile) -> Vec<Diagnostic> {
+    match name {
+        "no-wall-clock" => rules::no_wall_clock(rc, path, file),
+        "no-unseeded-rng" => rules::no_unseeded_rng(rc, path, file),
+        "no-panic-hot-path" => rules::no_panic_hot_path(rc, path, file),
+        "no-unordered-iteration" => rules::no_unordered_iteration(rc, path, file),
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The acceptance bar for the whole PR: the workspace itself is
+    /// lint-clean under the checked-in `lint.toml`.
+    #[test]
+    fn workspace_is_lint_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let toml = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml at repo root");
+        let config = LintConfig::parse(&toml).expect("lint.toml parses");
+        assert_eq!(config.rules.len(), 5, "all five rules configured");
+        let diags = run(&root, &config).expect("lint run succeeds");
+        assert!(
+            diags.is_empty(),
+            "workspace has lint violations:\n{}",
+            diags.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+        );
+    }
+
+    #[test]
+    fn suppressions_silence_a_finding() {
+        let dir = std::env::temp_dir().join(format!("ec-lint-suppr-{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("src")).unwrap();
+        std::fs::write(
+            dir.join("src/a.rs"),
+            "// ec-lint: allow(no-wall-clock)\nuse std::time::Instant;\nuse std::time::SystemTime;\n",
+        )
+        .unwrap();
+        let config =
+            LintConfig::parse("[no-wall-clock]\nseverity = \"error\"\ninclude = [\"src\"]")
+                .unwrap();
+        let diags = run(&dir, &config).unwrap();
+        // Line 2 is covered by the line-1 comment; line 3 is not.
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].line, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,107 @@
+//! `ec-lint` CLI.
+//!
+//! ```sh
+//! cargo run -p ec-lint -- --check            # human-readable, exit 1 on errors
+//! cargo run -p ec-lint -- --check --json     # machine-readable diagnostics
+//! ```
+//!
+//! Flags: `--check` (required mode), `--json`, `--root <dir>` (default
+//! `.`), `--config <file>` (default `<root>/lint.toml`).
+
+use ec_lint::config::LintConfig;
+use ec_lint::diag::Severity;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut check = false;
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a value"),
+            },
+            "--config" => match it.next() {
+                Some(v) => config_path = Some(PathBuf::from(v)),
+                None => return usage("--config needs a value"),
+            },
+            "--help" | "-h" => return usage(""),
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    if !check {
+        return usage("pass --check to run the analysis");
+    }
+
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let toml = match std::fs::read_to_string(&config_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("ec-lint: cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let config = match LintConfig::parse(&toml) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ec-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let diags = match ec_lint::run(&root, &config) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("ec-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    if json {
+        let items: Vec<serde_json::Value> = diags.iter().map(|d| d.to_json()).collect();
+        println!(
+            "{}",
+            serde_json::json!({
+                "diagnostics": items,
+                "errors": errors,
+                "warnings": diags.len() - errors,
+            })
+        );
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        if diags.is_empty() {
+            println!("ec-lint: clean ({} rules)", config.rules.len());
+        } else {
+            println!("ec-lint: {} finding(s), {errors} error(s)", diags.len());
+        }
+    }
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("ec-lint: {err}");
+    }
+    eprintln!(
+        "usage: ec-lint --check [--json] [--root <dir>] [--config <lint.toml>]\n\
+         Runs the workspace determinism lints; exits non-zero on errors."
+    );
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -1,0 +1,511 @@
+//! The domain rules, as token-pattern passes over [`LexedFile`]s.
+//!
+//! Each rule is a heuristic, not a type checker: it trades soundness for
+//! zero dependencies. The escape hatch for a deliberate false positive is
+//! an inline `// ec-lint: allow(<rule>)` on (or directly above) the line.
+
+use crate::config::RuleConfig;
+use crate::diag::Diagnostic;
+use crate::lexer::{LexedFile, Tok, TokKind};
+use std::collections::BTreeSet;
+
+/// Methods whose call on a `HashMap`/`HashSet` walks it in arbitrary order.
+const UNORDERED_ITER_METHODS: &[&str] =
+    &["iter", "iter_mut", "keys", "values", "values_mut", "drain", "into_keys", "into_values"];
+
+fn ident_at(toks: &[Tok], i: usize) -> Option<&str> {
+    toks.get(i).filter(|t| t.kind == TokKind::Ident).map(|t| t.text.as_str())
+}
+
+fn punct_at(toks: &[Tok], i: usize) -> Option<&str> {
+    toks.get(i).filter(|t| t.kind == TokKind::Punct).map(|t| t.text.as_str())
+}
+
+fn is_punct(toks: &[Tok], i: usize, p: &str) -> bool {
+    punct_at(toks, i) == Some(p)
+}
+
+/// Index of the token matching the `{` at `open` (which must be a `{`),
+/// or `toks.len()` when unbalanced.
+fn matching_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    toks.len()
+}
+
+/// Marks every token inside a `#[test]` / `#[cfg(test)]`-annotated item.
+///
+/// Heuristic: an attribute whose token list mentions `test` but not `not`
+/// makes the next braced item test-only.
+pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if is_punct(toks, i, "#") && is_punct(toks, i + 1, "[") {
+            // Collect the attribute's tokens up to its closing `]`.
+            let mut j = i + 2;
+            let mut depth = 1usize;
+            let mut saw_test = false;
+            let mut saw_not = false;
+            while j < toks.len() && depth > 0 {
+                match (toks[j].kind, toks[j].text.as_str()) {
+                    (TokKind::Punct, "[") => depth += 1,
+                    (TokKind::Punct, "]") => depth -= 1,
+                    (TokKind::Ident, "test") => saw_test = true,
+                    (TokKind::Ident, "not") => saw_not = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if saw_test && !saw_not {
+                // Skip to the annotated item's body and mark it.
+                let mut k = j;
+                while k < toks.len() && !is_punct(toks, k, "{") {
+                    // A `;` first means a braceless item (e.g. a test-only
+                    // `use`): nothing more to mark.
+                    if is_punct(toks, k, ";") {
+                        break;
+                    }
+                    k += 1;
+                }
+                if k < toks.len() && is_punct(toks, k, "{") {
+                    let end = matching_brace(toks, k);
+                    for flag in &mut mask[i..=end.min(toks.len() - 1)] {
+                        *flag = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+fn diag(rc: &RuleConfig, rule: &str, path: &str, line: usize, message: String) -> Diagnostic {
+    Diagnostic { rule: rule.into(), severity: rc.severity, path: path.into(), line, message }
+}
+
+/// `no-wall-clock`: `std::time::{Instant, SystemTime}` are banned outside
+/// the sanctioned clock module — deterministic code must not branch on (or
+/// report) host time except through `ec_comm::clock::HostTimer`.
+pub fn no_wall_clock(rc: &RuleConfig, path: &str, file: &LexedFile) -> Vec<Diagnostic> {
+    file.tokens
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident && (t.text == "Instant" || t.text == "SystemTime"))
+        .map(|t| {
+            diag(
+                rc,
+                "no-wall-clock",
+                path,
+                t.line,
+                format!(
+                    "`{}` reads the host clock; measure through \
+                     `ec_comm::clock::HostTimer` instead",
+                    t.text
+                ),
+            )
+        })
+        .collect()
+}
+
+/// `no-unseeded-rng`: `thread_rng()` / `from_entropy()` draw from OS
+/// entropy, so two runs of the same config would diverge.
+pub fn no_unseeded_rng(rc: &RuleConfig, path: &str, file: &LexedFile) -> Vec<Diagnostic> {
+    file.tokens
+        .iter()
+        .filter(|t| {
+            t.kind == TokKind::Ident && (t.text == "thread_rng" || t.text == "from_entropy")
+        })
+        .map(|t| {
+            diag(
+                rc,
+                "no-unseeded-rng",
+                path,
+                t.line,
+                format!(
+                    "`{}` is unseeded; use `SmallRng::seed_from_u64` with a config seed",
+                    t.text
+                ),
+            )
+        })
+        .collect()
+}
+
+/// `no-panic-hot-path`: `.unwrap()` / `.expect()` / `panic!` / `todo!` in
+/// the per-superstep code paths. A crash mid-superstep would tear down the
+/// whole simulated cluster; these paths must surface `Result`s instead.
+/// (`assert!` stays allowed: invariant checks on entry are not recovery
+/// paths.) Test modules are exempt.
+pub fn no_panic_hot_path(rc: &RuleConfig, path: &str, file: &LexedFile) -> Vec<Diagnostic> {
+    let toks = &file.tokens;
+    let mask = test_mask(toks);
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if mask[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        let called = is_punct(toks, i + 1, "(");
+        let after_dot = i >= 1 && is_punct(toks, i - 1, ".");
+        let after_path = i >= 2 && is_punct(toks, i - 1, ":") && is_punct(toks, i - 2, ":");
+        if (name == "unwrap" || name == "expect") && (after_dot || after_path) {
+            out.push(diag(
+                rc,
+                "no-panic-hot-path",
+                path,
+                toks[i].line,
+                format!("`{name}` can panic mid-superstep; propagate a typed error instead"),
+            ));
+        }
+        if (name == "panic" || name == "todo" || name == "unimplemented")
+            && is_punct(toks, i + 1, "!")
+            && !called
+        {
+            out.push(diag(
+                rc,
+                "no-panic-hot-path",
+                path,
+                toks[i].line,
+                format!("`{name}!` aborts the simulated cluster; return an error"),
+            ));
+        }
+    }
+    out
+}
+
+/// `no-unordered-iteration`: iterating a `HashMap`/`HashSet` visits entries
+/// in `RandomState` order — different in every process — so any iteration
+/// in a deterministic path makes runs irreproducible. Bindings are tracked
+/// by their declared type or initializer; iteration is any of the unordered
+/// visiting methods or a `for … in [&]binding` loop. Test modules are
+/// exempt (assertions on sets don't feed the simulation).
+pub fn no_unordered_iteration(rc: &RuleConfig, path: &str, file: &LexedFile) -> Vec<Diagnostic> {
+    let toks = &file.tokens;
+    let mask = test_mask(toks);
+    let names = hash_typed_names(toks, &mask);
+    if names.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if mask[i] || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        // `binding.iter()` and friends.
+        if names.contains(name) && is_punct(toks, i + 1, ".") {
+            if let Some(method) = ident_at(toks, i + 2) {
+                if UNORDERED_ITER_METHODS.contains(&method) && is_punct(toks, i + 3, "(") {
+                    out.push(diag(
+                        rc,
+                        "no-unordered-iteration",
+                        path,
+                        toks[i + 2].line,
+                        format!(
+                            "`{name}.{method}()` walks a hash container in process-random \
+                             order; use a `BTreeMap`/`BTreeSet` or sort the keys first"
+                        ),
+                    ));
+                }
+            }
+        }
+        // `for pat in [&]binding {` — consuming or borrowing, both unordered.
+        if name == "for" {
+            let limit = (i + 16).min(toks.len());
+            let mut j = i + 1;
+            while j < limit && ident_at(toks, j) != Some("in") && !is_punct(toks, j, "{") {
+                j += 1;
+            }
+            if j < limit && ident_at(toks, j) == Some("in") {
+                let mut k = j + 1;
+                while k < toks.len() && (is_punct(toks, k, "&") || ident_at(toks, k) == Some("mut"))
+                {
+                    k += 1;
+                }
+                if let Some(target) = ident_at(toks, k) {
+                    if names.contains(target) && is_punct(toks, k + 1, "{") {
+                        out.push(diag(
+                            rc,
+                            "no-unordered-iteration",
+                            path,
+                            toks[k].line,
+                            format!(
+                                "`for … in {target}` visits a hash container in \
+                                 process-random order; collect and sort, or use a BTree \
+                                 container"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Binding names declared with a `HashMap`/`HashSet` type or initializer:
+/// `let [mut] NAME = HashMap::new()`, `NAME: HashMap<…>` (let, field, or
+/// parameter), through arbitrary `std::collections::` paths and wrapping
+/// generics.
+fn hash_typed_names(toks: &[Tok], mask: &[bool]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for i in 0..toks.len() {
+        if mask[i]
+            || toks[i].kind != TokKind::Ident
+            || (toks[i].text != "HashMap" && toks[i].text != "HashSet")
+        {
+            continue;
+        }
+        // Walk back over the type/path context to the `=` or `:` that ties
+        // this type to a binding name.
+        let mut k = i;
+        let mut steps = 0;
+        while k > 0 && steps < 24 {
+            k -= 1;
+            steps += 1;
+            match (toks[k].kind, toks[k].text.as_str()) {
+                (TokKind::Punct, ":") if k > 0 && is_punct(toks, k - 1, ":") => k -= 1, // `::`
+                (TokKind::Punct, ":") => {
+                    // Type annotation: `NAME: …HashMap…`.
+                    if let Some(name) = ident_at(toks, k - 1) {
+                        names.insert(name.to_string());
+                    }
+                    break;
+                }
+                (TokKind::Punct, "=") => {
+                    // Initializer: `let [mut] NAME = …HashMap…`.
+                    if let Some(name) = ident_at(toks, k - 1) {
+                        names.insert(name.to_string());
+                    }
+                    break;
+                }
+                (TokKind::Ident, _)
+                | (TokKind::Lifetime, _)
+                | (TokKind::Punct, "<")
+                | (TokKind::Punct, ">")
+                | (TokKind::Punct, "&") => {}
+                _ => break,
+            }
+        }
+    }
+    names
+}
+
+/// `wire-hygiene`: every type in the wire-format files that derives
+/// `Serialize` must also derive `Deserialize` and be exercised by a test
+/// whose name contains `round_trip`. Runs over the rule's whole file set at
+/// once so a type and its round-trip test may live in different files.
+pub fn wire_hygiene(rc: &RuleConfig, files: &[(String, LexedFile)]) -> Vec<Diagnostic> {
+    struct WireType {
+        path: String,
+        line: usize,
+        name: String,
+        has_deserialize: bool,
+    }
+    let mut types: Vec<WireType> = Vec::new();
+    let mut round_trip_idents: BTreeSet<String> = BTreeSet::new();
+
+    for (path, file) in files {
+        let toks = &file.tokens;
+        let mut i = 0usize;
+        while i < toks.len() {
+            // #[derive(...)] … struct/enum NAME
+            if is_punct(toks, i, "#")
+                && is_punct(toks, i + 1, "[")
+                && ident_at(toks, i + 2) == Some("derive")
+                && is_punct(toks, i + 3, "(")
+            {
+                let line = toks[i].line;
+                let mut j = i + 4;
+                let mut depth = 1usize;
+                let mut derives: BTreeSet<String> = BTreeSet::new();
+                while j < toks.len() && depth > 0 {
+                    match (toks[j].kind, toks[j].text.as_str()) {
+                        (TokKind::Punct, "(") => depth += 1,
+                        (TokKind::Punct, ")") => depth -= 1,
+                        (TokKind::Ident, id) => {
+                            derives.insert(id.to_string());
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                // Skip trailing `]`, further attributes, and visibility
+                // tokens up to the item keyword.
+                let mut k = j;
+                let mut name = None;
+                let mut guard = 0;
+                while k < toks.len() && guard < 32 {
+                    match ident_at(toks, k) {
+                        Some("struct") | Some("enum") | Some("union") => {
+                            name = ident_at(toks, k + 1).map(str::to_string);
+                            break;
+                        }
+                        _ => {
+                            k += 1;
+                            guard += 1;
+                        }
+                    }
+                }
+                if let Some(name) = name {
+                    if derives.contains("Serialize") {
+                        types.push(WireType {
+                            path: path.clone(),
+                            line,
+                            name,
+                            has_deserialize: derives.contains("Deserialize"),
+                        });
+                    }
+                }
+                i = j;
+                continue;
+            }
+            // fn …round_trip… { … } — collect every identifier inside.
+            if ident_at(toks, i) == Some("fn") {
+                if let Some(fn_name) = ident_at(toks, i + 1) {
+                    if fn_name.contains("round_trip") {
+                        let mut k = i + 2;
+                        while k < toks.len() && !is_punct(toks, k, "{") {
+                            k += 1;
+                        }
+                        if k < toks.len() {
+                            let end = matching_brace(toks, k);
+                            for t in &toks[k..end.min(toks.len())] {
+                                if t.kind == TokKind::Ident {
+                                    round_trip_idents.insert(t.text.clone());
+                                }
+                            }
+                            i = end;
+                            continue;
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+
+    let mut out = Vec::new();
+    for t in &types {
+        if !t.has_deserialize {
+            out.push(diag(
+                rc,
+                "wire-hygiene",
+                &t.path,
+                t.line,
+                format!(
+                    "`{}` derives Serialize but not Deserialize — wire types must decode \
+                     everything they encode",
+                    t.name
+                ),
+            ));
+        }
+        if !round_trip_idents.contains(&t.name) {
+            out.push(diag(
+                rc,
+                "wire-hygiene",
+                &t.path,
+                t.line,
+                format!("`{}` is a wire type but appears in no `*round_trip*` test", t.name),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+    use crate::lexer::lex;
+
+    fn rc() -> RuleConfig {
+        RuleConfig { severity: Severity::Error, include: vec!["".into()], exclude: vec![] }
+    }
+
+    #[test]
+    fn wall_clock_flags_instant_and_systemtime() {
+        let f = lex("let t = std::time::Instant::now();\nlet s = SystemTime::now();");
+        let d = no_wall_clock(&rc(), "x.rs", &f);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].line, 1);
+        assert_eq!(d[1].line, 2);
+    }
+
+    #[test]
+    fn unordered_iteration_tracks_let_bindings() {
+        let f =
+            lex("fn f() { let mut m = std::collections::HashMap::new(); for (k, v) in &m { } }");
+        let d = no_unordered_iteration(&rc(), "x.rs", &f);
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn unordered_iteration_tracks_typed_fields() {
+        let src = "struct S { cache: HashMap<u32, f64> }\n\
+                   impl S { fn go(&self) { let _: Vec<_> = self.cache.keys().collect(); } }";
+        let d = no_unordered_iteration(&rc(), "x.rs", &lex(src));
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn unordered_iteration_ignores_lookups_and_sorted_reads() {
+        let src = "fn f(m: &HashMap<u32, u32>) -> Option<&u32> { m.get(&1) }";
+        assert!(no_unordered_iteration(&rc(), "x.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn unordered_iteration_skips_tests_and_other_types() {
+        let src = "#[cfg(test)] mod tests { fn f() { let m = HashMap::new(); for k in &m {} } }\n\
+                   fn g() { let v = Vec::new(); for x in &v {} }";
+        assert!(no_unordered_iteration(&rc(), "x.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn panic_rule_flags_unwrap_expect_and_macros() {
+        let src = "fn f(x: Option<u32>) -> u32 { let y = x.unwrap(); panic!(\"no\"); y }";
+        let d = no_panic_hot_path(&rc(), "x.rs", &lex(src));
+        assert_eq!(d.len(), 2, "{d:?}");
+    }
+
+    #[test]
+    fn panic_rule_allows_tests_and_asserts() {
+        let src = "fn f() { assert!(true, \"fine\"); }\n\
+                   #[cfg(test)] mod tests { #[test] fn t() { None::<u32>.unwrap(); } }";
+        assert!(no_panic_hot_path(&rc(), "x.rs", &lex(src)).is_empty());
+    }
+
+    #[test]
+    fn wire_hygiene_requires_deserialize_and_round_trip() {
+        let src = "#[derive(Clone, Serialize)] struct OneWay { a: u32 }\n\
+                   #[derive(Serialize, Deserialize)] struct Round { b: u32 }\n\
+                   #[cfg(test)] mod tests { #[test] fn round_trips() { let _ = Round { b: 1 }; } }";
+        let d = wire_hygiene(&rc(), &[("w.rs".into(), lex(src))]);
+        // OneWay: missing Deserialize AND missing round-trip → 2 findings.
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|x| x.message.contains("OneWay")));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let f = lex("#[cfg(not(test))] fn prod() { x.unwrap(); }");
+        assert_eq!(no_panic_hot_path(&rc(), "x.rs", &f).len(), 1);
+    }
+}

@@ -1,0 +1,33 @@
+//! Seeded `no-panic-hot-path` violations.
+
+pub fn take(slot: Option<u32>) -> u32 {
+    slot.unwrap()
+}
+
+pub fn must(res: Result<u32, String>) -> u32 {
+    res.expect("hot path should not fail")
+}
+
+pub fn reject() -> u32 {
+    panic!("tearing down the cluster")
+}
+
+pub fn later() -> u32 {
+    todo!()
+}
+
+/// Invariant checks on entry are allowed: not flagged.
+pub fn guarded(n: usize) -> usize {
+    assert!(n > 0, "caller must pass a positive count");
+    n - 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_regions_are_exempt() {
+        super::take(Some(1));
+        None::<u32>.unwrap_or(0);
+        Some(2u32).unwrap();
+    }
+}

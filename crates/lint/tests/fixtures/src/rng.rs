@@ -1,0 +1,17 @@
+//! Seeded `no-unseeded-rng` violations.
+
+use rand::{Rng, SeedableRng};
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn fresh() -> rand::rngs::SmallRng {
+    rand::rngs::SmallRng::from_entropy()
+}
+
+/// Seeded draws are the sanctioned path: not flagged.
+pub fn seeded(seed: u64) -> rand::rngs::SmallRng {
+    rand::rngs::SmallRng::seed_from_u64(seed)
+}

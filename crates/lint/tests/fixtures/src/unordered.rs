@@ -1,0 +1,52 @@
+//! Seeded `no-unordered-iteration` violations. Never compiled — only lexed
+//! by the golden test.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn sum_scores(scores: &HashMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, v) in scores.iter() {
+        total += v;
+    }
+    total
+}
+
+pub fn visit_all(ids: &HashSet<u32>) -> u32 {
+    let mut hits = 0;
+    for id in ids {
+        hits += *id;
+    }
+    hits
+}
+
+pub fn key_list(index: &HashMap<String, u32>) -> Vec<String> {
+    index.keys().cloned().collect()
+}
+
+pub fn drain_into(mut pending: HashMap<u32, Vec<u8>>) -> Vec<Vec<u8>> {
+    pending.drain().map(|(_, v)| v).collect()
+}
+
+/// Lookups never depend on iteration order: not flagged.
+pub fn lookup(index: &HashMap<String, u32>, key: &str) -> Option<u32> {
+    index.get(key).copied()
+}
+
+/// A deliberate, documented exception: the order feeds a sort immediately.
+pub fn sorted_keys(index: &HashMap<String, u32>) -> Vec<String> {
+    // ec-lint: allow(no-unordered-iteration)
+    let mut keys: Vec<String> = index.keys().cloned().collect();
+    keys.sort();
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for _ in m.iter() {}
+    }
+}

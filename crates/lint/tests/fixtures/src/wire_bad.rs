@@ -1,0 +1,29 @@
+//! Seeded `wire-hygiene` violations.
+
+use serde::{Deserialize, Serialize};
+
+/// Encodes but cannot decode, and no round-trip test mentions it:
+/// two findings.
+#[derive(Clone, Debug, Serialize)]
+pub struct OneWayHeader {
+    pub version: u32,
+    pub len: u64,
+}
+
+/// Derives both directions and is exercised below: clean.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CoveredPayload {
+    pub bytes: Vec<u8>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covered_payload_round_trips() {
+        let msg = CoveredPayload { bytes: vec![1, 2, 3] };
+        let back = msg.clone();
+        assert_eq!(msg, back);
+    }
+}

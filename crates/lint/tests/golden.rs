@@ -1,0 +1,109 @@
+//! Golden-file tests: the fixture tree under `tests/fixtures/` seeds one or
+//! more violations per rule, and `expected.txt` is the snapshot of the
+//! CLI's human-readable output over it. Regenerate after an intentional
+//! rule change with:
+//!
+//! ```sh
+//! cargo run -q -p ec-lint -- --check --root crates/lint/tests/fixtures \
+//!     > crates/lint/tests/fixtures/expected.txt
+//! ```
+
+use ec_lint::config::LintConfig;
+use ec_lint::diag::Severity;
+use std::path::Path;
+use std::process::Command;
+
+fn fixtures_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture_diags() -> Vec<ec_lint::diag::Diagnostic> {
+    let root = fixtures_root();
+    let toml = std::fs::read_to_string(root.join("lint.toml")).unwrap();
+    let config = LintConfig::parse(&toml).unwrap();
+    ec_lint::run(&root, &config).unwrap()
+}
+
+#[test]
+fn fixture_diagnostics_match_the_snapshot() {
+    let diags = fixture_diags();
+    let expected = std::fs::read_to_string(fixtures_root().join("expected.txt")).unwrap();
+    // The snapshot is the CLI output: diagnostics plus a trailing summary.
+    let expected_diags: Vec<&str> =
+        expected.lines().filter(|l| !l.starts_with("ec-lint:")).collect();
+    let got: Vec<String> = diags.iter().map(ToString::to_string).collect();
+    assert_eq!(
+        got, expected_diags,
+        "fixture diagnostics drifted from tests/fixtures/expected.txt; \
+         regenerate it if the change is intentional"
+    );
+}
+
+#[test]
+fn every_rule_fires_on_the_fixtures() {
+    let diags = fixture_diags();
+    for rule in [
+        "no-unordered-iteration",
+        "no-wall-clock",
+        "no-unseeded-rng",
+        "no-panic-hot-path",
+        "wire-hygiene",
+    ] {
+        assert!(
+            diags.iter().any(|d| d.rule == rule),
+            "rule {rule} produced no fixture findings — is it still wired up?"
+        );
+    }
+    // rng is configured warn-severity in the fixture config; the rest error.
+    assert!(diags.iter().any(|d| d.severity == Severity::Warn));
+    assert!(diags.iter().any(|d| d.severity == Severity::Error));
+}
+
+#[test]
+fn exempt_fixture_lines_stay_clean() {
+    let diags = fixture_diags();
+    // unordered.rs: the suppressed `sorted_keys` read (line 38), the
+    // lookup, and the `#[cfg(test)]` module must not appear.
+    assert!(!diags.iter().any(|d| d.path == "src/unordered.rs" && d.line > 30), "{diags:?}");
+    // hot_path.rs: `assert!` and the test module are allowed.
+    assert!(!diags.iter().any(|d| d.path == "src/hot_path.rs" && d.line > 17), "{diags:?}");
+    // wire_bad.rs: `CoveredPayload` derives both directions and round-trips.
+    assert!(!diags.iter().any(|d| d.message.contains("CoveredPayload")), "{diags:?}");
+}
+
+#[test]
+fn cli_exits_nonzero_on_fixtures_and_zero_on_the_workspace() {
+    let bin = env!("CARGO_BIN_EXE_ec-lint");
+    let fixtures =
+        Command::new(bin).args(["--check", "--root"]).arg(fixtures_root()).output().unwrap();
+    assert_eq!(fixtures.status.code(), Some(1), "fixtures must fail the check");
+
+    let workspace_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let workspace =
+        Command::new(bin).args(["--check", "--root"]).arg(&workspace_root).output().unwrap();
+    assert!(
+        workspace.status.success(),
+        "workspace must be lint-clean:\n{}",
+        String::from_utf8_lossy(&workspace.stdout)
+    );
+}
+
+#[test]
+fn json_output_lists_every_diagnostic() {
+    let bin = env!("CARGO_BIN_EXE_ec-lint");
+    let out = Command::new(bin)
+        .args(["--check", "--json", "--root"])
+        .arg(fixtures_root())
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8(out.stdout).unwrap();
+    let diags = fixture_diags();
+    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    assert_eq!(text.matches("\"rule\"").count(), diags.len());
+    assert!(
+        text.contains(&format!("\"errors\":{errors}"))
+            || text.contains(&format!("\"errors\": {errors}")),
+        "{text}"
+    );
+}

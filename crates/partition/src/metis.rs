@@ -161,8 +161,10 @@ fn coarsen_once(level: &Level, seed: u64) -> (Level, Vec<u32>) {
     for v in 0..n {
         vweight[coarse_map[v] as usize] += level.vweight[v];
     }
-    let mut adj_maps: Vec<std::collections::HashMap<u32, f64>> =
-        vec![std::collections::HashMap::new(); cn];
+    // BTreeMap: neighbour lists come out already sorted by coarse id, so
+    // the coarse graph is identical however the fine vertices were visited.
+    let mut adj_maps: Vec<std::collections::BTreeMap<u32, f64>> =
+        vec![std::collections::BTreeMap::new(); cn];
     for v in 0..n {
         let cv = coarse_map[v];
         for &(u, w) in &level.adj[v] {
@@ -172,14 +174,7 @@ fn coarsen_once(level: &Level, seed: u64) -> (Level, Vec<u32>) {
             }
         }
     }
-    let adj = adj_maps
-        .into_iter()
-        .map(|m| {
-            let mut v: Vec<(u32, f64)> = m.into_iter().collect();
-            v.sort_unstable_by_key(|&(u, _)| u);
-            v
-        })
-        .collect();
+    let adj = adj_maps.into_iter().map(|m| m.into_iter().collect()).collect();
 
     (Level { adj, vweight, coarse_map: Vec::new() }, coarse_map)
 }

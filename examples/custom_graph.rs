@@ -17,7 +17,7 @@ use ec_graph_repro::partition::ldg::LdgPartitioner;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
-fn main() -> std::io::Result<()> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- 1. Pretend this file came from your data pipeline. -------------
     let dir = std::env::temp_dir();
     let edges_path = dir.join("ecgraph-example-edges.tsv");

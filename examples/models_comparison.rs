@@ -10,10 +10,10 @@
 //! cargo run --release --example models_comparison
 //! ```
 
+use ec_comm::HostTimer;
 use ec_graph_repro::data::{normalize, DatasetSpec};
 use ec_graph_repro::nn::{metrics, GatNetwork, GcnNetwork, SageNetwork};
 use std::sync::Arc;
-use std::time::Instant;
 
 fn main() {
     let data = DatasetSpec::cora().instantiate_with(1_000, 64, 33);
@@ -33,11 +33,11 @@ fn main() {
     // GCN (tape-based).
     {
         let mut net = GcnNetwork::new(&dims, 0.02, 5);
-        let start = Instant::now();
+        let start = HostTimer::start();
         for _ in 0..epochs {
             net.train_epoch(&gcn_adj, &data.features, &data.labels, &data.split.train);
         }
-        let per_epoch = start.elapsed().as_secs_f64() / epochs as f64;
+        let per_epoch = start.elapsed_s() / epochs as f64;
         let acc = metrics::accuracy(
             &net.forward(&gcn_adj, &data.features),
             &data.labels,
@@ -49,11 +49,11 @@ fn main() {
     // GraphSAGE (tape-based, mean aggregator).
     {
         let mut net = SageNetwork::new(&dims, 0.02, 5);
-        let start = Instant::now();
+        let start = HostTimer::start();
         for _ in 0..epochs {
             net.train_epoch(&mean_adj, &data.features, &data.labels, &data.split.train);
         }
-        let per_epoch = start.elapsed().as_secs_f64() / epochs as f64;
+        let per_epoch = start.elapsed_s() / epochs as f64;
         let acc = metrics::accuracy(
             &net.forward(&mean_adj, &data.features),
             &data.labels,
@@ -65,11 +65,11 @@ fn main() {
     // GAT (manual gradients, single head).
     {
         let mut net = GatNetwork::new(&dims, 0.02, 5);
-        let start = Instant::now();
+        let start = HostTimer::start();
         for _ in 0..epochs {
             net.train_epoch(&data.graph, &data.features, &data.labels, &data.split.train);
         }
-        let per_epoch = start.elapsed().as_secs_f64() / epochs as f64;
+        let per_epoch = start.elapsed_s() / epochs as f64;
         let acc = metrics::accuracy(
             &net.forward(&data.graph, &data.features),
             &data.labels,

@@ -10,6 +10,9 @@ cargo fmt --all --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== ec-lint (determinism / panic / wire invariants) =="
+cargo run -q -p ec-lint -- --check
+
 echo "== cargo test =="
 cargo test --workspace -q
 

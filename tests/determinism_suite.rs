@@ -1,0 +1,61 @@
+//! Run-to-run determinism: the simulated cluster is a measurement
+//! instrument, so two runs of the same config must be *byte-identical* —
+//! same losses, same traffic, same report. This is the regression net under
+//! `ec-lint`'s `no-unordered-iteration` / `no-wall-clock` rules: a stray
+//! `HashMap` walk or wall-clock read in a deterministic path shows up here
+//! as a diff between two otherwise identical runs.
+//!
+//! Compute seconds are *measured* in normal operation and therefore differ
+//! between runs; [`ec_comm::set_deterministic_timing`] zeroes them so the
+//! canonical JSON report can be compared byte for byte.
+
+use ec_graph_repro::data::DatasetSpec;
+use ec_graph_repro::ecgraph::config::{BpMode, FpMode, TrainingConfig};
+use ec_graph_repro::ecgraph::report::RunResult;
+use ec_graph_repro::ecgraph::trainer::train;
+use ec_graph_repro::partition::ldg::LdgPartitioner;
+use std::sync::Arc;
+
+fn run_once(seed: u64) -> RunResult {
+    ec_comm::set_deterministic_timing(true);
+    let data = Arc::new(DatasetSpec::cora().instantiate_with(140, 12, 5));
+    let config = TrainingConfig {
+        dims: vec![12, 8, data.num_classes],
+        num_workers: 4,
+        // The error-compensated modes exercise every piece of mutable
+        // compensation state (trend groups, residuals, adaptive bits).
+        fp_mode: FpMode::ReqEc { bits: 2, t_tr: 4, adaptive: true },
+        bp_mode: BpMode::ResEc { bits: 4 },
+        max_epochs: 12,
+        seed,
+        ..TrainingConfig::defaults(12, data.num_classes)
+    };
+    train(data, &LdgPartitioner::default(), config, "ec-graph")
+}
+
+/// Two identical configs must produce byte-identical canonical reports.
+#[test]
+fn identical_runs_produce_byte_identical_reports() {
+    let a = run_once(3).to_json().to_string();
+    let b = run_once(3).to_json().to_string();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "two identical runs diverged — a nondeterministic path was exercised");
+}
+
+/// The comparison above must not pass vacuously: a different seed has to
+/// change the report.
+#[test]
+fn different_seeds_produce_different_reports() {
+    let a = run_once(3).to_json().to_string();
+    let c = run_once(4).to_json().to_string();
+    assert_ne!(a, c, "seed must influence the run");
+}
+
+/// Deterministic timing zeroes the measured compute seconds but leaves the
+/// modeled communication seconds intact.
+#[test]
+fn deterministic_timing_zeroes_compute_but_not_comm() {
+    let r = run_once(5);
+    assert!(r.epochs.iter().all(|e| e.compute_s == 0.0), "compute must be zeroed");
+    assert!(r.epochs.iter().all(|e| e.comm_s > 0.0), "modeled comm time must survive");
+}

@@ -85,7 +85,7 @@ fn checkpoint_restore_resumes_identically() {
     let tail: Vec<f32> = (0..8).map(|_| original.run_epoch().loss).collect();
 
     let mut restored = engine_for(reqec_config(&tiny_data(), 0));
-    restored.restore(&snapshot);
+    restored.restore(&snapshot).expect("snapshot fits an identically-built engine");
     assert_eq!(restored.epochs_run(), 6);
     let replayed: Vec<f32> = (0..8).map(|_| restored.run_epoch().loss).collect();
     assert_eq!(tail, replayed, "restored engine must replay the exact loss curve");
