@@ -1,0 +1,185 @@
+//! **Hot-path benchmark** — the perf trajectory for the intra-superstep
+//! thread fan-out and the allocation-free compression codecs.
+//!
+//! Times (a) one full-batch GCN epoch on the Cora and Reddit replicas with
+//! the engine pinned to 1 thread vs the machine's parallelism (same bits,
+//! byte-identical reports — only wall-clock moves), (b) the dense/sparse
+//! kernels at 1 vs N threads, and (c) the quantize → pack → unpack →
+//! dequantize codec chain. Results go to stdout and `BENCH_hotpath.json`
+//! (at the repo root when launched by `scripts/check.sh --bench`).
+//!
+//! Usage: `hotpath_bench [epochs=3] [scale=1.0] [workers=6] [threads=0]
+//! [out=BENCH_hotpath.json]`
+
+use ec_bench::{bench_dataset, emit, fmt_secs, Args};
+use ec_comm::HostTimer;
+use ec_compress::quantize::Quantized;
+use ec_graph::config::{ComputeConfig, FpMode, TrainingConfig};
+use ec_graph::trainer::train;
+use ec_graph_data::DatasetSpec;
+use ec_partition::hash::HashPartitioner;
+use ec_tensor::{init, parallel, CsrMatrix};
+use std::sync::Arc;
+
+fn main() {
+    let args = Args::from_env();
+    let epochs: usize = args.get("epochs", 3).max(2);
+    let scale: f64 = args.get("scale", 1.0);
+    let workers: usize = args.get("workers", 6);
+    let threads: usize = args.get("threads", 0);
+    let out_path = args.get_str("out", "BENCH_hotpath.json");
+    // On a single-core host still run the parallel arm with 2 threads: the
+    // point of the second column is exercising the fan-out machinery and
+    // recording its overhead, not just the speedup.
+    let machine = parallel::effective_threads(threads).max(2);
+    println!("== hot-path benchmark (1 vs {machine} threads, {epochs} epochs/point) ==");
+
+    // (a) Full-batch GCN epoch, engine-level 1 vs N threads.
+    let mut epoch_rows = Vec::new();
+    for spec in [DatasetSpec::cora(), DatasetSpec::reddit()] {
+        let data = Arc::new(bench_dataset(&spec, scale, 7));
+        let mut seq_s = 0.0f64;
+        for (label, compute) in [
+            ("seq", ComputeConfig::sequential()),
+            ("par", ComputeConfig { worker_threads: machine, kernel_threads: 0 }),
+        ] {
+            let config = TrainingConfig {
+                dims: ec_bench::paper_dims(&data, ec_bench::bench_hidden(&spec), 2),
+                num_workers: workers,
+                fp_mode: FpMode::ReqEc { bits: 2, t_tr: 10, adaptive: true },
+                max_epochs: epochs,
+                seed: 3,
+                compute,
+                ..TrainingConfig::defaults(data.feature_dim(), data.num_classes)
+            };
+            let r = train(Arc::clone(&data), &HashPartitioner::default(), config, "hotpath");
+            // Skip the first epoch (cold caches), average the rest.
+            let measured = &r.epochs[1..];
+            let compute_s =
+                measured.iter().map(|e| e.compute_s).sum::<f64>() / measured.len() as f64;
+            if label == "seq" {
+                seq_s = compute_s;
+            }
+            let speedup = if compute_s > 0.0 { seq_s / compute_s } else { 1.0 };
+            emit(
+                "hotpath_epoch",
+                &format!(
+                    "  {:<8} {label} ({} threads): compute {}/epoch  speedup {speedup:.2}x",
+                    spec.name,
+                    if label == "seq" { 1 } else { machine },
+                    fmt_secs(compute_s)
+                ),
+                serde_json::json!({
+                    "dataset": spec.name,
+                    "threads": if label == "seq" { 1 } else { machine },
+                    "workers": workers,
+                    "compute_s_per_epoch": compute_s,
+                    "speedup_vs_seq": speedup,
+                }),
+            );
+            epoch_rows.push(serde_json::json!({
+                "dataset": spec.name,
+                "threads": if label == "seq" { 1 } else { machine },
+                "workers": workers,
+                "compute_s_per_epoch": compute_s,
+                "speedup_vs_seq": speedup,
+            }));
+        }
+    }
+
+    // (b) Dense/sparse kernels at 1 vs N threads.
+    let mut kernel_rows = Vec::new();
+    let a = init::uniform(4096, 256, -0.5, 0.5, 11);
+    let b = init::uniform(256, 128, -0.5, 0.5, 12);
+    let at_b_l = init::uniform(4096, 192, -0.5, 0.5, 13);
+    let a_bt_r = init::uniform(512, 256, -0.5, 0.5, 14);
+    let a_bt_b = init::uniform(128, 256, -0.5, 0.5, 17);
+    let adj = random_csr(4096, 4096, 16, 15);
+    for t in [1usize, machine] {
+        for (kernel, f) in [
+            ("matmul", Box::new(|| drop(parallel::matmul(&a, &b, t))) as Box<dyn Fn()>),
+            ("matmul_at_b", Box::new(|| drop(parallel::matmul_at_b(&a, &at_b_l, t)))),
+            ("matmul_a_bt", Box::new(|| drop(parallel::matmul_a_bt(&a_bt_r, &a_bt_b, t)))),
+            ("spmm", Box::new(|| drop(parallel::spmm(&adj, &a, t)))),
+        ] {
+            let secs = time_best(3, &*f);
+            emit(
+                "hotpath_kernel",
+                &format!("  {kernel:<12} {t:>2} thread(s): {}", fmt_secs(secs)),
+                serde_json::json!({ "kernel": kernel, "threads": t, "secs": secs }),
+            );
+            kernel_rows.push(serde_json::json!({ "kernel": kernel, "threads": t, "secs": secs }));
+        }
+    }
+
+    // (c) Compression codec chain (quantize → pack fused; unpack → dequant
+    // streamed). Single-threaded by design — the fan-out happens per
+    // worker, each compressing its own messages.
+    let mut codec_rows = Vec::new();
+    let payload = init::uniform(2048, 512, -1.0, 1.0, 16);
+    let elems = payload.len() as f64;
+    for bits in [2u8, 4, 8] {
+        let c_secs = time_best(3, || drop(Quantized::compress(&payload, bits)));
+        let q = Quantized::compress(&payload, bits);
+        let d_secs = time_best(3, || drop(q.decompress()));
+        emit(
+            "hotpath_codec",
+            &format!(
+                "  quantize+pack b={bits}: {} ({:.0} Melem/s)   unpack+dequant: {} ({:.0} Melem/s)",
+                fmt_secs(c_secs),
+                elems / c_secs / 1e6,
+                fmt_secs(d_secs),
+                elems / d_secs / 1e6
+            ),
+            serde_json::json!({
+                "bits": bits,
+                "compress_secs": c_secs,
+                "decompress_secs": d_secs,
+                "melem_per_s_compress": elems / c_secs / 1e6,
+                "melem_per_s_decompress": elems / d_secs / 1e6,
+            }),
+        );
+        codec_rows.push(serde_json::json!({
+            "bits": bits,
+            "compress_secs": c_secs,
+            "decompress_secs": d_secs,
+            "melem_per_s_compress": elems / c_secs / 1e6,
+            "melem_per_s_decompress": elems / d_secs / 1e6,
+        }));
+    }
+
+    let doc = serde_json::json!({
+        "experiment": "hotpath_bench",
+        "host_threads": machine,
+        "epoch": epoch_rows,
+        "kernels": kernel_rows,
+        "codecs": codec_rows,
+    });
+    std::fs::write(&out_path, doc.to_string()).expect("write BENCH_hotpath.json");
+    println!("wrote {out_path}");
+}
+
+/// Best-of-`reps` wall time of `f` (HostTimer is the sanctioned clock).
+fn time_best(reps: usize, f: impl Fn()) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let t = HostTimer::start();
+        f();
+        best = best.min(t.elapsed_s());
+    }
+    best
+}
+
+/// Fixed-degree random sparse matrix for the SpMM timing.
+fn random_csr(rows: usize, cols: usize, degree: usize, seed: u64) -> CsrMatrix {
+    let mut triples = Vec::with_capacity(rows * degree);
+    let mut state = seed | 1;
+    for r in 0..rows {
+        for _ in 0..degree {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let c = (state >> 33) as usize % cols;
+            triples.push((r, c, 1.0 / degree as f32));
+        }
+    }
+    CsrMatrix::from_triples(rows, cols, &triples)
+}

@@ -11,7 +11,7 @@ use ec_comm::NetworkModel;
 use ec_graph::baselines::distdgl::{train_minibatch, MiniBatchConfig};
 use ec_graph::baselines::local::{train_local, LocalConfig, LocalKind};
 use ec_graph::baselines::ml_centered::{train_ml_centered, MlCenteredConfig};
-use ec_graph::config::{BpMode, FpMode, TrainingConfig};
+use ec_graph::config::{BpMode, ComputeConfig, FpMode, TrainingConfig};
 use ec_graph::report::RunResult;
 use ec_graph::sampling::sample_layer_graphs;
 use ec_graph::trainer;
@@ -97,6 +97,9 @@ pub struct RunParams {
     /// EC-Graph compression bits (fp, bp); `None` resolves the paper's
     /// per-dataset Fig. 8 settings via [`paper_ec_bits`].
     pub ec_bits: Option<(u8, u8)>,
+    /// Host-thread budget (worker fan-out × kernel threads); results are
+    /// bit-identical for any setting, only wall-clock changes.
+    pub compute: ComputeConfig,
 }
 
 impl RunParams {
@@ -112,6 +115,7 @@ impl RunParams {
             seed: 1,
             network: NetworkModel::gigabit_ethernet(),
             ec_bits: None,
+            compute: ComputeConfig::default(),
         }
     }
 
@@ -177,6 +181,7 @@ pub fn run(
                 patience: p.patience,
                 // 32 GB machines in the paper's small cluster.
                 memory_limit: 32u64 << 30,
+                kernel_threads: p.compute.kernel_threads,
             };
             train_local(Arc::clone(data), kind, &cfg)
         }
@@ -205,6 +210,7 @@ pub fn run(
                 max_epochs: p.epochs,
                 patience: p.patience,
                 eval_every: 1,
+                compute: p.compute,
             };
             Ok(trainer::train(
                 Arc::clone(data),
@@ -230,6 +236,7 @@ pub fn run(
                 max_epochs: p.epochs,
                 patience: p.patience,
                 eval_every: 1,
+                compute: p.compute,
             };
             match paper_fanouts(&data.name, p.layers) {
                 None => Ok(trainer::train(
@@ -270,6 +277,7 @@ pub fn run(
                 patience: p.patience,
                 online_sampling: system == System::DistDgl,
                 prefetch_features: system == System::Agl,
+                kernel_threads: p.compute.kernel_threads,
             };
             Ok(train_minibatch(Arc::clone(data), &cfg, system.label()))
         }
@@ -283,6 +291,7 @@ pub fn run(
                 seed: p.seed,
                 max_epochs: p.epochs,
                 patience: p.patience,
+                kernel_threads: p.compute.kernel_threads,
             };
             Ok(train_ml_centered(Arc::clone(data), &cfg, system.label()))
         }

@@ -4,6 +4,12 @@
 //! They are packed LSB-first into a contiguous byte buffer — the Rust
 //! equivalent of the paper's Fig. 3 step that concatenates 2-bit codes into
 //! 32-bit unsigned integers.
+//!
+//! The codecs work word-at-a-time over a `u64` accumulator (at most
+//! `7 + 32` bits are ever in flight, so the accumulator cannot overflow)
+//! instead of shuffling individual bits, and the streaming entry points
+//! [`pack_iter`] / [`unpack_iter`] let quantization fuse bucketing with
+//! packing so no intermediate code vector is ever allocated.
 
 /// Packs `codes` (each `< 2^bits`) into a byte buffer, LSB-first.
 ///
@@ -11,24 +17,45 @@
 /// Panics if `bits` is 0 or greater than 32, or if any code needs more than
 /// `bits` bits.
 pub fn pack(codes: &[u32], bits: u8) -> Vec<u8> {
+    let mask = code_mask(bits);
+    pack_iter(
+        codes.iter().map(|&code| {
+            assert!(code <= mask, "code {code} does not fit in {bits} bits");
+            code
+        }),
+        codes.len(),
+        bits,
+    )
+}
+
+/// Packs exactly `count` codes produced by `codes`, LSB-first.
+///
+/// The caller guarantees every yielded code fits in `bits` bits; oversized
+/// codes would bleed into their neighbours. [`pack`] is the checked wrapper
+/// for untrusted input.
+///
+/// # Panics
+/// Panics if `bits ∉ 1..=32` or the iterator yields fewer than `count`
+/// codes (excess codes are ignored).
+pub fn pack_iter(codes: impl IntoIterator<Item = u32>, count: usize, bits: u8) -> Vec<u8> {
     assert!((1..=32).contains(&bits), "bit width {bits} out of range");
-    let mask = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
-    let total_bits = codes.len() * bits as usize;
-    let mut out = vec![0u8; total_bits.div_ceil(8)];
-    let mut bitpos = 0usize;
-    for &code in codes {
-        assert!(code <= mask, "code {code} does not fit in {bits} bits");
-        let mut remaining = bits as usize;
-        let mut value = code as u64;
-        while remaining > 0 {
-            let byte = bitpos / 8;
-            let offset = bitpos % 8;
-            let take = (8 - offset).min(remaining);
-            out[byte] |= ((value & ((1u64 << take) - 1)) as u8) << offset;
-            value >>= take;
-            bitpos += take;
-            remaining -= take;
+    let mut out = Vec::with_capacity(packed_len(count, bits));
+    let mut acc = 0u64;
+    let mut nbits = 0u32;
+    let mut taken = 0usize;
+    for code in codes.into_iter().take(count) {
+        acc |= (code as u64) << nbits;
+        nbits += bits as u32;
+        while nbits >= 8 {
+            out.push(acc as u8);
+            acc >>= 8;
+            nbits -= 8;
         }
+        taken += 1;
+    }
+    assert_eq!(taken, count, "iterator yielded {taken} codes, expected {count}");
+    if nbits > 0 {
+        out.push(acc as u8);
     }
     out
 }
@@ -38,6 +65,15 @@ pub fn pack(codes: &[u32], bits: u8) -> Vec<u8> {
 /// # Panics
 /// Panics if the buffer is too short for `count` codes.
 pub fn unpack(bytes: &[u8], bits: u8, count: usize) -> Vec<u32> {
+    unpack_iter(bytes, bits, count).collect()
+}
+
+/// Streaming variant of [`unpack`]: yields the `count` codes without
+/// allocating, so reconstruction can map codes straight into its output.
+///
+/// # Panics
+/// Panics if `bits ∉ 1..=32` or the buffer is too short for `count` codes.
+pub fn unpack_iter(bytes: &[u8], bits: u8, count: usize) -> Unpacker<'_> {
     assert!((1..=32).contains(&bits), "bit width {bits} out of range");
     let total_bits = count * bits as usize;
     assert!(
@@ -45,34 +81,115 @@ pub fn unpack(bytes: &[u8], bits: u8, count: usize) -> Vec<u32> {
         "buffer of {} bytes too short for {count} codes of {bits} bits",
         bytes.len()
     );
-    let mut out = Vec::with_capacity(count);
-    let mut bitpos = 0usize;
-    for _ in 0..count {
-        let mut value = 0u64;
-        let mut got = 0usize;
-        while got < bits as usize {
-            let byte = bitpos / 8;
-            let offset = bitpos % 8;
-            let take = (8 - offset).min(bits as usize - got);
-            let chunk = ((bytes[byte] >> offset) as u64) & ((1u64 << take) - 1);
-            value |= chunk << got;
-            got += take;
-            bitpos += take;
-        }
-        out.push(value as u32);
+    Unpacker {
+        bytes,
+        pos: 0,
+        acc: 0,
+        nbits: 0,
+        bits: bits as u32,
+        mask: code_mask(bits),
+        remaining: count,
     }
-    out
 }
+
+/// Iterator over the codes of a packed buffer; see [`unpack_iter`].
+pub struct Unpacker<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    acc: u64,
+    nbits: u32,
+    bits: u32,
+    mask: u32,
+    remaining: usize,
+}
+
+impl Iterator for Unpacker<'_> {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        while self.nbits < self.bits {
+            // In-bounds by the `unpack_iter` length check.
+            self.acc |= (self.bytes[self.pos] as u64) << self.nbits;
+            self.pos += 1;
+            self.nbits += 8;
+        }
+        let code = (self.acc as u32) & self.mask;
+        self.acc >>= self.bits;
+        self.nbits -= self.bits;
+        Some(code)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for Unpacker<'_> {}
 
 /// Number of bytes [`pack`] produces for `count` codes of width `bits`.
 pub fn packed_len(count: usize, bits: u8) -> usize {
     (count * bits as usize).div_ceil(8)
 }
 
+fn code_mask(bits: u8) -> u32 {
+    if bits >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    /// The original bit-by-bit packer, kept as the reference the
+    /// word-at-a-time implementation must match byte for byte.
+    fn pack_reference(codes: &[u32], bits: u8) -> Vec<u8> {
+        let total_bits = codes.len() * bits as usize;
+        let mut out = vec![0u8; total_bits.div_ceil(8)];
+        let mut bitpos = 0usize;
+        for &code in codes {
+            let mut remaining = bits as usize;
+            let mut value = code as u64;
+            while remaining > 0 {
+                let byte = bitpos / 8;
+                let offset = bitpos % 8;
+                let take = (8 - offset).min(remaining);
+                out[byte] |= ((value & ((1u64 << take) - 1)) as u8) << offset;
+                value >>= take;
+                bitpos += take;
+                remaining -= take;
+            }
+        }
+        out
+    }
+
+    /// The original bit-by-bit unpacker (reference).
+    fn unpack_reference(bytes: &[u8], bits: u8, count: usize) -> Vec<u32> {
+        let mut out = Vec::with_capacity(count);
+        let mut bitpos = 0usize;
+        for _ in 0..count {
+            let mut value = 0u64;
+            let mut got = 0usize;
+            while got < bits as usize {
+                let byte = bitpos / 8;
+                let offset = bitpos % 8;
+                let take = (8 - offset).min(bits as usize - got);
+                let chunk = ((bytes[byte] >> offset) as u64) & ((1u64 << take) - 1);
+                value |= chunk << got;
+                got += take;
+                bitpos += take;
+            }
+            out.push(value as u32);
+        }
+        out
+    }
 
     #[test]
     fn pack_two_bit_example_from_paper() {
@@ -107,6 +224,12 @@ mod tests {
     }
 
     #[test]
+    fn pack_thirty_two_bit() {
+        let codes = [u32::MAX, 0, 0xDEAD_BEEF, 1];
+        assert_eq!(unpack(&pack(&codes, 32), 32, 4), codes);
+    }
+
+    #[test]
     fn pack_empty_slice() {
         assert!(pack(&[], 4).is_empty());
         assert!(unpack(&[], 4, 0).is_empty());
@@ -117,6 +240,23 @@ mod tests {
         for bits in [1u8, 2, 3, 4, 5, 7, 8, 11, 16] {
             let codes: Vec<u32> = (0..13).map(|i| i % (1 << bits.min(16))).collect();
             assert_eq!(pack(&codes, bits).len(), packed_len(13, bits), "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_ragged_lengths() {
+        // Every bucket width the Bit-Tuner can pick, at lengths that leave
+        // 0–7 trailing bits in the final byte.
+        for bits in [1u8, 2, 4, 8, 16] {
+            let mask = code_mask(bits);
+            for len in 0..=17usize {
+                let codes: Vec<u32> =
+                    (0..len).map(|i| (i as u32).wrapping_mul(2_654_435_761) & mask).collect();
+                let new = pack(&codes, bits);
+                let old = pack_reference(&codes, bits);
+                assert_eq!(new, old, "bits={bits} len={len}");
+                assert_eq!(unpack(&new, bits, len), unpack_reference(&old, bits, len));
+            }
         }
     }
 
@@ -132,6 +272,12 @@ mod tests {
         let _ = unpack(&[0u8], 8, 2);
     }
 
+    #[test]
+    #[should_panic(expected = "yielded")]
+    fn pack_iter_rejects_short_iterator() {
+        let _ = pack_iter([1u32, 2], 3, 4);
+    }
+
     proptest! {
         #[test]
         fn pack_unpack_round_trip(
@@ -143,6 +289,27 @@ mod tests {
             let packed = pack(&codes, bits);
             prop_assert_eq!(packed.len(), packed_len(codes.len(), bits));
             prop_assert_eq!(unpack(&packed, bits, codes.len()), codes);
+        }
+
+        /// The word-at-a-time codecs must be byte-for-byte and
+        /// code-for-code interchangeable with the old bit-by-bit loops —
+        /// packed buffers are on the (simulated) wire, so a format drift
+        /// would silently change every traffic ledger.
+        #[test]
+        fn word_at_a_time_matches_bit_by_bit_reference(
+            bits_idx in 0usize..5,
+            raw in proptest::collection::vec(any::<u32>(), 0..200),
+        ) {
+            let bits = [1u8, 2, 4, 8, 16][bits_idx];
+            let mask = code_mask(bits);
+            let codes: Vec<u32> = raw.iter().map(|&x| x & mask).collect();
+            let new = pack(&codes, bits);
+            let old = pack_reference(&codes, bits);
+            prop_assert_eq!(&new, &old, "packed bytes diverge at bits={}", bits);
+            prop_assert_eq!(
+                unpack(&old, bits, codes.len()),
+                unpack_reference(&old, bits, codes.len())
+            );
         }
     }
 }

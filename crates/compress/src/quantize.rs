@@ -40,6 +40,11 @@ pub struct Quantized {
 impl Quantized {
     /// Compresses `m` with `bits` bits per coordinate, computing the value
     /// range from the matrix itself (the backward-pass mode).
+    ///
+    /// This is the per-message hot path (every FP/BP exchange runs it), so
+    /// it makes exactly two passes over the data — one fused min/max scan
+    /// and one fused quantize-and-pack pass that writes codes straight into
+    /// the packed buffer — with no intermediate code vector.
     pub fn compress(m: &Matrix, bits: u8) -> Self {
         let (min, max) = ec_tensor::stats::min_max(m);
         Self::compress_with_range(m, bits, min, max)
@@ -55,33 +60,37 @@ impl Quantized {
         assert!(min <= max, "invalid range [{min}, {max}]");
         let buckets = 1u32 << bits;
         let range = max - min;
-        let codes: Vec<u32> = if range <= 0.0 {
-            vec![0; m.len()]
+        let packed = if range <= 0.0 {
+            // Every code is 0 → every packed byte is 0.
+            vec![0u8; bitpack::packed_len(m.len(), bits)]
         } else {
             let scale = buckets as f32 / range;
-            m.as_slice()
-                .iter()
-                .map(|&x| {
+            let top = (buckets - 1) as i64;
+            bitpack::pack_iter(
+                m.as_slice().iter().map(|&x| {
                     let t = ((x - min) * scale) as i64;
-                    t.clamp(0, (buckets - 1) as i64) as u32
-                })
-                .collect()
+                    t.clamp(0, top) as u32
+                }),
+                m.len(),
+                bits,
+            )
         };
-        Self { rows: m.rows(), cols: m.cols(), bits, min, max, packed: bitpack::pack(&codes, bits) }
+        Self { rows: m.rows(), cols: m.cols(), bits, min, max, packed }
     }
 
     /// Reconstructs the matrix, each coordinate becoming the midpoint of its
-    /// bucket.
+    /// bucket. Codes stream out of the packed buffer straight into the
+    /// output — no intermediate code vector.
     pub fn decompress(&self) -> Matrix {
         let count = self.rows * self.cols;
-        let codes = bitpack::unpack(&self.packed, self.bits, count);
         let range = self.max - self.min;
         if range <= 0.0 {
             return Matrix::filled(self.rows, self.cols, self.min);
         }
         let width = range / (1u32 << self.bits) as f32;
-        let data: Vec<f32> =
-            codes.into_iter().map(|c| self.min + (c as f32 + 0.5) * width).collect();
+        let data: Vec<f32> = bitpack::unpack_iter(&self.packed, self.bits, count)
+            .map(|c| self.min + (c as f32 + 0.5) * width)
+            .collect();
         Matrix::from_vec(self.rows, self.cols, data)
     }
 
@@ -254,6 +263,48 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn compress_rejects_zero_bits() {
         let _ = Quantized::compress(&Matrix::zeros(1, 1), 0);
+    }
+
+    /// The old `compress_with_range`: bucket into an intermediate
+    /// `Vec<u32>`, then pack. Kept as the semantic reference for the fused
+    /// implementation.
+    fn compress_reference(m: &Matrix, bits: u8, min: f32, max: f32) -> Vec<u8> {
+        let buckets = 1u32 << bits;
+        let range = max - min;
+        let codes: Vec<u32> = if range <= 0.0 {
+            vec![0; m.len()]
+        } else {
+            let scale = buckets as f32 / range;
+            m.as_slice()
+                .iter()
+                .map(|&x| {
+                    let t = ((x - min) * scale) as i64;
+                    t.clamp(0, (buckets - 1) as i64) as u32
+                })
+                .collect()
+        };
+        bitpack::pack(&codes, bits)
+    }
+
+    #[test]
+    fn fused_compress_matches_unfused_reference() {
+        let m = Matrix::from_fn(13, 9, |r, c| ((r * 9 + c) as f32 * 0.37).sin() * 3.0);
+        for bits in [1u8, 2, 4, 8, 16] {
+            let q = Quantized::compress(&m, bits);
+            let (min, max) = q.range();
+            let mut expected = Vec::new();
+            expected.extend_from_slice(&(m.rows() as u32).to_le_bytes());
+            expected.extend_from_slice(&(m.cols() as u32).to_le_bytes());
+            expected.push(bits);
+            expected.extend_from_slice(&min.to_le_bytes());
+            expected.extend_from_slice(&max.to_le_bytes());
+            expected.extend_from_slice(&compress_reference(&m, bits, min, max));
+            assert_eq!(q.to_bytes(), expected, "bits={bits}");
+        }
+        // Degenerate range: all codes must pack to zero bytes.
+        let flat = Matrix::filled(4, 5, 1.25);
+        let q = Quantized::compress(&flat, 3);
+        assert_eq!(q.to_bytes()[17..], compress_reference(&flat, 3, 1.25, 1.25)[..]);
     }
 
     proptest! {

@@ -61,6 +61,10 @@ pub struct MiniBatchConfig {
     /// Ship features during preprocessing (ML-centered) instead of per
     /// iteration (graph-centered).
     pub prefetch_features: bool,
+    /// Dense-kernel thread budget for the autodiff tape and full-graph
+    /// evaluation (`0` = auto, `1` = sequential); bit-identical across
+    /// any value.
+    pub kernel_threads: usize,
 }
 
 /// Trains with distributed mini-batch sampling; see the module docs for
@@ -204,7 +208,7 @@ pub fn train_minibatch(
                     }
                 }
                 // Forward/backward on the blocks via the tape.
-                let mut tape = Tape::new();
+                let mut tape = Tape::with_threads(config.kernel_threads);
                 let feats = data.features.gather_rows(&blocks[0].src);
                 let mut h = tape.constant(feats);
                 let w_ids: Vec<_> =
@@ -252,7 +256,7 @@ pub fn train_minibatch(
         }
 
         // Full-graph evaluation with the current parameters.
-        let logits = full_forward(&ps, &adj, &data.features, num_layers);
+        let logits = full_forward(&ps, &adj, &data.features, num_layers, config.kernel_threads);
         let val_acc = ec_nn::metrics::accuracy(&logits, &data.labels, &data.split.val);
         let test_acc = ec_nn::metrics::accuracy(&logits, &data.labels, &data.split.test);
         let (traffic, _) = network.end_epoch();
@@ -290,12 +294,13 @@ fn full_forward(
     adj: &ec_tensor::CsrMatrix,
     features: &Matrix,
     num_layers: usize,
+    kernel_threads: usize,
 ) -> Matrix {
     let mut h = features.clone();
     for l in 0..num_layers {
         let (w, b) = ps.pull(l);
-        let xw = ec_tensor::ops::matmul(&h, w);
-        let mut z = adj.spmm(&xw);
+        let xw = ec_tensor::parallel::matmul(&h, w, kernel_threads);
+        let mut z = ec_tensor::parallel::spmm(adj, &xw, kernel_threads);
         z = ec_tensor::ops::add_bias(&z, b);
         h = if l + 1 < num_layers { ec_tensor::activations::relu(&z) } else { z };
     }
@@ -325,6 +330,7 @@ mod tests {
             patience: None,
             online_sampling: true,
             prefetch_features: false,
+            kernel_threads: 1,
         }
     }
 

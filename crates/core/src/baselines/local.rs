@@ -18,7 +18,7 @@ use ec_comm::HostTimer;
 use ec_graph_data::{normalize, AttributedGraph};
 use ec_nn::loss::masked_softmax_cross_entropy;
 use ec_nn::optim::Adam;
-use ec_tensor::{activations, init, ops, CsrMatrix, Matrix};
+use ec_tensor::{activations, init, ops, parallel, CsrMatrix, Matrix};
 use std::sync::Arc;
 
 /// Which single-machine toolkit to emulate.
@@ -57,6 +57,11 @@ pub struct LocalConfig {
     /// 32 GB); runs whose estimated peak exceeds it fail like the paper's
     /// `-` entries.
     pub memory_limit: u64,
+    /// Dense-kernel thread budget (`0` = auto, `1` = sequential). Results
+    /// are bit-identical across any value. The PyG-like per-edge
+    /// gather/scatter path intentionally stays sequential — the scatter
+    /// order *is* the toolkit behavior being modelled.
+    pub kernel_threads: usize,
 }
 
 /// Estimated peak transient memory of one training epoch, in bytes.
@@ -130,9 +135,10 @@ pub fn train_local(
     let mut adam = Adam::new(&shapes, config.lr);
     let preprocessing_s = pre_start.elapsed_s();
 
+    let kt = config.kernel_threads;
     let aggregate = |m: &Matrix| -> Matrix {
         match kind {
-            LocalKind::DglLike => adj.spmm(m),
+            LocalKind::DglLike => parallel::spmm(&adj, m, kt),
             LocalKind::PygLike => edgewise_spmm(&adj, m),
         }
     };
@@ -153,7 +159,7 @@ pub fn train_local(
         let mut hs: Vec<Matrix> = vec![data.features.clone()];
         let mut zs: Vec<Matrix> = Vec::with_capacity(num_layers);
         for l in 0..num_layers {
-            let xw = ops::matmul(&hs[l], &weights[l]);
+            let xw = parallel::matmul(&hs[l], &weights[l], kt);
             let mut z = aggregate(&xw);
             z = ops::add_bias(&z, biases[l].row(0));
             hs.push(if l + 1 < num_layers { activations::relu(&z) } else { z.clone() });
@@ -166,12 +172,12 @@ pub fn train_local(
         let mut b_grads: Vec<Matrix> = vec![Matrix::zeros(0, 0); num_layers];
         for l in (0..num_layers).rev() {
             let ag = aggregate(&g);
-            w_grads[l] = ops::matmul_at_b(&hs[l], &ag);
+            w_grads[l] = parallel::matmul_at_b(&hs[l], &ag, kt);
             let cols = ops::column_sums(&g);
             b_grads[l] = Matrix::from_vec(1, cols.len(), cols);
             if l > 0 {
                 let mask = activations::relu_grad(&zs[l - 1]);
-                g = ops::hadamard(&ops::matmul_a_bt(&ag, &weights[l]), &mask);
+                g = ops::hadamard(&parallel::matmul_a_bt(&ag, &weights[l], kt), &mask);
             }
         }
         let mut params: Vec<Matrix> =
@@ -227,6 +233,7 @@ mod tests {
             max_epochs: 60,
             patience: None,
             memory_limit: 32 << 30,
+            kernel_threads: 1,
         }
     }
 

@@ -16,7 +16,7 @@ use ec_comm::stats::Channel;
 use ec_comm::HostTimer;
 use ec_comm::{NetworkModel, ParameterServerGroup, SimNetwork};
 use ec_graph_data::{normalize, AttributedGraph};
-use ec_tensor::{activations, ops, CsrMatrix, Matrix};
+use ec_tensor::{activations, ops, parallel, CsrMatrix, Matrix};
 use std::sync::Arc;
 
 /// Configuration for the AliGraph-FG-style run.
@@ -38,6 +38,9 @@ pub struct MlCenteredConfig {
     pub max_epochs: usize,
     /// Early-stop patience.
     pub patience: Option<usize>,
+    /// Dense-kernel thread budget (`0` = auto, `1` = sequential);
+    /// bit-identical across any value.
+    pub kernel_threads: usize,
 }
 
 /// One worker's cached L-hop world.
@@ -135,6 +138,7 @@ pub fn train_ml_centered(
     let preprocessing_s = pre_start.elapsed_s() + transfer_s;
 
     let total_train = data.split.train.len().max(1);
+    let kt = config.kernel_threads;
     let full_adj = Arc::new(adj);
     let mut result = RunResult {
         system: system.to_string(),
@@ -164,8 +168,8 @@ pub fn train_ml_centered(
             let mut zs: Vec<Matrix> = Vec::with_capacity(num_layers);
             for l in 0..num_layers {
                 let (wl, bl) = ps.pull(l);
-                let xw = ops::matmul(&hs[l], wl);
-                let mut z = c.adj.spmm(&xw);
+                let xw = parallel::matmul(&hs[l], wl, kt);
+                let mut z = parallel::spmm(&c.adj, &xw, kt);
                 z = ops::add_bias(&z, bl);
                 hs.push(if l + 1 < num_layers { activations::relu(&z) } else { z.clone() });
                 zs.push(z);
@@ -187,13 +191,13 @@ pub fn train_ml_centered(
             // Manual backward over the closure.
             let mut grads: Vec<(Matrix, Vec<f32>)> = Vec::with_capacity(num_layers);
             for l in (0..num_layers).rev() {
-                let ag = c.adj.spmm(&g);
-                let y = ops::matmul_at_b(&hs[l], &ag);
+                let ag = parallel::spmm(&c.adj, &g, kt);
+                let y = parallel::matmul_at_b(&hs[l], &ag, kt);
                 let b = ops::column_sums(&g);
                 grads.push((y, b));
                 if l > 0 {
                     let mask = activations::relu_grad(&zs[l - 1]);
-                    g = ops::hadamard(&ops::matmul_a_bt(&ag, ps.pull(l).0), &mask);
+                    g = ops::hadamard(&parallel::matmul_a_bt(&ag, ps.pull(l).0, kt), &mask);
                 }
             }
             grads.reverse();
@@ -210,8 +214,8 @@ pub fn train_ml_centered(
             let mut h = data.features.clone();
             for l in 0..num_layers {
                 let (wl, bl) = ps.pull(l);
-                let xw = ops::matmul(&h, wl);
-                let mut z = full_adj.spmm(&xw);
+                let xw = parallel::matmul(&h, wl, kt);
+                let mut z = parallel::spmm(&full_adj, &xw, kt);
                 z = ops::add_bias(&z, bl);
                 h = if l + 1 < num_layers { activations::relu(&z) } else { z };
             }
@@ -278,6 +282,7 @@ mod tests {
             seed: 3,
             max_epochs: 40,
             patience: None,
+            kernel_threads: 1,
         }
     }
 

@@ -106,6 +106,51 @@ impl Default for ResilienceConfig {
     }
 }
 
+/// Intra-process parallelism of the simulated cluster.
+///
+/// Both level counts are *real-machine* knobs with zero effect on any
+/// simulated quantity: worker compute blocks are independent between
+/// superstep barriers, and the kernels in [`ec_tensor::parallel`] are
+/// bit-identical to their sequential counterparts, so every run report is
+/// byte-identical whatever the thread counts (enforced by
+/// `tests/determinism_suite.rs`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComputeConfig {
+    /// Threads running worker compute blocks concurrently inside each
+    /// superstep: `0` = auto (machine parallelism, capped at the worker
+    /// count), `1` = sequential (the historical behavior).
+    pub worker_threads: usize,
+    /// Threads inside each dense/sparse kernel invocation: `0` = auto
+    /// (machine parallelism divided by the resolved worker threads), `1` =
+    /// sequential.
+    pub kernel_threads: usize,
+}
+
+impl ComputeConfig {
+    /// Fully sequential execution — today's single-threaded semantics,
+    /// byte-identical to every other setting but with deterministic-ish
+    /// scheduling that is easiest to profile.
+    pub fn sequential() -> Self {
+        Self { worker_threads: 1, kernel_threads: 1 }
+    }
+
+    /// Resolves `(worker_threads, kernel_threads)` for `num_workers`
+    /// simulated workers: auto worker threads cap at the worker count, and
+    /// auto kernel threads divide the remaining machine parallelism so the
+    /// two levels never oversubscribe each other.
+    pub fn resolve(&self, num_workers: usize) -> (usize, usize) {
+        let machine = ec_tensor::parallel::effective_threads(0);
+        let wt = if self.worker_threads == 0 { machine } else { self.worker_threads }
+            .min(num_workers.max(1));
+        let kt = if self.kernel_threads == 0 {
+            (machine / wt.max(1)).max(1)
+        } else {
+            self.kernel_threads
+        };
+        (wt.max(1), kt)
+    }
+}
+
 /// Full configuration of one distributed training run.
 #[derive(Clone, Debug)]
 pub struct TrainingConfig {
@@ -132,6 +177,9 @@ pub struct TrainingConfig {
     pub faults: FaultPlan,
     /// Reaction to injected faults (ignored when `faults` is none).
     pub resilience: ResilienceConfig,
+    /// Intra-process parallelism (worker-level and kernel-level threads);
+    /// affects wall-clock only, never simulated results.
+    pub compute: ComputeConfig,
     /// Seed for weight initialization.
     pub seed: u64,
     /// Maximum training epochs.
@@ -159,6 +207,7 @@ impl TrainingConfig {
             network: NetworkModel::gigabit_ethernet(),
             faults: FaultPlan::none(),
             resilience: ResilienceConfig::default(),
+            compute: ComputeConfig::default(),
             seed: 1,
             max_epochs: 200,
             patience: None,
@@ -283,6 +332,18 @@ mod tests {
         assert!(c.validate().is_err(), "crash must target an existing worker");
         c.faults = FaultPlan::none().with_crash(0, 3);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn compute_config_resolution() {
+        // Explicit counts pass through (workers cap the worker level).
+        assert_eq!(ComputeConfig { worker_threads: 3, kernel_threads: 2 }.resolve(8), (3, 2));
+        assert_eq!(ComputeConfig { worker_threads: 16, kernel_threads: 1 }.resolve(4), (4, 1));
+        assert_eq!(ComputeConfig::sequential().resolve(6), (1, 1));
+        // Auto resolves to at least one thread per level.
+        let (wt, kt) = ComputeConfig::default().resolve(4);
+        assert!((1..=4).contains(&wt));
+        assert!(kt >= 1);
     }
 
     #[test]

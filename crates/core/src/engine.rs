@@ -25,13 +25,14 @@
 use crate::bp::{self, ResidualState};
 use crate::config::{BpMode, FpMode, ModelKind, ResiliencePolicy, TrainingConfig};
 use crate::context::{build_worker_contexts, WorkerContext};
+use crate::exec;
 use crate::fp::{self, TrendState};
 use ec_comm::ps::CheckpointError;
 use ec_comm::stats::Channel;
 use ec_comm::{HostTimer, ParameterServerGroup, SimNetwork, TrafficStats};
 use ec_graph_data::AttributedGraph;
 use ec_partition::Partition;
-use ec_tensor::{activations, ops, CsrMatrix, Matrix};
+use ec_tensor::{activations, ops, parallel, CsrMatrix, Matrix};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -385,6 +386,13 @@ impl DistributedEngine {
         self.fp_recon_err = 0.0;
         self.fp_degraded = 0;
 
+        // Intra-superstep parallelism: `wt` worker compute blocks fan out on
+        // scoped threads, each using `kt`-way kernels. All exchanges and
+        // accumulations are replayed in ascending worker order afterwards,
+        // so results are bit-identical to the sequential engine.
+        let (wt, kt) = self.config.compute.resolve(num_workers);
+        let factors: Vec<f64> = (0..num_workers).map(|w| self.compute_factor(w)).collect();
+
         // ---------------- Forward propagation ----------------
         let sage = self.config.model == ModelKind::Sage;
         for l in 1..=num_layers {
@@ -417,21 +425,30 @@ impl DistributedEngine {
             };
             let w_self = sage.then(|| self.ps.pull(num_layers + l - 1).0.clone());
             let mut step_max = 0.0f64;
-            for w in 0..num_workers {
-                let start = HostTimer::start();
-                let h_cat = match &remotes[w] {
-                    None => self.h0_cat[w].clone(),
-                    Some(remote) => self.h_local[w][l - 1].vstack(remote),
-                };
-                let xw = ops::matmul(&h_cat, &w_l);
-                let mut z = self.contexts[w].layers[l - 1].adj_local.spmm(&xw);
-                if let Some(ws) = &w_self {
-                    ops::add_assign(&mut z, &ops::matmul(&self.h_local[w][l - 1], ws));
-                }
-                z = ops::add_bias(&z, &b_l);
-                self.h_local[w][l] = if l < num_layers { activations::relu(&z) } else { z.clone() };
+            let results = {
+                let h_local = &self.h_local;
+                let h0_cat = &self.h0_cat;
+                let contexts = &self.contexts;
+                exec::run_workers(wt, num_workers, |w| {
+                    let start = HostTimer::start();
+                    let h_cat = match &remotes[w] {
+                        None => h0_cat[w].clone(),
+                        Some(remote) => h_local[w][l - 1].vstack(remote),
+                    };
+                    let xw = parallel::matmul(&h_cat, &w_l, kt);
+                    let mut z = parallel::spmm(&contexts[w].layers[l - 1].adj_local, &xw, kt);
+                    if let Some(ws) = &w_self {
+                        ops::add_assign(&mut z, &parallel::matmul(&h_local[w][l - 1], ws, kt));
+                    }
+                    z = ops::add_bias(&z, &b_l);
+                    let h = if l < num_layers { activations::relu(&z) } else { z.clone() };
+                    (h, z, start.elapsed_s())
+                })
+            };
+            for (w, (h, z, secs)) in results.into_iter().enumerate() {
+                self.h_local[w][l] = h;
                 self.z_local[w][l - 1] = z;
-                step_max = step_max.max(start.elapsed_s() * self.compute_factor(w));
+                step_max = step_max.max(secs * factors[w]);
             }
             compute_s += step_max;
         }
@@ -440,17 +457,26 @@ impl DistributedEngine {
         let mut loss_sum = 0.0f32;
         let mut g_cur: Vec<Matrix> = Vec::with_capacity(num_workers);
         let mut step_max = 0.0f64;
-        for w in 0..num_workers {
-            let start = HostTimer::start();
-            let (loss, g) = local_loss_grad(
-                &self.h_local[w][num_layers],
-                &self.labels_local[w],
-                &self.train_local[w],
-                self.total_train,
-            );
+        let results = {
+            let h_local = &self.h_local;
+            let labels_local = &self.labels_local;
+            let train_local = &self.train_local;
+            let total_train = self.total_train;
+            exec::run_workers(wt, num_workers, |w| {
+                let start = HostTimer::start();
+                let (loss, g) = local_loss_grad(
+                    &h_local[w][num_layers],
+                    &labels_local[w],
+                    &train_local[w],
+                    total_train,
+                );
+                (loss, g, start.elapsed_s())
+            })
+        };
+        for (w, (loss, g, secs)) in results.into_iter().enumerate() {
             loss_sum += loss;
             g_cur.push(g);
-            step_max = step_max.max(start.elapsed_s() * self.compute_factor(w));
+            step_max = step_max.max(secs * factors[w]);
         }
         compute_s += step_max;
 
@@ -469,30 +495,42 @@ impl DistributedEngine {
             let mut y_sum = Matrix::zeros(self.config.dims[l - 1], self.config.dims[l]);
             let mut ys_sum = Matrix::zeros(self.config.dims[l - 1], self.config.dims[l]);
             let mut b_sum = vec![0.0f32; self.config.dims[l]];
-            for w in 0..num_workers {
-                let start = HostTimer::start();
-                let topo = &self.contexts[w].layers[l - 1];
-                let g_cat = g_cur[w].vstack(&g_remote[w]);
-                let ag = topo.adj_local.spmm(&g_cat);
-                // Y^{l-1} = (H^{l-1})ᵀ (Â G^l), summed over workers.
-                let y_part = ops::matmul_at_b(&self.h_local[w][l - 1], &ag);
+            let results = {
+                let h_local = &self.h_local;
+                let z_local = &self.z_local;
+                let contexts = &self.contexts;
+                let g_cur = &g_cur;
+                exec::run_workers(wt, num_workers, |w| {
+                    let start = HostTimer::start();
+                    let topo = &contexts[w].layers[l - 1];
+                    let g_cat = g_cur[w].vstack(&g_remote[w]);
+                    let ag = parallel::spmm(&topo.adj_local, &g_cat, kt);
+                    // Y^{l-1} = (H^{l-1})ᵀ (Â G^l), summed over workers.
+                    let y_part = parallel::matmul_at_b(&h_local[w][l - 1], &ag, kt);
+                    let b_part = ops::column_sums(&g_cur[w]);
+                    // Self path: Y_s^{l-1} = (H^{l-1})ᵀ G^l — purely local.
+                    let ys_part =
+                        sage.then(|| parallel::matmul_at_b(&h_local[w][l - 1], &g_cur[w], kt));
+                    // G^{l-1} = [(Â G^l)(W^{l-1})ᵀ (+ G^l W_sᵀ)] ⊙ σ'(Z^{l-1}).
+                    let mask = activations::relu_grad(&z_local[w][l - 2]);
+                    let mut flow = parallel::matmul_a_bt(&ag, &w_lm1, kt);
+                    if let Some(ws) = &ws_lm1 {
+                        ops::add_assign(&mut flow, &parallel::matmul_a_bt(&g_cur[w], ws, kt));
+                    }
+                    let g_new = ops::hadamard(&flow, &mask);
+                    (y_part, ys_part, b_part, g_new, start.elapsed_s())
+                })
+            };
+            for (w, (y_part, ys_part, b_part, g_new, secs)) in results.into_iter().enumerate() {
                 ops::add_assign(&mut y_sum, &y_part);
-                for (acc, g) in b_sum.iter_mut().zip(ops::column_sums(&g_cur[w])) {
+                for (acc, g) in b_sum.iter_mut().zip(b_part) {
                     *acc += g;
                 }
-                if sage {
-                    // Self path: Y_s^{l-1} = (H^{l-1})ᵀ G^l — purely local.
-                    let ys_part = ops::matmul_at_b(&self.h_local[w][l - 1], &g_cur[w]);
+                if let Some(ys_part) = ys_part {
                     ops::add_assign(&mut ys_sum, &ys_part);
                 }
-                // G^{l-1} = [(Â G^l)(W^{l-1})ᵀ (+ G^l W_sᵀ)] ⊙ σ'(Z^{l-1}).
-                let mask = activations::relu_grad(&self.z_local[w][l - 2]);
-                let mut flow = ops::matmul_a_bt(&ag, &w_lm1);
-                if let Some(ws) = &ws_lm1 {
-                    ops::add_assign(&mut flow, &ops::matmul_a_bt(&g_cur[w], ws));
-                }
-                g_cur[w] = ops::hadamard(&flow, &mask);
-                step_max = step_max.max(start.elapsed_s() * self.compute_factor(w));
+                g_cur[w] = g_new;
+                step_max = step_max.max(secs * factors[w]);
             }
             compute_s += step_max;
             grads[l - 1] = Some((y_sum, b_sum));
@@ -507,20 +545,31 @@ impl DistributedEngine {
             let mut y_sum = Matrix::zeros(self.config.dims[0], self.config.dims[1]);
             let mut ys_sum = Matrix::zeros(self.config.dims[0], self.config.dims[1]);
             let mut b_sum = vec![0.0f32; self.config.dims[1]];
-            for w in 0..num_workers {
-                let start = HostTimer::start();
-                let topo = &self.contexts[w].layers[0];
-                let ah0 = topo.adj_local.spmm(&self.h0_cat[w]);
-                let y_part = ops::matmul_at_b(&ah0, &g_cur[w]);
+            let results = {
+                let h_local = &self.h_local;
+                let h0_cat = &self.h0_cat;
+                let contexts = &self.contexts;
+                let g_cur = &g_cur;
+                exec::run_workers(wt, num_workers, |w| {
+                    let start = HostTimer::start();
+                    let topo = &contexts[w].layers[0];
+                    let ah0 = parallel::spmm(&topo.adj_local, &h0_cat[w], kt);
+                    let y_part = parallel::matmul_at_b(&ah0, &g_cur[w], kt);
+                    let ys_part =
+                        sage.then(|| parallel::matmul_at_b(&h_local[w][0], &g_cur[w], kt));
+                    let b_part = ops::column_sums(&g_cur[w]);
+                    (y_part, ys_part, b_part, start.elapsed_s())
+                })
+            };
+            for (w, (y_part, ys_part, b_part, secs)) in results.into_iter().enumerate() {
                 ops::add_assign(&mut y_sum, &y_part);
-                if sage {
-                    let ys_part = ops::matmul_at_b(&self.h_local[w][0], &g_cur[w]);
+                if let Some(ys_part) = ys_part {
                     ops::add_assign(&mut ys_sum, &ys_part);
                 }
-                for (acc, g) in b_sum.iter_mut().zip(ops::column_sums(&g_cur[w])) {
+                for (acc, g) in b_sum.iter_mut().zip(b_part) {
                     *acc += g;
                 }
-                step_max = step_max.max(start.elapsed_s() * self.compute_factor(w));
+                step_max = step_max.max(secs * factors[w]);
             }
             compute_s += step_max;
             grads[0] = Some((y_sum, b_sum));
@@ -710,13 +759,16 @@ impl DistributedEngine {
     pub fn forward_global(&self) -> Matrix {
         let num_layers = self.config.num_layers();
         let sage = self.config.model == ModelKind::Sage;
+        // Evaluation runs outside the worker fan-out, so the full machine
+        // budget (kernel_threads = 0 → auto) is available to the kernels.
+        let kt = self.config.compute.kernel_threads;
         let mut h = self.data.features.clone();
         for l in 0..num_layers {
             let (w, b) = self.ps.pull(l);
-            let xw = ops::matmul(&h, w);
-            let mut z = self.adjs[l].spmm(&xw);
+            let xw = parallel::matmul(&h, w, kt);
+            let mut z = parallel::spmm(&self.adjs[l], &xw, kt);
             if sage {
-                ops::add_assign(&mut z, &ops::matmul(&h, self.ps.pull(num_layers + l).0));
+                ops::add_assign(&mut z, &parallel::matmul(&h, self.ps.pull(num_layers + l).0, kt));
             }
             z = ops::add_bias(&z, b);
             h = if l + 1 < num_layers { activations::relu(&z) } else { z };

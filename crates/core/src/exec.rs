@@ -1,0 +1,81 @@
+//! Intra-superstep worker fan-out.
+//!
+//! Between two superstep barriers the simulated workers are independent by
+//! construction: each compute block reads only its own partition's state
+//! (plus shared read-only weights) and writes only its own slots. This
+//! module runs those blocks on scoped threads and hands the results back
+//! **in ascending worker order**, so the caller can replay every
+//! order-sensitive effect — message emission, gradient accumulation,
+//! `max`-compute reduction — exactly as the sequential engine did. Each
+//! closure times itself with [`ec_comm::HostTimer`]; the caller applies
+//! straggler factors and the per-superstep `max` on the replay pass.
+
+/// Runs `f(0), …, f(n - 1)` across at most `threads` scoped threads and
+/// returns the results indexed by worker.
+///
+/// With `threads <= 1` this is a plain sequential loop (the historical
+/// engine behavior). Otherwise workers are split into contiguous bands,
+/// one scoped thread per band, each filling the disjoint slice of the
+/// result vector that belongs to its workers — no locks, no reordering. A
+/// panicking closure propagates at the scope join, like the sequential
+/// loop would.
+pub fn run_workers<R: Send>(threads: usize, n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = slots.as_mut_slice();
+        let mut w0 = 0usize;
+        while w0 < n {
+            let here = chunk.min(n - w0);
+            let (band, tail) = rest.split_at_mut(here);
+            rest = tail;
+            let start = w0;
+            scope.spawn(move || {
+                for (i, slot) in band.iter_mut().enumerate() {
+                    *slot = Some(f(start + i));
+                }
+            });
+            w0 += here;
+        }
+    });
+    // Every slot was filled by exactly one band; `flatten` cannot drop
+    // anything (and `debug_assert` guards the invariant in tests).
+    debug_assert!(slots.iter().all(Option::is_some));
+    slots.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_worker_order() {
+        for threads in [0usize, 1, 2, 3, 7, 16] {
+            let out = run_workers(threads, 9, |w| w * w);
+            assert_eq!(out, (0..9).map(|w| w * w).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn every_worker_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = run_workers(4, 11, |w| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            w
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 11);
+        assert_eq!(out.len(), 11);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert!(run_workers(4, 0, |w| w).is_empty());
+        assert_eq!(run_workers(8, 1, |w| w + 1), vec![1]);
+    }
+}

@@ -41,6 +41,7 @@ pub mod config;
 pub mod context;
 pub mod cost_model;
 pub mod engine;
+pub mod exec;
 pub mod fp;
 pub mod report;
 pub mod sampling;

@@ -10,7 +10,7 @@
 //! scale. Ops that need constants (the adjacency) share them via `Arc` so a
 //! tape can be rebuilt every epoch without copying the graph structure.
 
-use ec_tensor::{activations, ops, CsrMatrix, Matrix};
+use ec_tensor::{activations, ops, parallel, CsrMatrix, Matrix};
 use std::sync::Arc;
 
 /// Handle to a node on the tape.
@@ -42,15 +42,31 @@ struct Node {
 }
 
 /// A gradient tape.
-#[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    threads: usize,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Tape {
-    /// Creates an empty tape.
+    /// Creates an empty tape with sequential (single-threaded) kernels.
     pub fn new() -> Self {
-        Self::default()
+        Self { nodes: Vec::new(), threads: 1 }
+    }
+
+    /// Creates an empty tape whose dense kernels (`matmul` and its two
+    /// transpose-gradient forms, plus `spmm`) use up to `threads`-way
+    /// band parallelism. `0` means auto (machine parallelism). Results
+    /// are bit-identical to the sequential tape for any thread count;
+    /// only `spmm_t` (a column scatter, not band-parallelizable) stays
+    /// sequential.
+    pub fn with_threads(threads: usize) -> Self {
+        Self { nodes: Vec::new(), threads }
     }
 
     fn push(&mut self, value: Matrix, op: Op, needs_grad: bool) -> VarId {
@@ -85,7 +101,7 @@ impl Tape {
 
     /// `C = A · B`.
     pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
-        let value = ops::matmul(&self.nodes[a.0].value, &self.nodes[b.0].value);
+        let value = parallel::matmul(&self.nodes[a.0].value, &self.nodes[b.0].value, self.threads);
         let needs = self.child_needs(&[a.0, b.0]);
         self.push(value, Op::MatMul(a.0, b.0), needs)
     }
@@ -93,7 +109,7 @@ impl Tape {
     /// `Y = S · X` for the constant sparse matrix `S` (the graph
     /// aggregation `Â · H`).
     pub fn spmm(&mut self, s: Arc<CsrMatrix>, x: VarId) -> VarId {
-        let value = s.spmm(&self.nodes[x.0].value);
+        let value = parallel::spmm(&s, &self.nodes[x.0].value, self.threads);
         let needs = self.nodes[x.0].needs_grad;
         self.push(value, Op::Spmm(s, x.0), needs)
     }
@@ -153,11 +169,11 @@ impl Tape {
                 Op::MatMul(a, b) => {
                     let (a, b) = (*a, *b);
                     if self.nodes[a].needs_grad {
-                        let ga = ops::matmul_a_bt(&g, &self.nodes[b].value);
+                        let ga = parallel::matmul_a_bt(&g, &self.nodes[b].value, self.threads);
                         self.accumulate(a, ga);
                     }
                     if self.nodes[b].needs_grad {
-                        let gb = ops::matmul_at_b(&self.nodes[a].value, &g);
+                        let gb = parallel::matmul_at_b(&self.nodes[a].value, &g, self.threads);
                         self.accumulate(b, gb);
                     }
                 }
@@ -359,6 +375,36 @@ mod tests {
             2.0,
             "grads must not accumulate across backwards"
         );
+    }
+
+    #[test]
+    fn threaded_tape_is_bit_identical_to_sequential() {
+        let run = |threads: usize| {
+            let mut tape = Tape::with_threads(threads);
+            let s = Arc::new(CsrMatrix::from_triples(
+                5,
+                5,
+                &[(0, 1, 0.5), (1, 0, 0.5), (2, 3, 1.0), (3, 2, 1.0), (4, 4, 1.0), (0, 4, 0.25)],
+            ));
+            let x = tape.constant(Matrix::from_fn(5, 3, |r, c| ((r * 3 + c) as f32 * 0.37).sin()));
+            let w1 = tape.parameter(Matrix::from_fn(3, 4, |r, c| 0.1 * (r as f32 - c as f32)));
+            let w2 = tape.parameter(Matrix::from_fn(4, 2, |r, c| 0.2 * (r + c) as f32 - 0.3));
+            let h = tape.matmul(x, w1);
+            let h = tape.spmm(Arc::clone(&s), h);
+            let h = tape.relu(h);
+            let y = tape.matmul(h, w2);
+            let (rows, cols) = tape.value(y).shape();
+            tape.backward(y, Matrix::filled(rows, cols, 1.0));
+            (
+                tape.value(y).as_slice().to_vec(),
+                tape.grad(w1).unwrap().as_slice().to_vec(),
+                tape.grad(w2).unwrap().as_slice().to_vec(),
+            )
+        };
+        let base = run(1);
+        for threads in [2usize, 3, 8] {
+            assert_eq!(run(threads), base, "threads={threads}");
+        }
     }
 
     #[test]

@@ -106,6 +106,99 @@ pub fn spmm(s: &CsrMatrix, b: &Matrix, threads: usize) -> Matrix {
     c
 }
 
+/// Parallel `C = Aᵀ · B` over row chunks of the *output* (columns of `A`).
+///
+/// Each thread owns a disjoint band of output rows and walks `r` over every
+/// row of `A` in ascending order, exactly like the sequential kernel — so
+/// each output element accumulates its `a[r][i] · b[r]` terms in the same
+/// sequence and the result is bit-identical to [`crate::ops::matmul_at_b`].
+///
+/// # Panics
+/// Panics if `a.rows() != b.rows()`.
+pub fn matmul_at_b(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "matmul_at_b shape mismatch");
+    let threads = effective_threads(threads).max(1);
+    let m = a.cols();
+    let n = b.cols();
+    if threads == 1 || m < 2 * threads {
+        return crate::ops::matmul_at_b(a, b);
+    }
+    let mut c = Matrix::zeros(m, n);
+    let chunk = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut out = c.as_mut_slice();
+        let mut row0 = 0usize;
+        while row0 < m {
+            let rows_here = chunk.min(m - row0);
+            let (band, rest) = out.split_at_mut(rows_here * n);
+            out = rest;
+            let start = row0;
+            scope.spawn(move || {
+                for r in 0..a.rows() {
+                    let arow = a.row(r);
+                    let brow = b.row(r);
+                    for (local_i, crow) in band.chunks_exact_mut(n).enumerate() {
+                        let av = arow[start + local_i];
+                        if av == 0.0 {
+                            continue;
+                        }
+                        for (cv, &bv) in crow.iter_mut().zip(brow) {
+                            *cv += av * bv;
+                        }
+                    }
+                }
+            });
+            row0 += rows_here;
+        }
+    });
+    c
+}
+
+/// Parallel `C = A · Bᵀ` over row chunks of `A`.
+///
+/// Every output element is an independent dot product with the same inner
+/// `k`-loop as [`crate::ops::matmul_a_bt`], so results are bit-identical.
+///
+/// # Panics
+/// Panics if `a.cols() != b.cols()`.
+pub fn matmul_a_bt(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "matmul_a_bt shape mismatch");
+    let threads = effective_threads(threads).max(1);
+    let m = a.rows();
+    let n = b.rows();
+    let k = a.cols();
+    if threads == 1 || m < 2 * threads {
+        return crate::ops::matmul_a_bt(a, b);
+    }
+    let mut c = Matrix::zeros(m, n);
+    let chunk = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut out = c.as_mut_slice();
+        let mut row0 = 0usize;
+        while row0 < m {
+            let rows_here = chunk.min(m - row0);
+            let (band, rest) = out.split_at_mut(rows_here * n);
+            out = rest;
+            let start = row0;
+            scope.spawn(move || {
+                for (local_r, crow) in band.chunks_exact_mut(n).enumerate() {
+                    let arow = a.row(start + local_r);
+                    for (j, cv) in crow.iter_mut().enumerate().take(n) {
+                        let brow = b.row(j);
+                        let mut acc = 0.0f32;
+                        for p in 0..k {
+                            acc += arow[p] * brow[p];
+                        }
+                        *cv = acc;
+                    }
+                }
+            });
+            row0 += rows_here;
+        }
+    });
+    c
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +228,42 @@ mod tests {
         for threads in [2usize, 4, 7] {
             assert_eq!(spmm(&s, &b, threads), seq, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn parallel_matmul_at_b_is_bit_identical() {
+        let a = init::uniform(41, 67, -1.0, 1.0, 4);
+        let b = init::uniform(41, 23, -1.0, 1.0, 5);
+        let seq = ops::matmul_at_b(&a, &b);
+        for threads in [1usize, 2, 3, 8] {
+            assert_eq!(matmul_at_b(&a, &b, threads), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_matmul_a_bt_is_bit_identical() {
+        let a = init::uniform(53, 31, -1.0, 1.0, 6);
+        let b = init::uniform(27, 31, -1.0, 1.0, 7);
+        let seq = ops::matmul_a_bt(&a, &b);
+        for threads in [1usize, 2, 3, 8] {
+            assert_eq!(matmul_a_bt(&a, &b, threads), seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn transpose_kernels_handle_sparse_inputs_identically() {
+        // The `av == 0.0` skip must fire in the same places as the
+        // sequential kernel for the bit-identity argument to hold.
+        let mut a = init::uniform(40, 48, -1.0, 1.0, 8);
+        for r in 0..a.rows() {
+            for c in 0..a.cols() {
+                if (r + c) % 3 == 0 {
+                    a.set(r, c, 0.0);
+                }
+            }
+        }
+        let b = init::uniform(40, 16, -1.0, 1.0, 9);
+        assert_eq!(matmul_at_b(&a, &b, 4), ops::matmul_at_b(&a, &b));
     }
 
     #[test]

@@ -1,8 +1,18 @@
 #!/usr/bin/env bash
 # Full local gate: formatting, lints (warnings are errors), and the whole
 # workspace test suite. CI runs exactly this script.
+# Pass --bench to also run the hot-path benchmark (writes BENCH_hotpath.json
+# at the repo root).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+RUN_BENCH=0
+for arg in "$@"; do
+  case "$arg" in
+    --bench) RUN_BENCH=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== cargo fmt --check =="
 cargo fmt --all --check
@@ -15,5 +25,10 @@ cargo run -q -p ec-lint -- --check
 
 echo "== cargo test =="
 cargo test --workspace -q
+
+if [[ "$RUN_BENCH" == "1" ]]; then
+  echo "== hot-path benchmark (BENCH_hotpath.json) =="
+  cargo run -q --release -p ec-bench --bin hotpath_bench
+fi
 
 echo "All checks passed."

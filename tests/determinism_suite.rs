@@ -10,13 +10,18 @@
 //! canonical JSON report can be compared byte for byte.
 
 use ec_graph_repro::data::DatasetSpec;
-use ec_graph_repro::ecgraph::config::{BpMode, FpMode, TrainingConfig};
+use ec_graph_repro::ecgraph::config::{BpMode, ComputeConfig, FpMode, TrainingConfig};
 use ec_graph_repro::ecgraph::report::RunResult;
 use ec_graph_repro::ecgraph::trainer::train;
+use ec_graph_repro::faults::FaultPlan;
 use ec_graph_repro::partition::ldg::LdgPartitioner;
 use std::sync::Arc;
 
 fn run_once(seed: u64) -> RunResult {
+    run_threaded(seed, ComputeConfig::sequential(), FaultPlan::none())
+}
+
+fn run_threaded(seed: u64, compute: ComputeConfig, faults: FaultPlan) -> RunResult {
     ec_comm::set_deterministic_timing(true);
     let data = Arc::new(DatasetSpec::cora().instantiate_with(140, 12, 5));
     let config = TrainingConfig {
@@ -28,6 +33,8 @@ fn run_once(seed: u64) -> RunResult {
         bp_mode: BpMode::ResEc { bits: 4 },
         max_epochs: 12,
         seed,
+        faults,
+        compute,
         ..TrainingConfig::defaults(12, data.num_classes)
     };
     train(data, &LdgPartitioner::default(), config, "ec-graph")
@@ -58,4 +65,37 @@ fn deterministic_timing_zeroes_compute_but_not_comm() {
     let r = run_once(5);
     assert!(r.epochs.iter().all(|e| e.compute_s == 0.0), "compute must be zeroed");
     assert!(r.epochs.iter().all(|e| e.comm_s > 0.0), "modeled comm time must survive");
+}
+
+/// The intra-superstep thread fan-out is a pure performance knob: every
+/// `worker_threads × kernel_threads` combination must produce the same
+/// canonical report, byte for byte, as the sequential engine.
+#[test]
+fn thread_counts_never_change_the_report() {
+    let base = run_once(3).to_json().to_string();
+    for worker_threads in [1usize, 4] {
+        for kernel_threads in [1usize, 4] {
+            let compute = ComputeConfig { worker_threads, kernel_threads };
+            let mt = run_threaded(3, compute, FaultPlan::none()).to_json().to_string();
+            assert_eq!(
+                mt, base,
+                "report diverged at worker_threads={worker_threads} kernel_threads={kernel_threads}"
+            );
+        }
+    }
+}
+
+/// Fault injection (message drops + a straggler) routes through the same
+/// replayed exchange path, so it too must be thread-count invariant.
+#[test]
+fn fault_injected_runs_are_thread_count_invariant() {
+    let faults = FaultPlan::uniform_drop(13, 0.05).with_straggler(0, 2.0);
+    let seq = run_threaded(3, ComputeConfig::sequential(), faults.clone()).to_json().to_string();
+    let mt = run_threaded(3, ComputeConfig { worker_threads: 4, kernel_threads: 4 }, faults)
+        .to_json()
+        .to_string();
+    assert_eq!(mt, seq, "fault-injected report diverged between 1 and 4 worker threads");
+    // Not vacuous: the faults must actually change the run.
+    let clean = run_once(3).to_json().to_string();
+    assert_ne!(seq, clean, "fault plan had no observable effect");
 }
