@@ -211,6 +211,7 @@ pub fn run(
                 patience: p.patience,
                 eval_every: 1,
                 compute: p.compute,
+                telemetry: Default::default(),
             };
             Ok(trainer::train(
                 Arc::clone(data),
@@ -237,6 +238,7 @@ pub fn run(
                 patience: p.patience,
                 eval_every: 1,
                 compute: p.compute,
+                telemetry: Default::default(),
             };
             match paper_fanouts(&data.name, p.layers) {
                 None => Ok(trainer::train(

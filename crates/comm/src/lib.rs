@@ -28,4 +28,4 @@ pub mod stats;
 pub use clock::{set_deterministic_timing, HostTimer, NetworkModel};
 pub use network::{SendError, SimNetwork};
 pub use ps::{CheckpointError, ParameterServerGroup};
-pub use stats::TrafficStats;
+pub use stats::{LinkMatrix, TrafficStats};

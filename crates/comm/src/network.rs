@@ -138,7 +138,21 @@ impl SimNetwork {
         self.out_msgs[from] += 1;
         self.in_bytes[to] += bytes;
         self.epoch_stats.record(channel, bytes);
+        self.epoch_stats.links.record(from, to, bytes);
         self.total_stats.record(channel, bytes);
+        self.total_stats.links.record(from, to, bytes);
+    }
+
+    /// Counts one fault event on both ledgers.
+    fn count_fault(&mut self, decision: FaultDecision) {
+        for stats in [&mut self.epoch_stats, &mut self.total_stats] {
+            match decision {
+                FaultDecision::Drop => stats.dropped_msgs += 1,
+                FaultDecision::Corrupt => stats.corrupted_msgs += 1,
+                FaultDecision::Duplicate => stats.duplicated_msgs += 1,
+                FaultDecision::Deliver => {}
+            }
+        }
     }
 
     /// One transmission attempt under fault injection.
@@ -167,6 +181,7 @@ impl SimNetwork {
                 // The redundant copy crosses the wire too; the receiver
                 // discards it after paying for its reception.
                 self.deliver(from, to, Channel::Retry, bytes);
+                self.count_fault(decision);
                 Ok(())
             }
             FaultDecision::Drop => {
@@ -175,7 +190,10 @@ impl SimNetwork {
                 self.out_bytes[from] += bytes;
                 self.out_msgs[from] += 1;
                 self.epoch_stats.record(Channel::Retry, bytes);
+                self.epoch_stats.links.record(from, to, bytes);
                 self.total_stats.record(Channel::Retry, bytes);
+                self.total_stats.links.record(from, to, bytes);
+                self.count_fault(decision);
                 self.pending_delay[from] += timeout;
                 self.pending_delay[to] += timeout;
                 Err(SendError::Dropped)
@@ -183,6 +201,7 @@ impl SimNetwork {
             FaultDecision::Corrupt => {
                 // Full transfer on both NICs, then the checksum fails.
                 self.deliver(from, to, Channel::Retry, bytes);
+                self.count_fault(decision);
                 self.pending_delay[from] += timeout;
                 self.pending_delay[to] += timeout;
                 Err(SendError::Corrupted)
@@ -274,7 +293,7 @@ impl SimNetwork {
 
     /// Cumulative traffic since construction.
     pub fn total_stats(&self) -> TrafficStats {
-        self.total_stats
+        self.total_stats.clone()
     }
 
     /// Cumulative communication seconds since construction.
@@ -381,6 +400,48 @@ mod tests {
         let (fs, ft) = faulty.end_epoch();
         assert_eq!(ps, fs);
         assert_eq!(pt.to_bits(), ft.to_bits());
+    }
+
+    #[test]
+    fn link_matrix_tracks_per_pair_bytes() {
+        let mut n = net(3);
+        n.send(0, 1, Channel::Forward, 1000);
+        n.send(0, 1, Channel::Forward, 500);
+        n.send(2, 0, Channel::Backward, 300);
+        n.send(1, 1, Channel::Forward, 999); // local: free and unrecorded
+        let (stats, _) = n.end_epoch();
+        assert_eq!(stats.links.get(0, 1), 1500);
+        assert_eq!(stats.links.get(2, 0), 300);
+        assert_eq!(stats.links.get(1, 1), 0);
+        let links: Vec<_> = stats.links.iter_nonzero().collect();
+        assert_eq!(links, vec![(0, 1, 1500), (2, 0, 300)]);
+        // epoch matrix resets; the total matrix persists
+        let (stats2, _) = n.end_epoch();
+        assert!(stats2.links.is_empty());
+        assert_eq!(n.total_stats().links.get(0, 1), 1500);
+    }
+
+    #[test]
+    fn fault_events_are_counted_per_kind() {
+        let plan = FaultPlan::uniform_drop(11, 1.0);
+        let mut n =
+            SimNetwork::with_faults(2, NetworkModel { bandwidth: 1000.0, latency: 0.01 }, plan);
+        assert!(n.try_send(0, 1, Channel::Forward, 100).is_err());
+        assert!(n.try_send(0, 1, Channel::Forward, 100).is_err());
+        let stats = n.total_stats();
+        assert_eq!(stats.dropped_msgs, 2);
+        assert_eq!(stats.corrupted_msgs, 0);
+        // dropped bytes still land on the link matrix: the sender NIC spent them
+        assert_eq!(stats.links.get(0, 1), 200);
+
+        let plan = FaultPlan {
+            link: LinkFaults { dup_p: 1.0, ..LinkFaults::none() },
+            ..FaultPlan::none()
+        };
+        let mut n =
+            SimNetwork::with_faults(2, NetworkModel { bandwidth: 1000.0, latency: 0.0 }, plan);
+        n.try_send(0, 1, Channel::Backward, 500).unwrap();
+        assert_eq!(n.total_stats().duplicated_msgs, 1);
     }
 
     #[test]

@@ -3,7 +3,10 @@
 //! Every experiment in the paper reasons about bytes on the wire: Table II's
 //! communication column, the `32/B` compression factor, and the epoch-time
 //! speedups of Table IV. [`TrafficStats`] is the ledger those numbers are
-//! read from.
+//! read from. Besides the per-channel totals it carries a [`LinkMatrix`] —
+//! the per-`(src, dst)` byte breakdown the telemetry layer exports as the
+//! link traffic matrix — and counters for the fault events (drops,
+//! corruptions, duplicates) that produced the `retry_bytes`.
 
 use serde::{Deserialize, Serialize};
 
@@ -23,8 +26,80 @@ pub enum Channel {
     Retry,
 }
 
-/// Byte and message counters, split per channel.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// Dense per-`(src, dst)` byte matrix, row-major, grown on demand to the
+/// highest node index it has seen. Node indexing follows the simulated
+/// cluster: workers first, then parameter servers.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkMatrix {
+    nodes: usize,
+    bytes: Vec<u64>,
+}
+
+impl LinkMatrix {
+    /// An empty matrix (grows when links are recorded).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes the matrix currently spans.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// True when no link has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.iter().all(|&b| b == 0)
+    }
+
+    fn grow_to(&mut self, nodes: usize) {
+        if nodes <= self.nodes {
+            return;
+        }
+        let mut grown = vec![0; nodes * nodes];
+        for from in 0..self.nodes {
+            for to in 0..self.nodes {
+                grown[from * nodes + to] = self.bytes[from * self.nodes + to];
+            }
+        }
+        self.nodes = nodes;
+        self.bytes = grown;
+    }
+
+    /// Charges `bytes` to the `from -> to` link.
+    pub fn record(&mut self, from: usize, to: usize, bytes: u64) {
+        self.grow_to(from.max(to) + 1);
+        self.bytes[from * self.nodes + to] += bytes;
+    }
+
+    /// Bytes recorded on the `from -> to` link (zero when out of range).
+    pub fn get(&self, from: usize, to: usize) -> u64 {
+        if from < self.nodes && to < self.nodes {
+            self.bytes[from * self.nodes + to]
+        } else {
+            0
+        }
+    }
+
+    /// Adds another matrix into this one, growing as needed.
+    pub fn merge(&mut self, other: &LinkMatrix) {
+        self.grow_to(other.nodes);
+        for from in 0..other.nodes {
+            for to in 0..other.nodes {
+                self.bytes[from * self.nodes + to] += other.bytes[from * other.nodes + to];
+            }
+        }
+    }
+
+    /// Iterates non-zero links in ascending `(from, to)` order.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, usize, u64)> + '_ {
+        let n = self.nodes;
+        self.bytes.iter().enumerate().filter(|(_, &b)| b > 0).map(move |(i, &b)| (i / n, i % n, b))
+    }
+}
+
+/// Byte and message counters, split per channel, plus the per-link matrix
+/// and fault-event counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TrafficStats {
     /// Forward-pass embedding bytes.
     pub fp_bytes: u64,
@@ -38,6 +113,14 @@ pub struct TrafficStats {
     pub retry_bytes: u64,
     /// Total number of messages.
     pub messages: u64,
+    /// Per-`(src, dst)` byte breakdown (includes wasted bytes).
+    pub links: LinkMatrix,
+    /// Messages lost in transit (fault injection).
+    pub dropped_msgs: u64,
+    /// Messages that arrived but failed their checksum (fault injection).
+    pub corrupted_msgs: u64,
+    /// Redundant duplicate deliveries (fault injection).
+    pub duplicated_msgs: u64,
 }
 
 impl TrafficStats {
@@ -66,6 +149,10 @@ impl TrafficStats {
         self.control_bytes += other.control_bytes;
         self.retry_bytes += other.retry_bytes;
         self.messages += other.messages;
+        self.links.merge(&other.links);
+        self.dropped_msgs += other.dropped_msgs;
+        self.corrupted_msgs += other.corrupted_msgs;
+        self.duplicated_msgs += other.duplicated_msgs;
     }
 
     /// Resets all counters to zero, returning the previous values.
@@ -121,9 +208,57 @@ mod tests {
     fn take_resets() {
         let mut s = TrafficStats::default();
         s.record(Channel::Control, 7);
+        s.links.record(0, 1, 7);
         let old = s.take();
         assert_eq!(old.control_bytes, 7);
+        assert_eq!(old.links.get(0, 1), 7);
         assert_eq!(s.total_bytes(), 0);
         assert_eq!(s.messages, 0);
+        assert!(s.links.is_empty());
+    }
+
+    #[test]
+    fn link_matrix_grows_on_demand() {
+        let mut m = LinkMatrix::new();
+        m.record(0, 1, 10);
+        assert_eq!(m.nodes(), 2);
+        m.record(3, 0, 5);
+        assert_eq!(m.nodes(), 4);
+        assert_eq!(m.get(0, 1), 10, "growth must preserve prior counts");
+        assert_eq!(m.get(3, 0), 5);
+        assert_eq!(m.get(9, 9), 0);
+    }
+
+    #[test]
+    fn link_matrix_merges_mismatched_sizes() {
+        let mut a = LinkMatrix::new();
+        a.record(0, 1, 10);
+        let mut b = LinkMatrix::new();
+        b.record(0, 1, 5);
+        b.record(2, 0, 3);
+        a.merge(&b);
+        assert_eq!(a.get(0, 1), 15);
+        assert_eq!(a.get(2, 0), 3);
+        assert_eq!(a.nodes(), 3);
+    }
+
+    #[test]
+    fn link_matrix_iterates_in_ascending_order() {
+        let mut m = LinkMatrix::new();
+        m.record(2, 0, 3);
+        m.record(0, 1, 1);
+        m.record(1, 2, 2);
+        let links: Vec<_> = m.iter_nonzero().collect();
+        assert_eq!(links, vec![(0, 1, 1), (1, 2, 2), (2, 0, 3)]);
+    }
+
+    #[test]
+    fn fault_counters_merge() {
+        let mut a = TrafficStats { dropped_msgs: 1, corrupted_msgs: 2, ..TrafficStats::default() };
+        let b = TrafficStats { dropped_msgs: 3, duplicated_msgs: 4, ..TrafficStats::default() };
+        a.merge(&b);
+        assert_eq!(a.dropped_msgs, 4);
+        assert_eq!(a.corrupted_msgs, 2);
+        assert_eq!(a.duplicated_msgs, 4);
     }
 }

@@ -3,11 +3,18 @@
 //! ```sh
 //! ecgraph train dataset=cora workers=6 fp=reqec:2 bp=resec:4 epochs=100
 //! ecgraph train dataset=products layers=3 fp=cp:8 partitioner=metis
+//! ecgraph train dataset=cora workers=4 --trace-out trace.json --metrics-out metrics.json
 //! ecgraph datasets            # list the built-in dataset replicas
 //! ```
 //!
 //! `fp` accepts `exact`, `cp:<bits>`, `reqec:<bits>`, `reqec-adapt:<bits>`
 //! or `delayed:<r>`; `bp` accepts `exact`, `cp:<bits>` or `resec:<bits>`.
+//!
+//! Observability: `--trace-out <file>` writes a Chrome `trace_event` JSON
+//! (or a flat JSONL event log when the file ends in `.jsonl`),
+//! `--metrics-out <file>` writes the EC-metrics registry as JSON, and
+//! `telemetry=off|epoch|superstep|trace` overrides the recording level the
+//! flags imply. `--quiet` silences the progress output.
 
 use ec_graph::config::{BpMode, FpMode, ModelKind, TrainingConfig};
 use ec_graph::trainer::train;
@@ -16,18 +23,25 @@ use ec_partition::hash::HashPartitioner;
 use ec_partition::ldg::LdgPartitioner;
 use ec_partition::metis::MetisLikePartitioner;
 use ec_partition::Partitioner;
+use ec_trace::{TelemetryConfig, TelemetryLevel};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
+
+/// Flag-style (non-`key=value`) train options.
+struct TrainOpts {
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    quiet: bool,
+}
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("train") => {
-            let kv: HashMap<String, String> = args
-                .filter_map(|a| a.split_once('=').map(|(k, v)| (k.to_string(), v.to_string())))
-                .collect();
-            match run_train(&kv) {
+            let rest: Vec<String> = args.collect();
+            match parse_train_args(&rest).and_then(|(kv, opts)| run_train(&kv, &opts)) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -54,15 +68,65 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: ecgraph <train|datasets> [key=value ...]");
+            eprintln!(
+                "usage: ecgraph <train|datasets> [key=value ...] \
+                 [--trace-out <file>] [--metrics-out <file>] [--quiet]"
+            );
             eprintln!("  e.g. ecgraph train dataset=cora workers=6 fp=reqec:2 bp=resec:4");
             ExitCode::FAILURE
         }
     }
 }
 
-fn run_train(kv: &HashMap<String, String>) -> Result<(), String> {
+/// Splits the `train` arguments into `key=value` pairs and flags.
+fn parse_train_args(rest: &[String]) -> Result<(HashMap<String, String>, TrainOpts), String> {
+    let mut kv = HashMap::new();
+    let mut opts = TrainOpts { trace_out: None, metrics_out: None, quiet: false };
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--trace-out" => {
+                let path = it.next().ok_or_else(|| "--trace-out needs a path".to_string())?;
+                opts.trace_out = Some(PathBuf::from(path));
+            }
+            "--metrics-out" => {
+                let path = it.next().ok_or_else(|| "--metrics-out needs a path".to_string())?;
+                opts.metrics_out = Some(PathBuf::from(path));
+            }
+            "--quiet" => opts.quiet = true,
+            other => {
+                let (k, v) = other.split_once('=').ok_or_else(|| {
+                    format!(
+                        "unrecognized argument '{other}' (expected key=value, \
+                         --trace-out <file>, --metrics-out <file>, or --quiet)"
+                    )
+                })?;
+                kv.insert(k.to_string(), v.to_string());
+            }
+        }
+    }
+    Ok((kv, opts))
+}
+
+fn run_train(kv: &HashMap<String, String>, opts: &TrainOpts) -> Result<(), String> {
     let get = |k: &str, d: &str| kv.get(k).cloned().unwrap_or_else(|| d.to_string());
+
+    // The export flags imply a recording level; an explicit `telemetry=`
+    // can deepen it further but never below what the flags need.
+    let mut level = match kv.get("telemetry") {
+        Some(s) => s.parse::<TelemetryLevel>()?,
+        None if opts.trace_out.is_some() => TelemetryLevel::Trace,
+        None if opts.metrics_out.is_some() => TelemetryLevel::Epoch,
+        None => TelemetryLevel::Off,
+    };
+    if opts.trace_out.is_some() {
+        level = level.max(TelemetryLevel::Trace);
+    } else if opts.metrics_out.is_some() {
+        level = level.max(TelemetryLevel::Epoch);
+    }
+    // At Superstep+ the run is being inspected through the exporters, so
+    // the ad-hoc progress lines get out of the way.
+    let show_progress = !opts.quiet && level < TelemetryLevel::Superstep;
     let dataset = get("dataset", "cora");
     let spec = DatasetSpec::all()
         .into_iter()
@@ -88,7 +152,9 @@ fn run_train(kv: &HashMap<String, String>) -> Result<(), String> {
         other => return Err(format!("unknown model '{other}'")),
     };
 
-    println!("instantiating {dataset} replica (|V|={vertices}, d0={dims_cap}) …");
+    if show_progress {
+        println!("instantiating {dataset} replica (|V|={vertices}, d0={dims_cap}) …");
+    }
     let data = Arc::new(spec.instantiate_with(vertices, dims_cap, seed));
     let mut dims = vec![data.feature_dim()];
     dims.extend(std::iter::repeat_n(hidden, layers - 1));
@@ -102,6 +168,7 @@ fn run_train(kv: &HashMap<String, String>) -> Result<(), String> {
         bp_mode,
         max_epochs: epochs,
         patience: Some(get("patience", "25").parse().unwrap_or(25)),
+        telemetry: TelemetryConfig::at(level),
         seed,
         ..TrainingConfig::defaults(data.feature_dim(), data.num_classes)
     };
@@ -114,31 +181,57 @@ fn run_train(kv: &HashMap<String, String>) -> Result<(), String> {
         other => return Err(format!("unknown partitioner '{other}'")),
     };
 
-    println!(
-        "training {layers}-layer {} on {workers} workers ({:?} / {:?}) …",
-        if model == ModelKind::Gcn { "GCN" } else { "GraphSAGE" },
-        config.fp_mode,
-        config.bp_mode
-    );
-    let r = train(Arc::clone(&data), partitioner.as_ref(), config, "cli");
-    for e in r.epochs.iter().step_by(10.max(r.epochs.len() / 10)) {
+    if show_progress {
         println!(
-            "epoch {:>4}  loss {:<8.4}  val {:.4}  test {:.4}  {:>8.4}s/epoch  {:>8.2} MB",
-            e.epoch,
-            e.loss,
-            e.val_acc,
-            e.test_acc,
-            e.sim_time(),
-            e.total_bytes as f64 / 1e6
+            "training {layers}-layer {} on {workers} workers ({:?} / {:?}) …",
+            if model == ModelKind::Gcn { "GCN" } else { "GraphSAGE" },
+            config.fp_mode,
+            config.bp_mode
         );
     }
-    println!(
-        "\nbest test accuracy {:.4} (epoch {}), avg epoch {:.4}s, total traffic {:.1} MB",
-        r.best_test_acc,
-        r.best_epoch,
-        r.avg_epoch_time(),
-        r.total_bytes() as f64 / 1e6
-    );
+    let r = train(Arc::clone(&data), partitioner.as_ref(), config, "cli");
+    if show_progress {
+        for e in r.epochs.iter().step_by(10.max(r.epochs.len() / 10)) {
+            println!(
+                "epoch {:>4}  loss {:<8.4}  val {:.4}  test {:.4}  {:>8.4}s/epoch  {:>8.2} MB",
+                e.epoch,
+                e.loss,
+                e.val_acc,
+                e.test_acc,
+                e.sim_time(),
+                e.total_bytes as f64 / 1e6
+            );
+        }
+    }
+    if let Some(report) = &r.telemetry {
+        if let Some(path) = &opts.trace_out {
+            let text = if path.extension().is_some_and(|e| e == "jsonl") {
+                ec_trace::export::jsonl(report)
+            } else {
+                ec_trace::export::chrome_trace_json(report)
+            };
+            std::fs::write(path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
+            if !opts.quiet {
+                println!("wrote trace to {}", path.display());
+            }
+        }
+        if let Some(path) = &opts.metrics_out {
+            std::fs::write(path, ec_trace::export::metrics_json(report))
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            if !opts.quiet {
+                println!("wrote metrics to {}", path.display());
+            }
+        }
+    }
+    if !opts.quiet {
+        println!(
+            "\nbest test accuracy {:.4} (epoch {}), avg epoch {:.4}s, total traffic {:.1} MB",
+            r.best_test_acc,
+            r.best_epoch,
+            r.avg_epoch_time(),
+            r.total_bytes() as f64 / 1e6
+        );
+    }
     Ok(())
 }
 

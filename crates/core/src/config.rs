@@ -180,6 +180,9 @@ pub struct TrainingConfig {
     /// Intra-process parallelism (worker-level and kernel-level threads);
     /// affects wall-clock only, never simulated results.
     pub compute: ComputeConfig,
+    /// Observability level and span-ring sizing ([`ec_trace::TelemetryLevel::Off`]
+    /// by default); recording never perturbs training results.
+    pub telemetry: ec_trace::TelemetryConfig,
     /// Seed for weight initialization.
     pub seed: u64,
     /// Maximum training epochs.
@@ -208,6 +211,7 @@ impl TrainingConfig {
             faults: FaultPlan::none(),
             resilience: ResilienceConfig::default(),
             compute: ComputeConfig::default(),
+            telemetry: ec_trace::TelemetryConfig::default(),
             seed: 1,
             max_epochs: 200,
             patience: None,

@@ -29,10 +29,12 @@ use crate::exec;
 use crate::fp::{self, TrendState};
 use ec_comm::ps::CheckpointError;
 use ec_comm::stats::Channel;
-use ec_comm::{HostTimer, ParameterServerGroup, SimNetwork, TrafficStats};
+use ec_comm::{HostTimer, ParameterServerGroup, SendError, SimNetwork, TrafficStats};
 use ec_graph_data::AttributedGraph;
 use ec_partition::Partition;
 use ec_tensor::{activations, ops, parallel, CsrMatrix, Matrix};
+use ec_trace::registry::labels;
+use ec_trace::{MetricId, SpanEvent, TelemetryLevel, TelemetryReport, TelemetrySink};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -40,8 +42,12 @@ use std::sync::Arc;
 /// once during preprocessing; steady-state requests are tiny).
 const REQUEST_BYTES: u64 = 16;
 
+/// Compensation-strength constant `ρ` used when evaluating the Theorem 1
+/// residual bound for telemetry (observation only).
+const THEOREM1_RHO: f64 = 2.0;
+
 /// Per-epoch outcome.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EpochStats {
     /// Epoch index (0-based).
     pub epoch: usize,
@@ -56,6 +62,10 @@ pub struct EpochStats {
     /// Forward-pass messages replaced by the ReqEC-FP prediction because
     /// the transfer kept failing (EC-degrade resilience policy).
     pub degraded: u64,
+    /// Degraded messages whose final failed attempt was a drop.
+    pub degraded_drop: u64,
+    /// Degraded messages whose final failed attempt was a corruption.
+    pub degraded_corrupt: u64,
 }
 
 impl EpochStats {
@@ -128,8 +138,26 @@ pub struct DistributedEngine {
     fp_recon_err: f64,
     /// FP messages degraded to the prediction in the current epoch.
     fp_degraded: u64,
+    /// Degraded FP messages split by the failure of their final attempt.
+    fp_degraded_drop: u64,
+    fp_degraded_corrupt: u64,
 
     epoch: usize,
+
+    /// Observability sink. Recording is observation only: no training
+    /// decision reads telemetry state back.
+    telemetry: TelemetrySink,
+    /// Simulated-seconds cursor trace spans are laid out on; advances by
+    /// the same superstep times the run report sums.
+    sim_now: f64,
+    /// Empirical compression error `α` of the configured BP codec, probed
+    /// once on synthetic matrices at build time (Theorem 1 gauge).
+    alpha_probe: Option<f64>,
+    /// Selector decision counts per exchange layer, current epoch only.
+    fp_selected: BTreeMap<usize, [u64; 3]>,
+    /// Host-measured codec pack/unpack seconds, current epoch only.
+    pack_s: f64,
+    unpack_s: f64,
 }
 
 /// A complete in-memory image of the mutable training state: model
@@ -142,6 +170,7 @@ pub struct DistributedEngine {
 #[derive(Clone)]
 pub struct EngineSnapshot {
     epoch: usize,
+    sim_now: f64,
     ps_state: Vec<u8>,
     fp_trend: BTreeMap<(usize, usize, usize), TrendState>,
     fp_cache: BTreeMap<(usize, usize, usize), Option<Matrix>>,
@@ -258,6 +287,15 @@ impl DistributedEngine {
         let total_train = data.split.train.len();
         assert!(total_train > 0, "dataset has no training vertices");
 
+        // Probe the empirical compression-error bound α of the BP codec on
+        // synthetic Gaussian matrices (worst over a few seeds). Used only
+        // for the Theorem 1 bound gauge, never by training itself.
+        let alpha_probe = match (config.telemetry.level > TelemetryLevel::Off, config.bp_mode) {
+            (true, BpMode::ResEc { bits } | BpMode::Compressed { bits }) => Some(probe_alpha(bits)),
+            _ => None,
+        };
+        let telemetry = TelemetrySink::new(&config.telemetry, num_workers);
+
         Self {
             config,
             data,
@@ -278,8 +316,16 @@ impl DistributedEngine {
             fp_prop: BTreeMap::new(),
             fp_recon_err: 0.0,
             fp_degraded: 0,
+            fp_degraded_drop: 0,
+            fp_degraded_corrupt: 0,
             bp_residual: BTreeMap::new(),
             epoch: 0,
+            telemetry,
+            sim_now: 0.0,
+            alpha_probe,
+            fp_selected: BTreeMap::new(),
+            pack_s: 0.0,
+            unpack_s: 0.0,
         }
     }
 
@@ -326,6 +372,7 @@ impl DistributedEngine {
     pub fn snapshot(&self) -> EngineSnapshot {
         EngineSnapshot {
             epoch: self.epoch,
+            sim_now: self.sim_now,
             ps_state: self.ps.state_bytes(),
             fp_trend: self.fp_trend.clone(),
             fp_cache: self.fp_cache.clone(),
@@ -351,7 +398,14 @@ impl DistributedEngine {
         self.fp_prop = snapshot.fp_prop.clone();
         self.bp_residual = snapshot.bp_residual.clone();
         self.fp_degraded = 0;
+        self.fp_degraded_drop = 0;
+        self.fp_degraded_corrupt = 0;
         self.fp_recon_err = 0.0;
+        self.fp_selected.clear();
+        self.sim_now = snapshot.sim_now;
+        // The restored engine replays the rolled-back epochs and re-records
+        // them; without the rewind every replayed row would double-count.
+        self.telemetry.rewind_to_epoch(snapshot.epoch as u32);
         Ok(())
     }
 
@@ -364,6 +418,20 @@ impl DistributedEngine {
     /// layer (Theorem-1 instrumentation).
     pub fn bp_residual_norms(&self) -> Vec<(usize, f32)> {
         self.bp_residual.iter().map(|(&(_, layer, _), st)| (layer, st.residual_norm_sq())).collect()
+    }
+
+    /// Telemetry snapshot for the run report (`None` when the level is
+    /// [`TelemetryLevel::Off`]).
+    pub fn take_telemetry(&self) -> Option<TelemetryReport> {
+        (self.telemetry.level() > TelemetryLevel::Off).then(|| self.telemetry.report())
+    }
+
+    /// Marks a crash rolled back at `epoch` on the telemetry timeline.
+    /// Crash marks survive the rewind [`Self::restore`] performs — the
+    /// replayed epochs re-record everything else, but the crash itself
+    /// happens only once.
+    pub fn telemetry_note_crash(&mut self, epoch: usize) {
+        self.telemetry.note_crash(epoch as u32);
     }
 
     fn server_node(&self, s: usize) -> usize {
@@ -385,6 +453,17 @@ impl DistributedEngine {
         let mut comm_s = 0.0f64;
         self.fp_recon_err = 0.0;
         self.fp_degraded = 0;
+        self.fp_degraded_drop = 0;
+        self.fp_degraded_corrupt = 0;
+        self.fp_selected.clear();
+        self.pack_s = 0.0;
+        self.unpack_s = 0.0;
+
+        let ss_level = self.telemetry.enabled(TelemetryLevel::Superstep);
+        let trace = self.telemetry.enabled(TelemetryLevel::Trace);
+        let epoch_start_sim = self.sim_now;
+        // Within-epoch superstep index (FP layers, BP layers, the update).
+        let mut ss: u32 = 0;
 
         // Intra-superstep parallelism: `wt` worker compute blocks fan out on
         // scoped threads, each using `kt`-way kernels. All exchanges and
@@ -416,7 +495,21 @@ impl DistributedEngine {
             } else {
                 (0..num_workers).map(|_| None).collect()
             };
-            comm_s += self.network.flush_superstep();
+            let step_comm = self.network.flush_superstep();
+            comm_s += step_comm;
+            if trace {
+                let track = self.telemetry.layout().network();
+                self.telemetry.span(
+                    SpanEvent::new("fp:exchange", "fp", track, self.sim_now, step_comm)
+                        .at_epoch(t)
+                        .at_layer(l)
+                        .at_superstep(ss),
+                );
+            }
+            if ss_level {
+                self.telemetry.set(MetricId::SuperstepCommS, labels(&[t as u32, ss]), step_comm);
+            }
+            self.sim_now += step_comm;
 
             // Compute Z^l, H^l.
             let (w_l, b_l) = {
@@ -448,9 +541,25 @@ impl DistributedEngine {
             for (w, (h, z, secs)) in results.into_iter().enumerate() {
                 self.h_local[w][l] = h;
                 self.z_local[w][l - 1] = z;
-                step_max = step_max.max(secs * factors[w]);
+                let scaled = secs * factors[w];
+                step_max = step_max.max(scaled);
+                if trace {
+                    let track = self.telemetry.layout().worker(w);
+                    self.telemetry.span(
+                        SpanEvent::new("fp:compute", "fp", track, self.sim_now, scaled)
+                            .at_epoch(t)
+                            .at_layer(l)
+                            .at_superstep(ss)
+                            .at_worker(w),
+                    );
+                }
             }
             compute_s += step_max;
+            if ss_level {
+                self.telemetry.set(MetricId::SuperstepComputeS, labels(&[t as u32, ss]), step_max);
+            }
+            self.sim_now += step_max;
+            ss += 1;
         }
 
         // ---------------- Loss and G^L ----------------
@@ -476,9 +585,30 @@ impl DistributedEngine {
         for (w, (loss, g, secs)) in results.into_iter().enumerate() {
             loss_sum += loss;
             g_cur.push(g);
-            step_max = step_max.max(secs * factors[w]);
+            let scaled = secs * factors[w];
+            step_max = step_max.max(scaled);
+            if trace {
+                let track = self.telemetry.layout().worker(w);
+                self.telemetry.span(
+                    SpanEvent::new("loss:compute", "loss", track, self.sim_now, scaled)
+                        .at_epoch(t)
+                        .at_worker(w),
+                );
+            }
         }
         compute_s += step_max;
+        self.sim_now += step_max;
+
+        // Reference gradient magnitude for the Theorem 1 bound gauge
+        // (‖G^L‖² summed over workers; observation only).
+        let g_norm_sq: f64 = if self.telemetry.enabled(TelemetryLevel::Epoch) {
+            g_cur
+                .iter()
+                .map(|g| g.as_slice().iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>())
+                .sum()
+        } else {
+            0.0
+        };
 
         // ---------------- Backward propagation ----------------
         let num_slots = if sage { 2 * num_layers } else { num_layers };
@@ -487,7 +617,21 @@ impl DistributedEngine {
             // Exchange G^l.
             let g_remote: Vec<Matrix> =
                 (0..num_workers).map(|i| self.exchange_bp(i, l, &g_cur)).collect();
-            comm_s += self.network.flush_superstep();
+            let step_comm = self.network.flush_superstep();
+            comm_s += step_comm;
+            if trace {
+                let track = self.telemetry.layout().network();
+                self.telemetry.span(
+                    SpanEvent::new("bp:exchange", "bp", track, self.sim_now, step_comm)
+                        .at_epoch(t)
+                        .at_layer(l)
+                        .at_superstep(ss),
+                );
+            }
+            if ss_level {
+                self.telemetry.set(MetricId::SuperstepCommS, labels(&[t as u32, ss]), step_comm);
+            }
+            self.sim_now += step_comm;
 
             let w_lm1 = self.ps.pull(l - 1).0.clone();
             let ws_lm1 = sage.then(|| self.ps.pull(num_layers + l - 1).0.clone());
@@ -530,9 +674,25 @@ impl DistributedEngine {
                     ops::add_assign(&mut ys_sum, &ys_part);
                 }
                 g_cur[w] = g_new;
-                step_max = step_max.max(secs * factors[w]);
+                let scaled = secs * factors[w];
+                step_max = step_max.max(scaled);
+                if trace {
+                    let track = self.telemetry.layout().worker(w);
+                    self.telemetry.span(
+                        SpanEvent::new("bp:compute", "bp", track, self.sim_now, scaled)
+                            .at_epoch(t)
+                            .at_layer(l)
+                            .at_superstep(ss)
+                            .at_worker(w),
+                    );
+                }
             }
             compute_s += step_max;
+            if ss_level {
+                self.telemetry.set(MetricId::SuperstepComputeS, labels(&[t as u32, ss]), step_max);
+            }
+            self.sim_now += step_max;
+            ss += 1;
             grads[l - 1] = Some((y_sum, b_sum));
             if sage {
                 grads[num_layers + l - 1] = Some((ys_sum, vec![0.0; self.config.dims[l]]));
@@ -569,9 +729,25 @@ impl DistributedEngine {
                 for (acc, g) in b_sum.iter_mut().zip(b_part) {
                     *acc += g;
                 }
-                step_max = step_max.max(secs * factors[w]);
+                let scaled = secs * factors[w];
+                step_max = step_max.max(scaled);
+                if trace {
+                    let track = self.telemetry.layout().worker(w);
+                    self.telemetry.span(
+                        SpanEvent::new("bp:compute", "bp", track, self.sim_now, scaled)
+                            .at_epoch(t)
+                            .at_layer(1)
+                            .at_superstep(ss)
+                            .at_worker(w),
+                    );
+                }
             }
             compute_s += step_max;
+            if ss_level {
+                self.telemetry.set(MetricId::SuperstepComputeS, labels(&[t as u32, ss]), step_max);
+            }
+            self.sim_now += step_max;
+            ss += 1;
             grads[0] = Some((y_sum, b_sum));
             if sage {
                 grads[num_layers] = Some((ys_sum, vec![0.0; self.config.dims[1]]));
@@ -591,15 +767,38 @@ impl DistributedEngine {
         assert_eq!(grads.len(), num_slots, "every gradient slot must be filled before the push");
         self.ps.push(&grads);
         self.ps.apply_update();
-        comm_s += self.network.flush_superstep();
+        let step_comm = self.network.flush_superstep();
+        comm_s += step_comm;
+        if trace {
+            let track = self.telemetry.layout().network();
+            self.telemetry.span(
+                SpanEvent::new("update:push", "update", track, self.sim_now, step_comm)
+                    .at_epoch(t)
+                    .at_superstep(ss),
+            );
+        }
+        if ss_level {
+            self.telemetry.set(MetricId::SuperstepCommS, labels(&[t as u32, ss]), step_comm);
+        }
+        self.sim_now += step_comm;
 
         // Adaptive Bit-Tuner (after the last FP exchange of the epoch).
         if let FpMode::ReqEc { adaptive: true, .. } = self.config.fp_mode {
             self.apply_bit_tuner(t);
         }
 
+        if trace {
+            let track = self.telemetry.layout().engine();
+            let dur = self.sim_now - epoch_start_sim;
+            self.telemetry
+                .span(SpanEvent::new("epoch", "epoch", track, epoch_start_sim, dur).at_epoch(t));
+        }
+
         self.epoch += 1;
         let (traffic, _) = self.network.end_epoch();
+        if self.telemetry.enabled(TelemetryLevel::Epoch) {
+            self.record_epoch_metrics(t, &traffic, compute_s, comm_s, g_norm_sq);
+        }
         EpochStats {
             epoch: t,
             loss: loss_sum,
@@ -607,6 +806,84 @@ impl DistributedEngine {
             comm_s,
             traffic,
             degraded: self.fp_degraded,
+            degraded_drop: self.fp_degraded_drop,
+            degraded_corrupt: self.fp_degraded_corrupt,
+        }
+    }
+
+    /// Flushes the per-epoch metric rows into the sink (Epoch level and
+    /// above); called once per completed epoch, after the traffic ledger
+    /// for epoch `t` has been taken.
+    fn record_epoch_metrics(
+        &mut self,
+        t: usize,
+        traffic: &TrafficStats,
+        compute_s: f64,
+        comm_s: f64,
+        g_norm_sq: f64,
+    ) {
+        let e = t as u32;
+        for (&layer, counts) in &self.fp_selected {
+            let lbl = labels(&[e, layer as u32]);
+            self.telemetry.add(MetricId::SelectorCps, lbl, counts[fp::SELECT_CPS as usize]);
+            self.telemetry.add(MetricId::SelectorPdt, lbl, counts[fp::SELECT_PDT as usize]);
+            self.telemetry.add(MetricId::SelectorAvg, lbl, counts[fp::SELECT_AVG as usize]);
+        }
+        for (from, to, bytes) in traffic.links.iter_nonzero() {
+            let lbl = labels(&[e, from as u32, to as u32]);
+            self.telemetry.set(MetricId::LinkBytes, lbl, bytes as f64);
+        }
+        for (id, v) in [
+            (MetricId::FaultDropped, traffic.dropped_msgs),
+            (MetricId::FaultCorrupted, traffic.corrupted_msgs),
+            (MetricId::FaultDuplicated, traffic.duplicated_msgs),
+            (MetricId::FaultDegradedDrop, self.fp_degraded_drop),
+            (MetricId::FaultDegradedCorrupt, self.fp_degraded_corrupt),
+        ] {
+            if v > 0 {
+                self.telemetry.add(id, labels(&[e]), v);
+            }
+        }
+        for w in 0..self.config.num_workers {
+            let f = self.compute_factor(w);
+            if f != 1.0 {
+                self.telemetry.set(MetricId::FaultStragglerFactor, labels(&[e, w as u32]), f);
+            }
+        }
+        self.telemetry.set(MetricId::PhaseComputeS, labels(&[e]), compute_s);
+        self.telemetry.set(MetricId::PhaseCommS, labels(&[e]), comm_s);
+        if self.telemetry.enabled(TelemetryLevel::Superstep) {
+            self.telemetry.set(MetricId::PhasePackS, labels(&[e]), self.pack_s);
+            self.telemetry.set(MetricId::PhaseUnpackS, labels(&[e]), self.unpack_s);
+        }
+        self.telemetry.set(MetricId::FpReconErrL1, labels(&[e]), self.fp_recon_err);
+
+        if matches!(self.config.bp_mode, BpMode::ResEc { .. } | BpMode::TopkEc { .. }) {
+            let mut by_layer: BTreeMap<usize, f64> = BTreeMap::new();
+            for (&(_, layer, _), st) in &self.bp_residual {
+                *by_layer.entry(layer).or_insert(0.0) += st.residual_norm_sq() as f64;
+            }
+            let num_layers = self.config.num_layers();
+            // Theorem 1 bounds each layer's residual by a constant times
+            // the true gradient magnitude; the probe α is empirical, so the
+            // reference gets headroom over ‖G^L‖².
+            let g_ref = 4.0 * g_norm_sq;
+            for (layer, norm_sq) in by_layer {
+                let lbl = labels(&[e, layer as u32]);
+                self.telemetry.set(MetricId::ResecResidualSq, lbl, norm_sq);
+                if let Some(alpha) = self.alpha_probe {
+                    let bound = ec_compress::error::theorem1_bound(
+                        alpha,
+                        THEOREM1_RHO,
+                        g_ref,
+                        num_layers,
+                        layer,
+                    );
+                    if let Some(bound) = bound {
+                        self.telemetry.set(MetricId::ResecT1Bound, lbl, bound);
+                    }
+                }
+            }
         }
     }
 
@@ -615,12 +892,14 @@ impl DistributedEngine {
     fn exchange_fp(&mut self, i: usize, l: usize, t: usize) -> Matrix {
         let topo = Arc::clone(&self.contexts[i].layers[l - 1]);
         let cols = self.config.dims[l - 1];
+        let measure = self.telemetry.enabled(TelemetryLevel::Superstep);
         let mut remote = Matrix::zeros(topo.remote_deps.len(), cols);
         for (j, deps) in topo.deps_by_owner.iter().enumerate() {
             if deps.is_empty() || j == i {
                 continue;
             }
             // Responder j gathers the requested rows of its local H^{l-1}.
+            let pack_timer = measure.then(HostTimer::start);
             let local_idx: Vec<usize> =
                 deps.iter().map(|v| self.contexts[j].global_to_local[v]).collect();
             let h_rows = self.h_local[j][l - 1].gather_rows(&local_idx);
@@ -645,6 +924,10 @@ impl DistributedEngine {
                     // boundaries mutate the shared trend state, so losing
                     // one would desynchronize requester and responder.
                     let pdt = if ec_degrade && !out.exact_sent { state.predict(t) } else { None };
+                    let sel = self.fp_selected.entry(l).or_default();
+                    for (acc, &c) in sel.iter_mut().zip(out.selected.iter()) {
+                        *acc += c as u64;
+                    }
                     // Record the proportion for the Bit-Tuner when this is
                     // the last FP exchange (Alg. 3 line 13: l == L).
                     if l == self.config.num_layers() && !out.exact_sent {
@@ -658,19 +941,36 @@ impl DistributedEngine {
                     (m, w, None)
                 }
             };
+            if let Some(tm) = &pack_timer {
+                self.pack_s += tm.elapsed_s();
+            }
             self.network.send(i, j, Channel::Control, REQUEST_BYTES);
+            self.telemetry.observe(MetricId::FpWireBytes, labels(&[t as u32]), wire as f64);
             let reconstructed = match degrade_pdt {
                 // EC-degrade: give the transfer a bounded number of
                 // attempts, then fall back to the zero-payload prediction
                 // `Ĥ_pdt = H_base + M_cr·k` instead of waiting further.
                 Some(pdt) => {
                     let attempts = self.config.resilience.max_attempts;
-                    let delivered = (0..attempts)
-                        .any(|_| self.network.try_send(j, i, Channel::Forward, wire).is_ok());
+                    let mut delivered = false;
+                    let mut last_err = None;
+                    for _ in 0..attempts {
+                        match self.network.try_send(j, i, Channel::Forward, wire) {
+                            Ok(()) => {
+                                delivered = true;
+                                break;
+                            }
+                            Err(err) => last_err = Some(err),
+                        }
+                    }
                     if delivered {
                         reconstructed
                     } else {
                         self.fp_degraded += 1;
+                        match last_err {
+                            Some(SendError::Corrupted) => self.fp_degraded_corrupt += 1,
+                            _ => self.fp_degraded_drop += 1,
+                        }
                         pdt
                     }
                 }
@@ -682,8 +982,12 @@ impl DistributedEngine {
             self.fp_recon_err += ec_tensor::stats::rowwise_l1_distance(&reconstructed, &h_rows)
                 .iter()
                 .sum::<f32>() as f64;
+            let unpack_timer = measure.then(HostTimer::start);
             for (row, v) in local_rows(&topo.remote_index, deps) {
                 remote.set_row(row, reconstructed.row(v));
+            }
+            if let Some(tm) = &unpack_timer {
+                self.unpack_s += tm.elapsed_s();
             }
         }
         remote
@@ -700,11 +1004,14 @@ impl DistributedEngine {
     fn exchange_bp(&mut self, i: usize, l: usize, g_cur: &[Matrix]) -> Matrix {
         let topo = Arc::clone(&self.contexts[i].layers[l - 1]);
         let cols = self.config.dims[l];
+        let measure = self.telemetry.enabled(TelemetryLevel::Superstep);
+        let e = self.epoch as u32;
         let mut remote = Matrix::zeros(topo.remote_deps.len(), cols);
         for (j, deps) in topo.deps_by_owner.iter().enumerate() {
             if deps.is_empty() || j == i {
                 continue;
             }
+            let pack_timer = measure.then(HostTimer::start);
             let local_idx: Vec<usize> =
                 deps.iter().map(|v| self.contexts[j].global_to_local[v]).collect();
             let g_rows = g_cur[j].gather_rows(&local_idx);
@@ -720,10 +1027,18 @@ impl DistributedEngine {
                     bp::topk_ec_step(state, &g_rows, ratio)
                 }
             };
+            if let Some(tm) = &pack_timer {
+                self.pack_s += tm.elapsed_s();
+            }
             self.network.send(i, j, Channel::Control, REQUEST_BYTES);
             self.network.send(j, i, Channel::Backward, wire);
+            self.telemetry.observe(MetricId::BpWireBytes, labels(&[e]), wire as f64);
+            let unpack_timer = measure.then(HostTimer::start);
             for (row, v) in local_rows(&topo.remote_index, deps) {
                 remote.set_row(row, reconstructed.row(v));
+            }
+            if let Some(tm) = &unpack_timer {
+                self.unpack_s += tm.elapsed_s();
             }
         }
         remote
@@ -736,10 +1051,13 @@ impl DistributedEngine {
         self.fp_prop.insert((i, j), proportion);
     }
 
-    fn apply_bit_tuner(&mut self, _t: usize) {
+    fn apply_bit_tuner(&mut self, t: usize) {
         let updates = std::mem::take(&mut self.fp_prop);
         for ((i, j), p) in updates {
-            self.fp_bits[i][j] = fp::tune_bits(self.fp_bits[i][j], p);
+            let bits = fp::tune_bits(self.fp_bits[i][j], p);
+            self.fp_bits[i][j] = bits;
+            let lbl = labels(&[t as u32, i as u32, j as u32]);
+            self.telemetry.set(MetricId::BitTunerBits, lbl, bits as f64);
         }
     }
 
@@ -801,6 +1119,18 @@ fn local_loss_grad(
         }
     }
     (loss * inv, grad)
+}
+
+/// Worst observed relative quantization error over a few synthetic
+/// Gaussian matrices — the empirical stand-in for Theorem 1's `α`.
+fn probe_alpha(bits: u8) -> f64 {
+    let mut alpha = 0.0f32;
+    for seed in 0..8u64 {
+        let m = ec_tensor::init::normal(32, 16, 1.0, seed);
+        let q = ec_compress::Quantized::compress(&m, bits);
+        alpha = alpha.max(ec_compress::error::relative_error(&m, &q));
+    }
+    alpha as f64
 }
 
 /// Pairs each dep's position in the per-owner list with its row in the
@@ -960,6 +1290,45 @@ mod tests {
         let logits_b = b.forward_global();
         assert!(logits_a.approx_eq(&logits_b, 1e-6));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn telemetry_captures_ec_internals() {
+        let data = Arc::new(DatasetSpec::cora().instantiate_with(150, 12, 5));
+        let config = TrainingConfig {
+            dims: vec![12, 8, data.num_classes],
+            num_workers: 3,
+            fp_mode: FpMode::ReqEc { bits: 4, t_tr: 10, adaptive: true },
+            bp_mode: BpMode::ResEc { bits: 4 },
+            telemetry: ec_trace::TelemetryConfig::at(ec_trace::TelemetryLevel::Trace),
+            seed: 2,
+            ..TrainingConfig::defaults(12, data.num_classes)
+        };
+        let adj = Arc::new(normalize::gcn_normalized_adjacency(&data.graph));
+        let partition = HashPartitioner::default().partition(&data.graph, 3);
+        let mut e = DistributedEngine::new(data, vec![adj; 2], partition, config);
+        for _ in 0..3 {
+            e.run_epoch();
+        }
+        let rep = e.take_telemetry().expect("trace level yields a report");
+        // Epoch 0 ships trend boundaries; epoch 1 is the first epoch where
+        // the Selector decides (exchange layer for L=2 is l=2).
+        let decisions: u64 = ["selector.cps", "selector.pdt", "selector.avg"]
+            .iter()
+            .filter_map(|n| rep.counter(n, &[1, 2]))
+            .sum();
+        assert!(decisions > 0, "selector decisions must be recorded");
+        assert!(rep.gauge("resec.residual_l2sq", &[1, 2]).is_some());
+        assert!(rep.gauge("resec.theorem1_bound", &[1, 2]).is_some());
+        assert!(rep.rows_named("bittuner.bits").next().is_some());
+        assert!(rep.rows_named("traffic.link_bytes").next().is_some());
+        assert!(rep.gauge("phase.compute", &[0]).is_some());
+        assert!(rep.rows_named("fp.wire_bytes").next().is_some());
+        assert!(rep.spans.iter().any(|s| s.name == "fp:exchange"));
+        assert!(rep.spans.iter().any(|s| s.name == "epoch"));
+
+        let off = engine_with(FpMode::Exact, BpMode::Exact, 2);
+        assert!(off.take_telemetry().is_none(), "Off yields no report");
     }
 
     #[test]

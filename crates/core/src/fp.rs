@@ -91,6 +91,10 @@ pub struct ReqEcOutcome {
     pub wire: u64,
     /// True when this exchange shipped exact embeddings (trend boundary).
     pub exact_sent: bool,
+    /// Selector decision counts, indexed by [`SELECT_CPS`] / [`SELECT_PDT`]
+    /// / [`SELECT_AVG`] (telemetry; all zero for boundary messages, which
+    /// make no selection).
+    pub selected: [u32; 3],
 }
 
 /// Uncompressed response (`Non-cp`): ships raw `f32` rows.
@@ -151,6 +155,7 @@ pub fn reqec_step_with(
             proportion: 0.0,
             wire: 0,
             exact_sent: false,
+            selected: [0; 3],
         };
     }
     // Non-boundary steps read the live trend group; when the group has not
@@ -178,7 +183,13 @@ pub fn reqec_step_with(
     state.base = Some(h_rows.clone());
     state.m_cr = Some(m_cr);
     state.base_t = t;
-    ReqEcOutcome { reconstructed: h_rows.clone(), proportion: 0.0, wire, exact_sent: true }
+    ReqEcOutcome {
+        reconstructed: h_rows.clone(),
+        proportion: 0.0,
+        wire,
+        exact_sent: true,
+        selected: [0; 3],
+    }
 }
 
 /// The non-boundary arm of [`reqec_step_with`]: candidate construction and
@@ -210,19 +221,18 @@ fn reqec_nonboundary(
             let d_pdt = stats::rowwise_l1_distance(&pdt, h_rows);
             let d_avg = stats::rowwise_l1_distance(&avg, h_rows);
             let mut reconstructed = Matrix::zeros(rows, cols);
-            let mut predicted = 0usize;
+            let mut selected = [0u32; 3];
             for v in 0..rows {
                 let sid = stats::argmin(&[d_cps[v], d_pdt[v], d_avg[v]]) as u8;
+                selected[sid as usize] += 1;
                 let row = match sid {
                     SELECT_CPS => cps.row(v),
-                    SELECT_PDT => {
-                        predicted += 1;
-                        pdt.row(v)
-                    }
+                    SELECT_PDT => pdt.row(v),
                     _ => avg.row(v),
                 };
                 reconstructed.set_row(v, row);
             }
+            let predicted = selected[SELECT_PDT as usize] as usize;
             // Wire cost: 2-bit selector per vertex, compressed codes only
             // for the non-predicted vertices, one f32 proportion,
             // quantization header.
@@ -235,7 +245,7 @@ fn reqec_nonboundary(
             };
             let wire = (selector_bytes + payload_bytes + 4) as u64;
             let proportion = predicted as f32 / rows as f32;
-            ReqEcOutcome { reconstructed, proportion, wire, exact_sent: false }
+            ReqEcOutcome { reconstructed, proportion, wire, exact_sent: false, selected }
         }
         Granularity::Element => {
             // Per-coordinate selection: most accurate reconstruction, but
@@ -243,20 +253,23 @@ fn reqec_nonboundary(
             // still packs codes for every non-predicted element.
             let (h, c, p, a) = (h_rows.as_slice(), cps.as_slice(), pdt.as_slice(), avg.as_slice());
             let mut data = Vec::with_capacity(h.len());
-            let mut predicted = 0usize;
+            let mut selected = [0u32; 3];
             for i in 0..h.len() {
                 let dc = (c[i] - h[i]).abs();
                 let dp = (p[i] - h[i]).abs();
                 let da = (a[i] - h[i]).abs();
                 data.push(if dp <= dc && dp <= da {
-                    predicted += 1;
+                    selected[SELECT_PDT as usize] += 1;
                     p[i]
                 } else if dc <= da {
+                    selected[SELECT_CPS as usize] += 1;
                     c[i]
                 } else {
+                    selected[SELECT_AVG as usize] += 1;
                     a[i]
                 });
             }
+            let predicted = selected[SELECT_PDT as usize] as usize;
             let non_pdt = h.len() - predicted;
             let selector_bytes = 4 + (h.len() * 2).div_ceil(8);
             let payload_bytes =
@@ -268,6 +281,7 @@ fn reqec_nonboundary(
                 proportion,
                 wire,
                 exact_sent: false,
+                selected,
             }
         }
         Granularity::Matrix => {
@@ -283,7 +297,9 @@ fn reqec_nonboundary(
             };
             let payload_bytes = if sid == SELECT_PDT { 0 } else { q.wire_size() };
             let wire = (1 + payload_bytes + 4) as u64;
-            ReqEcOutcome { reconstructed, proportion, wire, exact_sent: false }
+            let mut selected = [0u32; 3];
+            selected[sid as usize] = 1;
+            ReqEcOutcome { reconstructed, proportion, wire, exact_sent: false, selected }
         }
     }
 }
@@ -454,6 +470,18 @@ mod tests {
         let (base, m_cr, base_t) = st.to_parts();
         let rebuilt = TrendState::from_parts(base.cloned(), m_cr.cloned(), base_t);
         assert_eq!(rebuilt.predict(6).unwrap(), pdt);
+    }
+
+    #[test]
+    fn selector_counts_cover_every_vertex() {
+        let mut st = TrendState::default();
+        let at =
+            |t: usize| Matrix::from_fn(8, 4, |r, c| ((t * 13 + r * 7 + c) as f32 * 0.11).fract());
+        let boundary = reqec_step(&mut st, &at(0), 2, 4, 0);
+        assert_eq!(boundary.selected, [0; 3], "boundaries make no selection");
+        let out = reqec_step(&mut st, &at(1), 2, 4, 1);
+        assert_eq!(out.selected.iter().sum::<u32>(), 8, "one decision per vertex");
+        assert_eq!(out.selected[SELECT_PDT as usize] as f32 / 8.0, out.proportion);
     }
 
     #[test]

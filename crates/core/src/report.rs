@@ -33,6 +33,10 @@ pub struct EpochRecord {
     pub total_bytes: u64,
     /// FP messages replaced by the ReqEC prediction (EC-degrade policy).
     pub degraded: u64,
+    /// Degraded messages whose final failed attempt was a drop.
+    pub degraded_drop: u64,
+    /// Degraded messages whose final failed attempt was a corruption.
+    pub degraded_corrupt: u64,
 }
 
 impl EpochRecord {
@@ -69,6 +73,11 @@ pub struct RunResult {
     pub best_val_acc: f64,
     /// Test accuracy at the peak-validation epoch.
     pub best_test_acc: f64,
+    /// Telemetry snapshot (`None` when recording was off). Deliberately
+    /// excluded from [`Self::to_json`]: the canonical image must stay
+    /// byte-identical whatever the telemetry level, which is exactly what
+    /// the determinism suite checks.
+    pub telemetry: Option<ec_trace::TelemetryReport>,
 }
 
 impl RunResult {
@@ -141,6 +150,8 @@ impl RunResult {
                     "retry_bytes": e.retry_bytes,
                     "total_bytes": e.total_bytes,
                     "degraded": e.degraded,
+                    "degraded_drop": e.degraded_drop,
+                    "degraded_corrupt": e.degraded_corrupt,
                 })
             })
             .collect();

@@ -53,6 +53,7 @@ pub fn train_prepartitioned(
         ..Default::default()
     };
     run_epoch_loop(&mut engine, &config, &mut result);
+    result.telemetry = engine.take_telemetry();
     result
 }
 
@@ -96,6 +97,7 @@ pub fn run_epoch_loop(
             let keep = (base_records + ckpt.epoch()).min(result.epochs.len());
             result.recovery_s += result.epochs.drain(keep..).map(|e| e.sim_time()).sum::<f64>();
             result.crashes_recovered += 1;
+            engine.telemetry_note_crash(t);
             engine.restore(ckpt).expect("crash checkpoint matches the engine it came from");
             // Rebuild the early-stopping trackers from the surviving
             // history so the replay is indistinguishable from a run that
@@ -145,6 +147,8 @@ pub fn run_epoch_loop(
             retry_bytes: stats.traffic.retry_bytes,
             total_bytes: stats.traffic.total_bytes(),
             degraded: stats.degraded,
+            degraded_drop: stats.degraded_drop,
+            degraded_corrupt: stats.degraded_corrupt,
         });
         if let Some(patience) = config.patience {
             if since_best >= patience {

@@ -1,0 +1,265 @@
+//! A dependency-free JSON syntax validator.
+//!
+//! The offline `serde_json` stand-in can only *print* JSON, so nothing in
+//! the workspace can parse the exporters' output back to prove it is
+//! well-formed. This module closes that loop with a small RFC 8259
+//! recursive-descent checker: it validates syntax (and rejects trailing
+//! garbage) without building a value tree. Used by the exporter tests,
+//! the golden-snapshot suite, and the `trace_check` binary.
+
+/// Validates that `text` is exactly one well-formed JSON value.
+pub fn validate_json(text: &str) -> Result<(), String> {
+    let mut p = Checker { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.fail("trailing characters after the JSON value"));
+    }
+    Ok(())
+}
+
+/// Validates JSONL: every non-empty line is a well-formed JSON value.
+/// Returns the number of validated lines.
+pub fn validate_jsonl(text: &str) -> Result<usize, String> {
+    let mut n = 0;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_json(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Checker<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Checker<'_> {
+    fn fail(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_lit(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.fail(&format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<(), String> {
+        if depth > MAX_DEPTH {
+            return Err(self.fail("nesting deeper than 128 levels"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => self.string(),
+            Some(b't') => self.expect_lit("true"),
+            Some(b'f') => self.expect_lit("false"),
+            Some(b'n') => self.expect_lit("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.fail("unexpected character")),
+            None => Err(self.fail("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<(), String> {
+        self.pos += 1; // consume `{`
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.fail("expected a string key"));
+            }
+            self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return Err(self.fail("expected `:` after object key"));
+            }
+            self.skip_ws();
+            self.value(depth + 1)?;
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            if self.eat(b'}') {
+                return Ok(());
+            }
+            return Err(self.fail("expected `,` or `}` in object"));
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<(), String> {
+        self.pos += 1; // consume `[`
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value(depth + 1)?;
+            self.skip_ws();
+            if self.eat(b',') {
+                continue;
+            }
+            if self.eat(b']') {
+                return Ok(());
+            }
+            return Err(self.fail("expected `,` or `]` in array"));
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.pos += 1; // consume opening quote
+        loop {
+            match self.peek() {
+                None => return Err(self.fail("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                if !matches!(self.peek(), Some(c) if c.is_ascii_hexdigit()) {
+                                    return Err(self.fail("bad \\u escape"));
+                                }
+                                self.pos += 1;
+                            }
+                        }
+                        _ => return Err(self.fail("bad escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.fail("raw control character in string"));
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn digits(&mut self) -> Result<(), String> {
+        if !matches!(self.peek(), Some(b'0'..=b'9')) {
+            return Err(self.fail("expected a digit"));
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        Ok(())
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        self.eat(b'-');
+        if self.eat(b'0') {
+            // A leading zero may not be followed by more digits.
+            if matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.fail("leading zero in number"));
+            }
+        } else {
+            self.digits()?;
+        }
+        if self.eat(b'.') {
+            self.digits()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.digits()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_well_formed_documents() {
+        for ok in [
+            "null",
+            "true",
+            "-0.5e+3",
+            "\"a\\u00e9\\n\"",
+            "[]",
+            "[1,2,[3]]",
+            "{}",
+            r#"{"a":1,"b":[{"c":null}],"d":"x"}"#,
+            "  { \"k\" : 1.0 }  ",
+        ] {
+            assert_eq!(validate_json(ok), Ok(()), "{ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a:1}",
+            "\"unterminated",
+            "\"bad\\q\"",
+            "[1] trailing",
+            "{},",
+        ] {
+            assert!(validate_json(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn jsonl_counts_lines_and_reports_the_bad_one() {
+        assert_eq!(validate_jsonl("{\"a\":1}\n\n[2]\n"), Ok(2));
+        let err = validate_jsonl("{}\nnope\n").expect_err("bad line");
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn depth_limit_blocks_stack_abuse() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(validate_json(&deep).is_err());
+    }
+}

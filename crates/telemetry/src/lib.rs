@@ -1,0 +1,224 @@
+//! # `ec-trace` — deterministic observability for the simulated cluster
+//!
+//! The paper's whole argument rests on internals the per-epoch run report
+//! cannot show: which candidate the Selector picks per vertex, how the
+//! Bit-Tuner walks `B` through `{1, 2, 4, 8, 16}`, and whether the ResEC
+//! residual norm stays inside the Theorem 1 bound. This crate makes those
+//! internals visible without perturbing them:
+//!
+//! * [`span`] — a lightweight span model ([`SpanEvent`] is `Copy`, names
+//!   are `&'static str`, recording allocates nothing) placed on a fixed
+//!   track layout (one per simulated worker, plus network/engine/host);
+//! * [`ring`] — fixed-capacity per-track ring buffers that overwrite the
+//!   oldest event under pressure and count what they dropped;
+//! * [`registry`] — a static catalog of typed counters / gauges /
+//!   histograms keyed by `(metric, labels)` in a `BTreeMap`, so every walk
+//!   over recorded metrics is deterministic;
+//! * [`sink`] — [`TelemetrySink`], the single recording facade the engine
+//!   owns, gated by [`TelemetryLevel`];
+//! * [`report`] — [`TelemetryReport`], the immutable snapshot attached to
+//!   a finished run;
+//! * [`export`] — Chrome `trace_event` JSON (loadable in
+//!   `chrome://tracing` / Perfetto), a flat JSONL event log, and a
+//!   standalone metrics JSON;
+//! * [`jsonck`] — a dependency-free JSON syntax validator (the offline
+//!   `serde_json` stand-in cannot parse), used by the `trace_check` bin
+//!   and the exporter tests.
+//!
+//! ## Determinism contract
+//!
+//! Trace timestamps are **simulated seconds** (the same modeled clock the
+//! run report is built from), never the host clock. Host-measured spans
+//! (the `span!` macro, preprocessing) go through the sanctioned
+//! [`ec_comm::HostTimer`], which reports zero under deterministic timing —
+//! so under `ec_comm::set_deterministic_timing(true)` two identical runs
+//! export byte-identical traces, whatever the thread counts. Recording is
+//! observation only: no training decision may read telemetry state, and
+//! `tests/determinism_suite.rs` proves the run report is byte-identical
+//! with telemetry [`TelemetryLevel::Off`] vs [`TelemetryLevel::Trace`].
+
+use serde::{Deserialize, Serialize};
+
+pub mod export;
+pub mod jsonck;
+pub mod registry;
+pub mod report;
+pub mod ring;
+pub mod sink;
+pub mod span;
+
+pub use registry::{Labels, MetricId, MetricKind, MetricValue, L_NONE};
+pub use report::{MetricRow, TelemetryReport};
+pub use sink::TelemetrySink;
+pub use span::{SpanEvent, TrackLayout, NO_INDEX};
+
+/// Not part of the public API: support machinery for the [`span!`] macro.
+#[doc(hidden)]
+pub mod __private {
+    pub use ec_comm::HostTimer;
+}
+
+/// How much the telemetry layer records. Levels are cumulative: each one
+/// records everything the previous level does.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TelemetryLevel {
+    /// Record nothing; every instrumentation site reduces to one enum
+    /// compare (the default).
+    #[default]
+    Off,
+    /// Per-epoch metrics: Selector decisions, Bit-Tuner trajectory, ResEC
+    /// residual norms vs the Theorem 1 bound, link traffic matrix, fault
+    /// events, phase timings, wire-size histograms.
+    Epoch,
+    /// Adds per-superstep comm/compute timing rows and host-measured
+    /// pack/unpack phase accounting.
+    Superstep,
+    /// Adds span events on the per-track ring buffers (Chrome-trace /
+    /// JSONL export).
+    Trace,
+}
+
+impl TelemetryLevel {
+    /// Canonical lower-case name (CLI `telemetry=` values).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TelemetryLevel::Off => "off",
+            TelemetryLevel::Epoch => "epoch",
+            TelemetryLevel::Superstep => "superstep",
+            TelemetryLevel::Trace => "trace",
+        }
+    }
+}
+
+impl std::str::FromStr for TelemetryLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(TelemetryLevel::Off),
+            "epoch" => Ok(TelemetryLevel::Epoch),
+            "superstep" => Ok(TelemetryLevel::Superstep),
+            "trace" => Ok(TelemetryLevel::Trace),
+            other => Err(format!("unknown telemetry level '{other}' (off|epoch|superstep|trace)")),
+        }
+    }
+}
+
+/// Telemetry knobs carried on the training configuration.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetryConfig {
+    /// Recording level; [`TelemetryLevel::Off`] by default.
+    pub level: TelemetryLevel,
+    /// Span-ring capacity per track at [`TelemetryLevel::Trace`]
+    /// (`0` = the default of 65 536 events). When a ring fills, the oldest
+    /// events are overwritten and counted as dropped.
+    pub ring_capacity: usize,
+}
+
+impl TelemetryConfig {
+    /// Default ring capacity per track.
+    pub const DEFAULT_RING_CAPACITY: usize = 65_536;
+
+    /// Convenience constructor for a given level with default capacity.
+    pub fn at(level: TelemetryLevel) -> Self {
+        Self { level, ring_capacity: 0 }
+    }
+
+    /// The ring capacity with the `0 = default` convention resolved.
+    pub fn resolved_ring_capacity(&self) -> usize {
+        if self.ring_capacity == 0 {
+            Self::DEFAULT_RING_CAPACITY
+        } else {
+            self.ring_capacity
+        }
+    }
+}
+
+/// Times `$body` with the sanctioned host clock and records it as a span
+/// on the sink's host track (a no-op below [`TelemetryLevel::Trace`]).
+///
+/// The field block accepts any subset of `epoch` / `layer` / `superstep` /
+/// `worker`:
+///
+/// ```
+/// use ec_trace::{span, TelemetryConfig, TelemetryLevel, TelemetrySink};
+/// let mut sink = TelemetrySink::new(&TelemetryConfig::at(TelemetryLevel::Trace), 2);
+/// let value = span!(sink, "preprocess:partition", { epoch: 0, worker: 1 }, {
+///     21 * 2
+/// });
+/// assert_eq!(value, 42);
+/// ```
+///
+/// Host spans live on their own wall-clock timeline (accumulated from the
+/// start of the run); under deterministic timing they are zero-width, so
+/// traces stay byte-identical.
+#[macro_export]
+macro_rules! span {
+    ($sink:expr, $name:expr, { $($field:ident : $val:expr),* $(,)? }, $body:expr) => {{
+        if $sink.enabled($crate::TelemetryLevel::Trace) {
+            let __ec_trace_timer = $crate::__private::HostTimer::start();
+            let __ec_trace_out = $body;
+            #[allow(unused_mut)]
+            let mut __ec_trace_ev =
+                $crate::SpanEvent::host($name, __ec_trace_timer.elapsed_s());
+            $( __ec_trace_ev.$field = ($val) as i64; )*
+            $sink.push_host_span(__ec_trace_ev);
+            __ec_trace_out
+        } else {
+            $body
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered_and_cumulative() {
+        assert!(TelemetryLevel::Off < TelemetryLevel::Epoch);
+        assert!(TelemetryLevel::Epoch < TelemetryLevel::Superstep);
+        assert!(TelemetryLevel::Superstep < TelemetryLevel::Trace);
+    }
+
+    #[test]
+    fn level_parses_round_trip() {
+        for l in [
+            TelemetryLevel::Off,
+            TelemetryLevel::Epoch,
+            TelemetryLevel::Superstep,
+            TelemetryLevel::Trace,
+        ] {
+            assert_eq!(l.as_str().parse::<TelemetryLevel>(), Ok(l));
+        }
+        assert!("verbose".parse::<TelemetryLevel>().is_err());
+    }
+
+    #[test]
+    fn config_resolves_ring_capacity() {
+        assert_eq!(
+            TelemetryConfig::default().resolved_ring_capacity(),
+            TelemetryConfig::DEFAULT_RING_CAPACITY
+        );
+        let c = TelemetryConfig { ring_capacity: 8, ..TelemetryConfig::default() };
+        assert_eq!(c.resolved_ring_capacity(), 8);
+    }
+
+    #[test]
+    fn span_macro_records_at_trace_and_passes_value_through() {
+        let mut sink = TelemetrySink::new(&TelemetryConfig::at(TelemetryLevel::Trace), 2);
+        let v = span!(sink, "unit:work", { epoch: 3, layer: 1 }, 6 * 7);
+        assert_eq!(v, 42);
+        let report = sink.report();
+        assert_eq!(report.spans.len(), 1);
+        assert_eq!(report.spans[0].name, "unit:work");
+        assert_eq!(report.spans[0].epoch, 3);
+        assert_eq!(report.spans[0].layer, 1);
+        assert_eq!(report.spans[0].worker, NO_INDEX);
+
+        let mut off = TelemetrySink::new(&TelemetryConfig::default(), 2);
+        let v = span!(off, "unit:work", {}, 1 + 1);
+        assert_eq!(v, 2);
+        assert!(off.report().spans.is_empty());
+    }
+}

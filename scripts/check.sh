@@ -3,13 +3,17 @@
 # workspace test suite. CI runs exactly this script.
 # Pass --bench to also run the hot-path benchmark (writes BENCH_hotpath.json
 # at the repo root).
+# Pass --trace-smoke to also drive the CLI end-to-end with the telemetry
+# exporters on and validate the emitted trace/metrics files.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_BENCH=0
+RUN_TRACE_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --bench) RUN_BENCH=1 ;;
+    --trace-smoke) RUN_TRACE_SMOKE=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -29,6 +33,23 @@ cargo test --workspace -q
 if [[ "$RUN_BENCH" == "1" ]]; then
   echo "== hot-path benchmark (BENCH_hotpath.json) =="
   cargo run -q --release -p ec-bench --bin hotpath_bench
+fi
+
+if [[ "$RUN_TRACE_SMOKE" == "1" ]]; then
+  echo "== trace smoke (CLI exporters end-to-end) =="
+  SMOKE_DIR=$(mktemp -d)
+  trap 'rm -rf "$SMOKE_DIR"' EXIT
+  cargo run -q -p ec-graph --bin ecgraph -- train \
+    dataset=cora vertices=150 workers=4 epochs=6 fp=reqec:2 bp=resec:4 \
+    --quiet --trace-out "$SMOKE_DIR/trace.json" --metrics-out "$SMOKE_DIR/metrics.json"
+  cargo run -q -p ec-trace --bin trace_check -- \
+    "$SMOKE_DIR/trace.json" "$SMOKE_DIR/metrics.json"
+  for needle in selector.pdt resec.theorem1_bound traffic.link_bytes; do
+    grep -q "$needle" "$SMOKE_DIR/metrics.json" \
+      || { echo "metrics.json is missing $needle" >&2; exit 1; }
+  done
+  grep -q 'fp:exchange' "$SMOKE_DIR/trace.json" \
+    || { echo "trace.json is missing fp:exchange spans" >&2; exit 1; }
 fi
 
 echo "All checks passed."

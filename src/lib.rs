@@ -15,7 +15,9 @@
 //!   outages, crashes) for the simulated cluster,
 //! * [`nn`] — hand-rolled autodiff, GCN/SAGE layers, optimizers,
 //! * [`ecgraph`] — the EC-Graph distributed engine, ReqEC-FP, ResEC-BP and
-//!   every baseline system from the paper's evaluation.
+//!   every baseline system from the paper's evaluation,
+//! * [`trace`] — deterministic span tracing and the EC-metrics registry,
+//!   with Chrome-trace / JSONL / metrics-JSON exporters.
 
 pub use ec_comm as comm;
 pub use ec_compress as compress;
@@ -25,3 +27,4 @@ pub use ec_graph_data as data;
 pub use ec_nn as nn;
 pub use ec_partition as partition;
 pub use ec_tensor as tensor;
+pub use ec_trace as trace;

@@ -15,6 +15,7 @@ use ec_graph_repro::ecgraph::report::RunResult;
 use ec_graph_repro::ecgraph::trainer::train;
 use ec_graph_repro::faults::FaultPlan;
 use ec_graph_repro::partition::ldg::LdgPartitioner;
+use ec_graph_repro::trace::{TelemetryConfig, TelemetryLevel};
 use std::sync::Arc;
 
 fn run_once(seed: u64) -> RunResult {
@@ -22,6 +23,15 @@ fn run_once(seed: u64) -> RunResult {
 }
 
 fn run_threaded(seed: u64, compute: ComputeConfig, faults: FaultPlan) -> RunResult {
+    run_full(seed, compute, faults, TelemetryLevel::Off)
+}
+
+fn run_full(
+    seed: u64,
+    compute: ComputeConfig,
+    faults: FaultPlan,
+    telemetry: TelemetryLevel,
+) -> RunResult {
     ec_comm::set_deterministic_timing(true);
     let data = Arc::new(DatasetSpec::cora().instantiate_with(140, 12, 5));
     let config = TrainingConfig {
@@ -35,6 +45,7 @@ fn run_threaded(seed: u64, compute: ComputeConfig, faults: FaultPlan) -> RunResu
         seed,
         faults,
         compute,
+        telemetry: TelemetryConfig::at(telemetry),
         ..TrainingConfig::defaults(12, data.num_classes)
     };
     train(data, &LdgPartitioner::default(), config, "ec-graph")
@@ -98,4 +109,54 @@ fn fault_injected_runs_are_thread_count_invariant() {
     // Not vacuous: the faults must actually change the run.
     let clean = run_once(3).to_json().to_string();
     assert_ne!(seq, clean, "fault plan had no observable effect");
+}
+
+/// Telemetry is a read-only observer: turning recording up to any level
+/// must leave the canonical report byte-identical to the `Off` run. A
+/// telemetry hook that perturbed an RNG draw, an iteration order, or a
+/// simulated-time ledger would show up here as a diff.
+#[test]
+fn telemetry_levels_never_change_the_report() {
+    let off = run_full(3, ComputeConfig::sequential(), FaultPlan::none(), TelemetryLevel::Off);
+    assert!(off.telemetry.is_none(), "Off must not attach a report");
+    let base = off.to_json().to_string();
+    for level in [TelemetryLevel::Epoch, TelemetryLevel::Superstep, TelemetryLevel::Trace] {
+        let r = run_full(3, ComputeConfig::sequential(), FaultPlan::none(), level);
+        let report = r
+            .telemetry
+            .as_ref()
+            .unwrap_or_else(|| panic!("{} run must attach a telemetry report", level.as_str()));
+        assert!(
+            report.rows_named("phase.compute").next().is_some(),
+            "{} report must carry epoch metrics",
+            level.as_str()
+        );
+        assert_eq!(
+            r.to_json().to_string(),
+            base,
+            "canonical report diverged between Off and {}",
+            level.as_str()
+        );
+    }
+}
+
+/// The invariance above must also hold when the fault injector is live —
+/// drops, a straggler, and a mid-run crash with checkpoint rollback — since
+/// the sink both counts faults and rewinds its rings on recovery.
+#[test]
+fn telemetry_is_inert_under_fault_injection() {
+    let faults = FaultPlan::uniform_drop(13, 0.05).with_straggler(0, 2.0).with_crash(1, 7);
+    let off = run_full(3, ComputeConfig::sequential(), faults.clone(), TelemetryLevel::Off);
+    assert_eq!(off.crashes_recovered, 1, "crash plan must actually fire");
+    let traced = run_full(3, ComputeConfig::sequential(), faults, TelemetryLevel::Trace);
+    assert_eq!(
+        traced.to_json().to_string(),
+        off.to_json().to_string(),
+        "fault-injected report diverged between Off and Trace telemetry"
+    );
+    let report = traced.telemetry.expect("Trace run must attach a telemetry report");
+    assert!(
+        report.rows_named("faults.dropped").next().is_some(),
+        "fault counters must reach the registry"
+    );
 }
