@@ -143,14 +143,19 @@ impl Quantized {
         if buf.len() < 17 {
             return Err(format!("buffer too short: {} bytes", buf.len()));
         }
-        let rows = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
-        let cols = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
+        // Length checked above; fixed-width reads below cannot slip, and
+        // spelled as array constructions they cannot panic either (this
+        // path decodes every compressed message of every superstep).
+        let le_u32 = |b: &[u8]| u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+        let le_f32 = |b: &[u8]| f32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+        let rows = le_u32(&buf[0..4]) as usize;
+        let cols = le_u32(&buf[4..8]) as usize;
         let bits = buf[8];
         if !(1..=MAX_BITS).contains(&bits) {
             return Err(format!("invalid bit width {bits}"));
         }
-        let min = f32::from_le_bytes(buf[9..13].try_into().unwrap());
-        let max = f32::from_le_bytes(buf[13..17].try_into().unwrap());
+        let min = le_f32(&buf[9..13]);
+        let max = le_f32(&buf[13..17]);
         // Checked arithmetic: a hostile header can claim u32::MAX × u32::MAX
         // entries, whose bit count overflows usize.
         let expected = rows

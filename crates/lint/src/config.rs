@@ -28,6 +28,8 @@ pub struct RuleConfig {
     pub include: Vec<String>,
     /// Path prefixes carved out of `include`.
     pub exclude: Vec<String>,
+    /// Workspace-relative lockfile path (only `wire-schema-lock` uses it).
+    pub lock: Option<String>,
 }
 
 impl RuleConfig {
@@ -87,6 +89,7 @@ impl LintConfig {
                     severity: Severity::Error,
                     include: Vec::new(),
                     exclude: Vec::new(),
+                    lock: None,
                 });
                 current = Some(name.to_string());
                 continue;
@@ -103,6 +106,7 @@ impl LintConfig {
                 }
                 "include" => rule.include = parse_string_array(value.trim()).map_err(&err)?,
                 "exclude" => rule.exclude = parse_string_array(value.trim()).map_err(&err)?,
+                "lock" => rule.lock = Some(parse_string(value.trim()).map_err(&err)?),
                 other => return Err(err(format!("unknown key {other:?}"))),
             }
         }
@@ -200,6 +204,7 @@ include = [
             severity: Severity::Error,
             include: vec!["crates/core".into()],
             exclude: vec!["crates/core/src/bin".into()],
+            lock: None,
         };
         assert!(rule.applies_to("crates/core/src/engine.rs"));
         assert!(!rule.applies_to("crates/core2/src/engine.rs"));
@@ -212,6 +217,7 @@ include = [
             severity: Severity::Error,
             include: vec!["crates/comm/src/ps.rs".into()],
             exclude: vec![],
+            lock: None,
         };
         assert!(rule.applies_to("crates/comm/src/ps.rs"));
         assert!(!rule.applies_to("crates/comm/src/network.rs"));

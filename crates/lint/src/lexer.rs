@@ -66,13 +66,19 @@ fn is_ident_continue(c: char) -> bool {
 }
 
 /// Extracts `ec-lint: allow(...)` rule names from a comment's text.
+///
+/// Only well-formed rule names (lowercase ASCII, digits, `-`) register:
+/// prose like `allow(<rule>)` in documentation stays inert instead of
+/// becoming a pseudo-suppression the `unused-suppression` rule would flag.
 fn scan_comment(text: &str, line: usize, out: &mut Vec<Suppression>) {
     let Some(pos) = text.find(ALLOW_MARKER) else { return };
     let rest = &text[pos + ALLOW_MARKER.len()..];
     let Some(close) = rest.find(')') else { return };
     for rule in rest[..close].split(',') {
         let rule = rule.trim();
-        if !rule.is_empty() {
+        let well_formed = !rule.is_empty()
+            && rule.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-');
+        if well_formed {
             out.push(Suppression { line, rule: rule.to_string() });
         }
     }

@@ -6,7 +6,9 @@
 //! contributor from iterating a `HashMap` in the engine, reading the wall
 //! clock in a baseline, or `unwrap()`ing in a superstep — the exact bug
 //! classes that silently break that property. `ec-lint` is a self-contained
-//! analyzer (the offline build has no `syn`/`dylint`) that enforces them:
+//! analyzer (the offline build has no `syn`/`dylint`) that enforces them.
+//!
+//! Token-pattern rules ([`rules`]):
 //!
 //! * [`rules::no_unordered_iteration`] — no `HashMap`/`HashSet` iteration
 //!   in deterministic paths;
@@ -18,19 +20,58 @@
 //! * [`rules::wire_hygiene`] — wire types derive both serde directions and
 //!   have round-trip tests.
 //!
+//! Semantic rules ([`sem`]), built on a recursive-descent parser
+//! ([`parser`]) and a workspace symbol table ([`symbols`]):
+//!
+//! * [`sem::thread_scope_hygiene`] — scoped worker closures stay pure
+//!   compute; shared replay-ordered state is touched only on the engine
+//!   thread's ordered replay;
+//! * [`sem::no_float_unordered_reduce`] — no float `sum`/`fold`/`reduce`
+//!   chains rooted at unordered sources;
+//! * [`sem::metric_catalog_sync`] — `metric_catalog!` ids and their record
+//!   sites stay in sync, both directions;
+//! * [`sem::wire_schema_lock`] — `Serialize` wire types match the
+//!   checked-in `wire.lock` fingerprints;
+//! * `unused-suppression` (in [`run`]) — every inline allow comment must
+//!   still suppress something, and must name a real rule. These findings
+//!   are reported after suppression filtering, so they cannot themselves
+//!   be suppressed.
+//!
 //! Scopes live in `lint.toml` ([`config::LintConfig`]); inline escapes are
 //! `// ec-lint: allow(<rule>)` on or directly above the flagged line.
 
 pub mod config;
 pub mod diag;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod sem;
+pub mod symbols;
 
 use config::{LintConfig, RuleConfig};
 use diag::Diagnostic;
 use lexer::LexedFile;
-use std::collections::BTreeMap;
-use std::path::{Path, PathBuf};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+use symbols::Workspace;
+
+/// Every rule this binary implements, in the order they are documented.
+pub const KNOWN_RULES: &[&str] = &[
+    "no-wall-clock",
+    "no-unseeded-rng",
+    "no-panic-hot-path",
+    "no-unordered-iteration",
+    "wire-hygiene",
+    "thread-scope-hygiene",
+    "no-float-unordered-reduce",
+    "metric-catalog-sync",
+    "wire-schema-lock",
+    "unused-suppression",
+];
+
+/// Rules that need the parsed workspace symbol table.
+const SEMANTIC_RULES: &[&str] =
+    &["thread-scope-hygiene", "metric-catalog-sync", "wire-schema-lock"];
 
 /// Directories never worth descending into.
 const SKIP_DIRS: &[&str] = &["target", ".git", ".claude", "node_modules"];
@@ -71,53 +112,117 @@ pub fn collect_rust_files(root: &Path) -> std::io::Result<Vec<String>> {
 /// Returns unsuppressed diagnostics sorted by `(path, line, rule)`.
 ///
 /// # Errors
-/// An unknown rule name in the config, or an unreadable file.
+/// An unknown rule name in the config, an unreadable file, or (when a
+/// semantic rule is configured) a file whose item structure cannot be
+/// parsed.
 pub fn run(root: &Path, config: &LintConfig) -> Result<Vec<Diagnostic>, String> {
-    let files = collect_rust_files(root).map_err(|e| format!("walking {root:?}: {e}"))?;
-    let mut cache: BTreeMap<String, LexedFile> = BTreeMap::new();
-    let lexed = |rel: &str, cache: &mut BTreeMap<String, LexedFile>| -> Result<LexedFile, String> {
-        if let Some(f) = cache.get(rel) {
-            return Ok(f.clone());
+    for name in config.rules.keys() {
+        if !KNOWN_RULES.contains(&name.as_str()) {
+            return Err(format!("lint.toml: unknown rule [{name}]"));
         }
-        let full: PathBuf = root.join(rel);
-        let src = std::fs::read_to_string(&full).map_err(|e| format!("reading {rel}: {e}"))?;
-        let f = lexer::lex(&src);
-        cache.insert(rel.to_string(), f.clone());
-        Ok(f)
+    }
+    let files = collect_rust_files(root).map_err(|e| format!("walking {root:?}: {e}"))?;
+    let mut lexed: BTreeMap<String, LexedFile> = BTreeMap::new();
+    for rel in &files {
+        let src =
+            std::fs::read_to_string(root.join(rel)).map_err(|e| format!("reading {rel}: {e}"))?;
+        lexed.insert(rel.clone(), lexer::lex(&src));
+    }
+    let ws: Option<Workspace> = if config.rules.keys().any(|r| SEMANTIC_RULES.contains(&r.as_str()))
+    {
+        Some(Workspace::build(root, &lexed)?)
+    } else {
+        None
     };
 
     let mut diagnostics: Vec<Diagnostic> = Vec::new();
     for (rule_name, rc) in &config.rules {
-        let scoped: Vec<&String> = files.iter().filter(|f| rc.applies_to(f)).collect();
+        let scoped: Vec<String> = files.iter().filter(|f| rc.applies_to(f)).cloned().collect();
         match rule_name.as_str() {
             "no-wall-clock"
             | "no-unseeded-rng"
             | "no-panic-hot-path"
-            | "no-unordered-iteration" => {
-                for rel in scoped {
-                    let file = lexed(rel, &mut cache)?;
-                    diagnostics.extend(run_file_rule(rule_name, rc, rel, &file));
+            | "no-unordered-iteration"
+            | "no-float-unordered-reduce" => {
+                for rel in &scoped {
+                    diagnostics.extend(run_file_rule(rule_name, rc, rel, &lexed[rel]));
+                }
+            }
+            "thread-scope-hygiene" => {
+                let ws = ws.as_ref().expect("semantic rule implies workspace");
+                for rel in &scoped {
+                    diagnostics.extend(sem::thread_scope_hygiene(rc, rel, &lexed[rel], ws));
                 }
             }
             "wire-hygiene" => {
-                let mut set = Vec::new();
-                for rel in scoped {
-                    set.push((rel.clone(), lexed(rel, &mut cache)?));
-                }
+                let set: Vec<(String, LexedFile)> =
+                    scoped.iter().map(|rel| (rel.clone(), lexed[rel].clone())).collect();
                 diagnostics.extend(rules::wire_hygiene(rc, &set));
             }
+            "metric-catalog-sync" => {
+                let ws = ws.as_ref().expect("semantic rule implies workspace");
+                diagnostics.extend(sem::metric_catalog_sync(rc, &scoped, &lexed, ws));
+            }
+            "wire-schema-lock" => {
+                let ws = ws.as_ref().expect("semantic rule implies workspace");
+                diagnostics.extend(sem::wire_schema_lock(rc, root, &scoped, ws));
+            }
+            "unused-suppression" => {} // runs after suppression matching below
             other => return Err(format!("lint.toml: unknown rule [{other}]")),
         }
     }
 
     // Drop findings the source explicitly allows: a suppression comment
-    // covers its own line and the line below it.
-    diagnostics.retain(|d| {
-        let Some(file) = cache.get(&d.path) else { return true };
-        !file.suppressions.iter().any(|s| {
-            (s.rule == d.rule || s.rule == "all") && (s.line == d.line || s.line + 1 == d.line)
-        })
-    });
+    // covers its own line and the line below it. Record which suppressions
+    // actually earned their keep — `unused-suppression` audits the rest.
+    let mut used: BTreeSet<(String, usize, String)> = BTreeSet::new();
+    let mut kept: Vec<Diagnostic> = Vec::new();
+    for d in diagnostics {
+        let mut suppressed = false;
+        if let Some(file) = lexed.get(&d.path) {
+            for s in &file.suppressions {
+                if (s.rule == d.rule || s.rule == "all")
+                    && (s.line == d.line || s.line + 1 == d.line)
+                {
+                    used.insert((d.path.clone(), s.line, s.rule.clone()));
+                    suppressed = true;
+                }
+            }
+        }
+        if !suppressed {
+            kept.push(d);
+        }
+    }
+    let mut diagnostics = kept;
+
+    if let Some(rc) = config.rules.get("unused-suppression") {
+        for rel in files.iter().filter(|f| rc.applies_to(f)) {
+            for s in &lexed[rel].suppressions {
+                if s.rule != "all" && !KNOWN_RULES.contains(&s.rule.as_str()) {
+                    diagnostics.push(rules::diag(
+                        rc,
+                        "unused-suppression",
+                        rel,
+                        s.line,
+                        format!("`ec-lint: allow({})` names a rule that does not exist", s.rule),
+                    ));
+                } else if !used.contains(&(rel.clone(), s.line, s.rule.clone())) {
+                    diagnostics.push(rules::diag(
+                        rc,
+                        "unused-suppression",
+                        rel,
+                        s.line,
+                        format!(
+                            "`ec-lint: allow({})` matches no finding on this or the next \
+                             line; remove the stale suppression",
+                            s.rule
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
     diagnostics.sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
     Ok(diagnostics)
 }
@@ -128,6 +233,7 @@ fn run_file_rule(name: &str, rc: &RuleConfig, path: &str, file: &LexedFile) -> V
         "no-unseeded-rng" => rules::no_unseeded_rng(rc, path, file),
         "no-panic-hot-path" => rules::no_panic_hot_path(rc, path, file),
         "no-unordered-iteration" => rules::no_unordered_iteration(rc, path, file),
+        "no-float-unordered-reduce" => sem::no_float_unordered_reduce(rc, path, file),
         _ => Vec::new(),
     }
 }
@@ -143,7 +249,7 @@ mod tests {
         let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
         let toml = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml at repo root");
         let config = LintConfig::parse(&toml).expect("lint.toml parses");
-        assert_eq!(config.rules.len(), 5, "all five rules configured");
+        assert_eq!(config.rules.len(), 10, "all ten rules configured");
         let diags = run(&root, &config).expect("lint run succeeds");
         assert!(
             diags.is_empty(),
@@ -168,6 +274,34 @@ mod tests {
         // Line 2 is covered by the line-1 comment; line 3 is not.
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert_eq!(diags[0].line, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unused_suppressions_are_flagged_and_used_ones_are_not() {
+        let dir = std::env::temp_dir().join(format!("ec-lint-stale-{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("src")).unwrap();
+        std::fs::write(
+            dir.join("src/a.rs"),
+            "// ec-lint: allow(no-wall-clock)\n\
+             use std::time::Instant;\n\
+             // ec-lint: allow(no-wall-clock)\n\
+             fn nothing_to_allow() {}\n\
+             // ec-lint: allow(no-such-rule)\n\
+             fn bad_name() {}\n",
+        )
+        .unwrap();
+        let config = LintConfig::parse(
+            "[no-wall-clock]\nseverity = \"error\"\ninclude = [\"src\"]\n\
+             [unused-suppression]\nseverity = \"error\"\ninclude = [\"src\"]",
+        )
+        .unwrap();
+        let diags = run(&dir, &config).unwrap();
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert_eq!(diags[0].line, 3);
+        assert!(diags[0].message.contains("matches no finding"));
+        assert_eq!(diags[1].line, 5);
+        assert!(diags[1].message.contains("does not exist"));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -7,6 +7,11 @@
 //!
 //! Flags: `--check` (required mode), `--json`, `--root <dir>` (default
 //! `.`), `--config <file>` (default `<root>/lint.toml`).
+//!
+//! With `UPDATE_WIRE_LOCK=1` in the environment, the `wire-schema-lock`
+//! rule rewrites its lockfile from the current sources instead of
+//! checking against it; commit the regenerated lock with the schema
+//! change that motivated it.
 
 use ec_lint::config::LintConfig;
 use ec_lint::diag::Severity;
@@ -97,7 +102,8 @@ fn usage(err: &str) -> ExitCode {
     }
     eprintln!(
         "usage: ec-lint --check [--json] [--root <dir>] [--config <lint.toml>]\n\
-         Runs the workspace determinism lints; exits non-zero on errors."
+         Runs the workspace determinism lints; exits non-zero on errors.\n\
+         UPDATE_WIRE_LOCK=1 regenerates the wire-schema lockfile in place."
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -13,33 +13,37 @@ use std::collections::BTreeSet;
 const UNORDERED_ITER_METHODS: &[&str] =
     &["iter", "iter_mut", "keys", "values", "values_mut", "drain", "into_keys", "into_values"];
 
-fn ident_at(toks: &[Tok], i: usize) -> Option<&str> {
+pub(crate) fn ident_at(toks: &[Tok], i: usize) -> Option<&str> {
     toks.get(i).filter(|t| t.kind == TokKind::Ident).map(|t| t.text.as_str())
 }
 
-fn punct_at(toks: &[Tok], i: usize) -> Option<&str> {
+pub(crate) fn punct_at(toks: &[Tok], i: usize) -> Option<&str> {
     toks.get(i).filter(|t| t.kind == TokKind::Punct).map(|t| t.text.as_str())
 }
 
-fn is_punct(toks: &[Tok], i: usize, p: &str) -> bool {
+pub(crate) fn is_punct(toks: &[Tok], i: usize, p: &str) -> bool {
     punct_at(toks, i) == Some(p)
 }
 
 /// Index of the token matching the `{` at `open` (which must be a `{`),
 /// or `toks.len()` when unbalanced.
-fn matching_brace(toks: &[Tok], open: usize) -> usize {
+pub(crate) fn matching_brace(toks: &[Tok], open: usize) -> usize {
+    matching_delim(toks, open, "{", "}")
+}
+
+/// Index of the token matching the `open_p` delimiter at `open`, or
+/// `toks.len()` when unbalanced. Only the given pair is depth-tracked.
+pub(crate) fn matching_delim(toks: &[Tok], open: usize, open_p: &str, close_p: &str) -> usize {
     let mut depth = 0usize;
     for (i, t) in toks.iter().enumerate().skip(open) {
         if t.kind == TokKind::Punct {
-            match t.text.as_str() {
-                "{" => depth += 1,
-                "}" => {
-                    depth -= 1;
-                    if depth == 0 {
-                        return i;
-                    }
+            if t.text == open_p {
+                depth += 1;
+            } else if t.text == close_p {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
                 }
-                _ => {}
             }
         }
     }
@@ -98,7 +102,13 @@ pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
     mask
 }
 
-fn diag(rc: &RuleConfig, rule: &str, path: &str, line: usize, message: String) -> Diagnostic {
+pub(crate) fn diag(
+    rc: &RuleConfig,
+    rule: &str,
+    path: &str,
+    line: usize,
+    message: String,
+) -> Diagnostic {
     Diagnostic { rule: rule.into(), severity: rc.severity, path: path.into(), line, message }
 }
 
@@ -265,12 +275,15 @@ pub fn no_unordered_iteration(rc: &RuleConfig, path: &str, file: &LexedFile) -> 
 /// parameter), through arbitrary `std::collections::` paths and wrapping
 /// generics.
 fn hash_typed_names(toks: &[Tok], mask: &[bool]) -> BTreeSet<String> {
+    typed_names(toks, mask, &["HashMap", "HashSet"])
+}
+
+/// Binding names declared with any of `types` as their type or initializer
+/// (same backwalk heuristic as [`hash_typed_names`]).
+pub(crate) fn typed_names(toks: &[Tok], mask: &[bool], types: &[&str]) -> BTreeSet<String> {
     let mut names = BTreeSet::new();
     for i in 0..toks.len() {
-        if mask[i]
-            || toks[i].kind != TokKind::Ident
-            || (toks[i].text != "HashMap" && toks[i].text != "HashSet")
-        {
+        if mask[i] || toks[i].kind != TokKind::Ident || !types.contains(&toks[i].text.as_str()) {
             continue;
         }
         // Walk back over the type/path context to the `=` or `:` that ties
@@ -437,7 +450,12 @@ mod tests {
     use crate::lexer::lex;
 
     fn rc() -> RuleConfig {
-        RuleConfig { severity: Severity::Error, include: vec!["".into()], exclude: vec![] }
+        RuleConfig {
+            severity: Severity::Error,
+            include: vec!["".into()],
+            exclude: vec![],
+            lock: None,
+        }
     }
 
     #[test]

@@ -1,0 +1,299 @@
+//! The workspace symbol table: parsed files, crate/module paths, per-file
+//! import maps, and fully-qualified definitions resolved across all crates.
+//!
+//! Resolution is deliberately modest — no trait lookup, no glob expansion,
+//! no method resolution — because the semantic rules only need two
+//! questions answered: *what fully-qualified path does this local name
+//! refer to* (via [`Workspace::resolve`]) and *where is this
+//! fully-qualified item defined* (via [`Workspace::defs`]). That is enough
+//! to tell `exec::run_workers` from an unrelated `run_workers`, or a
+//! `MetricId` import alias from a coincidental identifier.
+
+use crate::lexer::LexedFile;
+use crate::parser::{self, Item, ItemKind, ParsedFile};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One fully-qualified item definition.
+#[derive(Clone, Debug)]
+pub struct SymbolDef {
+    /// File the item is defined in (workspace-relative, `/`-separated).
+    pub path: String,
+    /// 1-based line of the definition.
+    pub line: usize,
+    /// What kind of item it is.
+    pub kind: ItemKind,
+}
+
+/// Parsed files plus cross-crate name resolution.
+#[derive(Clone, Debug, Default)]
+pub struct Workspace {
+    /// Parsed item trees, keyed by workspace-relative path.
+    pub parsed: BTreeMap<String, ParsedFile>,
+    /// Fully-qualified path (`ec_graph::exec::run_workers`) → definition.
+    pub defs: BTreeMap<String, SymbolDef>,
+    /// Per-file module path (`crates/core/src/exec.rs` → `ec_graph::exec`).
+    modules: BTreeMap<String, String>,
+    /// Per-file import map: local name → fully-qualified path.
+    imports: BTreeMap<String, BTreeMap<String, String>>,
+}
+
+impl Workspace {
+    /// Parses every lexed file and builds the symbol table. Crate names
+    /// come from each package's `Cargo.toml` under `root`; files whose
+    /// package cannot be identified (e.g. the repo-root `tests/`) fall
+    /// back to path-derived module names.
+    ///
+    /// # Errors
+    /// A file whose item structure cannot be parsed (unclosed delimiter).
+    pub fn build(root: &Path, files: &BTreeMap<String, LexedFile>) -> Result<Self, String> {
+        let mut ws = Self::default();
+        let mut crate_names: BTreeMap<String, String> = BTreeMap::new();
+        for rel in files.keys() {
+            let parsed = parser::parse(&files[rel]).map_err(|e| format!("{rel}: {e}"))?;
+            let module = module_path(root, rel, &mut crate_names);
+            ws.modules.insert(rel.clone(), module);
+            ws.parsed.insert(rel.clone(), parsed);
+        }
+        for (rel, parsed) in &ws.parsed {
+            let module = &ws.modules[rel];
+            let mut imports = BTreeMap::new();
+            collect_defs(&parsed.items, module, rel, &mut ws.defs, &mut imports);
+            ws.imports.insert(rel.clone(), imports);
+        }
+        Ok(ws)
+    }
+
+    /// The module path of a file (`ec_graph::exec`), when known.
+    pub fn module_of(&self, rel: &str) -> Option<&str> {
+        self.modules.get(rel).map(String::as_str)
+    }
+
+    /// Resolves a bare name used in `rel` to a fully-qualified path:
+    /// first through the file's `use` imports, then as a sibling item of
+    /// the file's own module.
+    pub fn resolve(&self, rel: &str, name: &str) -> Option<String> {
+        if let Some(fq) = self.imports.get(rel).and_then(|m| m.get(name)) {
+            return Some(fq.clone());
+        }
+        let module = self.modules.get(rel)?;
+        let candidate = format!("{module}::{name}");
+        self.defs.contains_key(&candidate).then_some(candidate)
+    }
+
+    /// Local names (including `use … as` aliases) in `rel` that refer to
+    /// the item `target_tail` (a `::`-separated path suffix, e.g.
+    /// `registry::MetricId` or just `MetricId`).
+    pub fn local_names_for(&self, rel: &str, target_tail: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        if let Some(map) = self.imports.get(rel) {
+            for (local, fq) in map {
+                if fq == target_tail || fq.ends_with(&format!("::{target_tail}")) {
+                    out.push(local.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Derives the module path for `rel`, caching crate names per package dir.
+fn module_path(root: &Path, rel: &str, cache: &mut BTreeMap<String, String>) -> String {
+    // Split `<pkg_dir>/src/<mods…>.rs` / `<pkg_dir>/tests/<name>.rs` etc.
+    let parts: Vec<&str> = rel.split('/').collect();
+    let split = parts.iter().position(|p| matches!(*p, "src" | "tests" | "examples" | "benches"));
+    let (pkg_dir, tail) = match split {
+        Some(idx) => (parts[..idx].join("/"), &parts[idx..]),
+        None => (String::new(), &parts[..]),
+    };
+    let crate_name =
+        cache.entry(pkg_dir.clone()).or_insert_with(|| read_crate_name(root, &pkg_dir)).clone();
+    let mut segs = vec![crate_name];
+    // `src/lib.rs`, `src/main.rs`, `tests/<n>.rs` stay at the crate root;
+    // `src/a/b.rs` and `src/a/mod.rs` become `crate::a::b` / `crate::a`.
+    let mods = tail.iter().skip(1); // skip the src/tests/examples component
+    for m in mods {
+        let m = m.strip_suffix(".rs").unwrap_or(m);
+        if matches!(m, "lib" | "main" | "mod") {
+            continue;
+        }
+        if *tail.first().unwrap_or(&"src") != "src" {
+            // Integration tests/examples are their own tiny crates; prefix
+            // them so their items can't shadow library symbols.
+            segs.push(format!("test_{m}"));
+        } else {
+            segs.push(m.to_string());
+        }
+    }
+    segs.join("::")
+}
+
+/// Reads `name = "…"` from `<pkg_dir>/Cargo.toml`, hyphens normalized to
+/// underscores; falls back to the directory name (or `workspace_root`).
+fn read_crate_name(root: &Path, pkg_dir: &str) -> String {
+    let manifest = if pkg_dir.is_empty() {
+        root.join("Cargo.toml")
+    } else {
+        root.join(pkg_dir).join("Cargo.toml")
+    };
+    if let Ok(text) = std::fs::read_to_string(&manifest) {
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(v) = line.strip_prefix("name") {
+                let v = v.trim_start();
+                if let Some(v) = v.strip_prefix('=') {
+                    let v = v.trim().trim_matches('"');
+                    if !v.is_empty() {
+                        return v.replace('-', "_");
+                    }
+                }
+            }
+            if line.starts_with('[') && line != "[package]" {
+                break; // only the [package] header's name counts
+            }
+        }
+    }
+    let fallback = pkg_dir.rsplit('/').next().unwrap_or(pkg_dir);
+    if fallback.is_empty() {
+        "workspace_root".into()
+    } else {
+        fallback.replace('-', "_")
+    }
+}
+
+/// Records item definitions under `module` and accumulates the file's
+/// import map (module-level `use` declarations, `crate::` normalized).
+fn collect_defs(
+    items: &[Item],
+    module: &str,
+    rel: &str,
+    defs: &mut BTreeMap<String, SymbolDef>,
+    imports: &mut BTreeMap<String, String>,
+) {
+    let crate_name = module.split("::").next().unwrap_or(module);
+    for item in items {
+        match item.kind {
+            ItemKind::Use => {
+                for (local, fq) in &item.imports {
+                    if local == "*" {
+                        continue; // globs stay unresolved on purpose
+                    }
+                    let fq = match fq.strip_prefix("crate::") {
+                        Some(tail) => format!("{crate_name}::{tail}"),
+                        None if fq == "crate" => crate_name.to_string(),
+                        None => fq.clone(),
+                    };
+                    imports.insert(local.clone(), fq);
+                }
+            }
+            ItemKind::Mod => {
+                if let Some(name) = &item.name {
+                    let sub = format!("{module}::{name}");
+                    defs.insert(
+                        sub.clone(),
+                        SymbolDef { path: rel.into(), line: item.line, kind: ItemKind::Mod },
+                    );
+                    // Inline-mod children are defined under the submodule,
+                    // but their `use` imports still land in this file's map.
+                    collect_defs(&item.children, &sub, rel, defs, imports);
+                }
+            }
+            ItemKind::Impl => {
+                // Associated items are reachable as `Type::method`.
+                if let Some(ty) = &item.impl_ty {
+                    let base = ty.split('<').next().unwrap_or(ty).trim();
+                    for child in &item.children {
+                        if let Some(name) = &child.name {
+                            defs.insert(
+                                format!("{module}::{base}::{name}"),
+                                SymbolDef { path: rel.into(), line: child.line, kind: child.kind },
+                            );
+                        }
+                    }
+                }
+            }
+            _ => {
+                if let Some(name) = &item.name {
+                    defs.insert(
+                        format!("{module}::{name}"),
+                        SymbolDef { path: rel.into(), line: item.line, kind: item.kind },
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ws_from(files: &[(&str, &str)]) -> Workspace {
+        let map: BTreeMap<String, LexedFile> =
+            files.iter().map(|(p, src)| (p.to_string(), lex(src))).collect();
+        // A root that has no Cargo.tomls: crate names fall back to dir names.
+        Workspace::build(Path::new("/nonexistent-ws-root"), &map).expect("builds")
+    }
+
+    #[test]
+    fn defs_are_fully_qualified_by_module_path() {
+        let ws = ws_from(&[
+            ("crates/core/src/exec.rs", "pub fn run_workers() {}"),
+            ("crates/core/src/lib.rs", "pub mod exec;"),
+        ]);
+        assert!(ws.defs.contains_key("core::exec::run_workers"), "{:?}", ws.defs.keys());
+        assert_eq!(ws.module_of("crates/core/src/exec.rs"), Some("core::exec"));
+    }
+
+    #[test]
+    fn imports_resolve_crate_prefix_and_aliases() {
+        let ws = ws_from(&[
+            (
+                "crates/core/src/engine.rs",
+                "use crate::exec;\nuse ec_trace::registry::MetricId as Id;",
+            ),
+            ("crates/core/src/exec.rs", "pub fn run_workers() {}"),
+        ]);
+        assert_eq!(ws.resolve("crates/core/src/engine.rs", "exec").as_deref(), Some("core::exec"));
+        assert_eq!(
+            ws.resolve("crates/core/src/engine.rs", "Id").as_deref(),
+            Some("ec_trace::registry::MetricId")
+        );
+        assert_eq!(
+            ws.local_names_for("crates/core/src/engine.rs", "MetricId"),
+            vec!["Id".to_string()]
+        );
+    }
+
+    #[test]
+    fn sibling_items_resolve_without_imports() {
+        let ws = ws_from(&[(
+            "crates/core/src/exec.rs",
+            "pub fn run_workers() {}\nfn caller() { run_workers(); }",
+        )]);
+        assert_eq!(
+            ws.resolve("crates/core/src/exec.rs", "run_workers").as_deref(),
+            Some("core::exec::run_workers")
+        );
+    }
+
+    #[test]
+    fn impl_methods_are_reachable_as_type_method() {
+        let ws = ws_from(&[(
+            "crates/comm/src/network.rs",
+            "pub struct SimNetwork;\nimpl SimNetwork { pub fn send(&mut self) {} }",
+        )]);
+        assert!(ws.defs.contains_key("comm::network::SimNetwork::send"));
+    }
+
+    #[test]
+    fn integration_tests_get_their_own_namespace() {
+        let ws = ws_from(&[("tests/determinism_suite.rs", "fn helper() {}")]);
+        assert!(
+            ws.defs.keys().any(|k| k.contains("test_determinism_suite")),
+            "{:?}",
+            ws.defs.keys()
+        );
+    }
+}

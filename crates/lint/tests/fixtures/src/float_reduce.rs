@@ -1,0 +1,42 @@
+//! Seeded `no-float-unordered-reduce` violations. Never compiled — only
+//! lexed by the golden test.
+
+use std::collections::HashMap;
+use std::sync::mpsc::Receiver;
+
+/// Positive: float sum over a hash container visits values in
+/// process-random order, and FP addition is not associative.
+pub fn bad_sum(weights: &HashMap<u32, f64>) -> f64 {
+    weights.values().sum()
+}
+
+/// Positive: `fold` is just a spelled-out reduce.
+pub fn bad_fold(weights: &HashMap<u32, f64>) -> f64 {
+    weights.values().fold(0.0, |acc, x| acc + x)
+}
+
+/// Positive: mpsc receivers yield in thread-completion order.
+pub fn bad_channel_sum(rx: Receiver<f32>) -> f32 {
+    rx.iter().sum()
+}
+
+/// Suppressed: a documented exception stays quiet.
+pub fn tolerated(weights: &HashMap<u32, f64>) -> f64 {
+    // ec-lint: allow(no-float-unordered-reduce)
+    weights.values().sum()
+}
+
+/// Clean: integer addition commutes exactly, the turbofish proves it.
+pub fn good_int_sum(counts: &HashMap<u32, u64>) -> u64 {
+    counts.values().copied().sum::<u64>()
+}
+
+/// Clean: slices reduce in index order.
+pub fn good_ordered_sum(v: &[f64]) -> f64 {
+    v.iter().sum()
+}
+
+/// Clean: lookups and length reads never depend on iteration order.
+pub fn good_lookup(weights: &HashMap<u32, f64>) -> usize {
+    weights.len()
+}

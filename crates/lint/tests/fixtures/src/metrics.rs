@@ -1,0 +1,9 @@
+//! Seeded `metric-catalog-sync` catalog (deliberately out of sync with
+//! `metrics_use.rs`). Never compiled — only lexed and parsed.
+
+metric_catalog! {
+    Alive => { "fixture.alive", Counter, "events", [epoch] },
+    DeadMetric => { "fixture.dead", Gauge, "units", [epoch] },
+    // ec-lint: allow(metric-catalog-sync)
+    Tolerated => { "fixture.tolerated", Counter, "events", [epoch] },
+}

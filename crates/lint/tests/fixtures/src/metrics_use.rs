@@ -1,0 +1,9 @@
+//! Record sites for the fixture catalog in `metrics.rs`: one declared id,
+//! one undeclared. Never compiled — only lexed and parsed.
+
+use crate::metrics::MetricId;
+
+pub fn record(sink: &mut Sink, lbl: Labels) {
+    sink.add(MetricId::Alive, lbl, 1);
+    sink.add(MetricId::Ghost, lbl, 1);
+}

@@ -1,0 +1,10 @@
+//! Clean `thread-scope-hygiene` fixture: `run_workers` here resolves
+//! through the symbol table to a local pool helper, not
+//! `exec::run_workers`, so the rule skips the whole call — even though the
+//! closure contains a send.
+
+use crate::pool::run_workers;
+
+pub fn unrelated_helper(n: usize) {
+    run_workers(n, |w| side_channel.send(w));
+}

@@ -1,0 +1,16 @@
+//! Seeded `unused-suppression` violations. Never compiled — only lexed.
+
+/// Clean: this suppression earns its keep (the `Instant` below would
+/// otherwise be a `no-wall-clock` finding).
+pub fn sanctioned_timer() {
+    // ec-lint: allow(no-wall-clock)
+    let _t = std::time::Instant::now();
+}
+
+/// Positive: nothing on this or the next line fires any rule.
+// ec-lint: allow(no-wall-clock)
+pub fn stale_escape() {}
+
+/// Positive: names a rule that does not exist.
+// ec-lint: allow(no-flux-capacitor)
+pub fn misspelled_escape() {}

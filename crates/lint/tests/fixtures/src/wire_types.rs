@@ -1,0 +1,30 @@
+//! Seeded `wire-schema-lock` violations against the fixture `wire.lock`.
+//! Never compiled — only lexed and parsed.
+
+use serde::{Deserialize, Serialize};
+
+/// Clean: matches its lock entry exactly.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct StableHeader {
+    pub epoch: u32,
+    pub len: u32,
+}
+
+/// Positive: the lock says `ratio: f32`; widening it changes every byte
+/// on the simulated wire.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct DriftedStats {
+    pub ratio: f64,
+}
+
+/// Positive: a new wire type with no lock entry.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct Unlocked {
+    pub tag: u8,
+}
+
+/// Clean: not a wire type, so not fingerprinted at all.
+#[derive(Clone, Debug)]
+pub struct ScratchState {
+    pub cursor: usize,
+}

@@ -1,0 +1,125 @@
+//! Parser totality tests: the item parser must accept every `.rs` file in
+//! the workspace (the semantic rules refuse to run on a parse error, so a
+//! file the parser chokes on is a blind spot), and its top-level item
+//! spans must tile the token stream exactly — no token unaccounted for,
+//! no token claimed twice.
+
+use ec_lint::lexer::lex;
+use ec_lint::parser::{parse, ParsedFile};
+use proptest::prelude::*;
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Asserts the top-level spans of `parsed` tile `[0, n_tokens)` with no
+/// gaps or overlaps. This is the invariant the suppression scope checks
+/// and the semantic rules both lean on.
+fn assert_tiles(parsed: &ParsedFile, n_tokens: usize, what: &str) {
+    let mut cursor = 0usize;
+    for item in &parsed.items {
+        assert_eq!(
+            item.span.0, cursor,
+            "{what}: gap or overlap before {:?} `{:?}` at line {}",
+            item.kind, item.name, item.line
+        );
+        assert!(item.span.1 >= item.span.0, "{what}: negative span on `{:?}`", item.name);
+        cursor = item.span.1;
+    }
+    assert_eq!(cursor, n_tokens, "{what}: trailing tokens not covered by any item");
+}
+
+/// Every `.rs` file in the workspace — crates, shims, integration tests,
+/// fixtures — must parse. The fixture sources are lint bait, not valid
+/// programs, which makes them exactly the kind of input a tolerant
+/// parser must still get through.
+#[test]
+fn every_workspace_file_parses_and_tiles() {
+    let root = workspace_root();
+    let files = ec_lint::collect_rust_files(&root).unwrap();
+    assert!(files.len() > 50, "workspace walk looks broken: only {} files", files.len());
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel)).unwrap();
+        let lexed = lex(&src);
+        let parsed = parse(&lexed).unwrap_or_else(|e| panic!("{rel} failed to parse: {e}"));
+        assert_tiles(&parsed, lexed.tokens.len(), rel);
+    }
+}
+
+/// Fragments the soup generator stitches together. Deliberately heavy on
+/// the constructs that have bitten hand-rolled parsers: unbalanced-looking
+/// generics, lifetimes, nested closures, macro invocations with every
+/// delimiter, attributes, and raw trailing punctuation.
+const FRAGMENTS: &[&str] = &[
+    "fn f() { }",
+    "pub fn g<T: Clone>(x: &mut T) -> Vec<u8> { x.clone(); vec![] }",
+    "struct S { a: u32, b: Vec<Option<u8>> }",
+    "pub struct T(pub u8, String);",
+    "enum E { A, B(u8), C { x: i64 } }",
+    "impl S { fn m(&self) -> u32 { self.a } }",
+    "impl<T> Drop for W<T> { fn drop(&mut self) { } }",
+    "use a::{b, c::d as e, f::*};",
+    "mod m { pub fn inner() { } }",
+    "trait Tr { fn req(&self); }",
+    "macro_rules! mk { ($x:expr) => { $x + 1 }; }",
+    "metric_catalog! { A => \"a\", B => \"b\" }",
+    "println!(\"{} {:?}\", 1, (2, 3));",
+    "#[derive(Clone, Serialize)]",
+    "#[cfg(test)]",
+    "let c = |a: u32, b| a + b;",
+    "let s = \"string with } and { and // not a comment\";",
+    "let ch = '}';",
+    "let lt: &'static str = \"x\";",
+    "// line comment with fn struct impl",
+    "/* block comment { unbalanced */",
+    "let shifted = x >> 2 < y;",
+    "let t = a::<Vec<u8>>::new();",
+    "where T: Iterator<Item = (u8, u8)>",
+    "const N: usize = 4;",
+    "static NAME: &str = \"n\";",
+    "type Alias = Result<(), String>;",
+    "extern crate serde;",
+    "; ; ,",
+    "-> . :: # ! ? @",
+    "union U { f: f32, i: u32 }",
+    "unsafe impl Send for S { }",
+    "pub(crate) fn vis() { }",
+    "if let Some(x) = opt { x } else { 0 }",
+    "match v { 0 => 1, _ => 2 }",
+    "for i in 0..n { acc += i; }",
+    "async fn later() { }",
+    "r#fn",
+    "1_000_000u64 0xFF 1.5e-3",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random concatenations of the fragments — including orderings that
+    /// are nowhere near valid Rust — must never panic the parser, and
+    /// whenever it accepts the input its spans must still tile.
+    #[test]
+    fn fragment_soup_never_panics(
+        picks in proptest::collection::vec(0usize..40, 0..24),
+    ) {
+        let src: String = picks
+            .iter()
+            .map(|&i| FRAGMENTS[i % FRAGMENTS.len()])
+            .collect::<Vec<_>>()
+            .join("\n");
+        let lexed = lex(&src);
+        if let Ok(parsed) = parse(&lexed) {
+            assert_tiles(&parsed, lexed.tokens.len(), "soup");
+        }
+    }
+
+    /// Arbitrary byte soup mapped into ASCII: the parser may reject it
+    /// (unclosed delimiters), but must return rather than panic or hang.
+    #[test]
+    fn ascii_soup_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let src: String = bytes.iter().map(|&b| (b % 0x60 + 0x20) as char).collect();
+        let lexed = lex(&src);
+        let _ = parse(&lexed);
+    }
+}

@@ -24,7 +24,7 @@ cargo fmt --all --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== ec-lint (determinism / panic / wire invariants) =="
+echo "== ec-lint (determinism / panic / wire-schema invariants) =="
 cargo run -q -p ec-lint -- --check
 
 echo "== cargo test =="
