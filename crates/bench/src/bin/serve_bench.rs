@@ -1,0 +1,146 @@
+//! **Serving benchmark** — p50/p99 latency and QPS per worker for the
+//! checkpoint-backed inference service (`ec-serve`).
+//!
+//! For each dataset the bench trains a small GCN for a few epochs, writes
+//! the checkpoint to disk, reloads it through the engine-free
+//! [`ec_graph::infer::ModelWeights`] path (the deployment scenario: the
+//! server never holds a trainer), and then drives the service with the
+//! seeded closed-loop load generator across the grid
+//!
+//! `{cache on, cache off} × {no faults, one 2× straggler}`.
+//!
+//! Every latency is a *simulated* quantity (modeled network + modeled
+//! compute under `set_deterministic_timing`), so the emitted
+//! `BENCH_serving.json` is byte-identical across runs of one config — CI
+//! archives it as an artifact and diffs catch regressions.
+//!
+//! Usage: `serve_bench [datasets=cora,pubmed] [epochs=3] [workers=4]
+//! [requests=600] [clients=16] [scale=0.2] [bits=0] [seed=17]
+//! [out=BENCH_serving.json]`
+
+use ec_bench::{bench_dataset, emit, Args};
+use ec_faults::FaultPlan;
+use ec_graph::config::TrainingConfig;
+use ec_graph::engine::DistributedEngine;
+use ec_graph::infer::ModelWeights;
+use ec_graph_data::{normalize, DatasetSpec};
+use ec_partition::{hash::HashPartitioner, Partitioner};
+use ec_serve::{run_closed_loop, InferenceService, ServeConfig, WorkloadConfig};
+use std::sync::Arc;
+
+fn main() {
+    // Latencies must be pure functions of the config: zero out measured
+    // host time everywhere (same discipline as the determinism suite).
+    ec_comm::set_deterministic_timing(true);
+    let args = Args::from_env();
+    let datasets = args.get_str("datasets", "cora,pubmed");
+    let epochs: usize = args.get("epochs", 3);
+    let workers: usize = args.get("workers", 4);
+    let requests: u64 = args.get("requests", 600);
+    let clients: usize = args.get("clients", 16);
+    let scale: f64 = args.get("scale", 0.2);
+    let bits: u8 = args.get("bits", 0);
+    let seed: u64 = args.get("seed", 17);
+    let out_path = args.get_str("out", "BENCH_serving.json");
+
+    println!("== serving benchmark ({requests} requests, {workers} workers) ==");
+    let ckpt_dir = std::env::temp_dir().join(format!("ec_serve_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&ckpt_dir).expect("create checkpoint dir");
+
+    let mut rows = Vec::new();
+    for ds in datasets.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let spec = DatasetSpec::all().into_iter().find(|s| s.name == ds).expect("unknown dataset");
+        let data = Arc::new(bench_dataset(&spec, scale, 7));
+        let partition = Arc::new(HashPartitioner::default().partition(&data.graph, workers));
+        let adj = Arc::new(normalize::gcn_normalized_adjacency(&data.graph));
+        let adjs = vec![adj; 2];
+        let config = TrainingConfig {
+            dims: ec_bench::paper_dims(&data, ec_bench::bench_hidden(&spec), 2),
+            num_workers: workers,
+            max_epochs: epochs,
+            seed: 3,
+            ..TrainingConfig::defaults(data.feature_dim(), data.num_classes)
+        };
+        let model_kind = config.model;
+        let mut engine =
+            DistributedEngine::new(Arc::clone(&data), adjs.clone(), (*partition).clone(), config);
+        for _ in 0..epochs {
+            engine.run_epoch();
+        }
+        // Deployment path: serve from the on-disk checkpoint, not from the
+        // (dropped) trainer.
+        let ckpt = ckpt_dir.join(format!("{ds}.ckpt"));
+        engine.save_checkpoint(&ckpt).expect("save checkpoint");
+        drop(engine);
+        let model = ModelWeights::load(&ckpt, model_kind).expect("load checkpoint");
+
+        for (cache_label, cache_rows, pinned_rows) in
+            [("cache_on", 256usize, 32usize), ("cache_off", 0, 0)]
+        {
+            for (fault_label, faults) in [
+                ("no_faults", FaultPlan::none()),
+                ("straggler", FaultPlan::none().with_straggler(0, 2.0)),
+            ] {
+                let mut sc = ServeConfig::defaults(workers);
+                sc.cache_rows = cache_rows;
+                sc.pinned_rows = pinned_rows;
+                sc.faults = faults;
+                if bits > 0 {
+                    sc.fetch_bits = Some(bits);
+                }
+                let mut svc = InferenceService::new(
+                    model.clone(),
+                    Arc::clone(&data),
+                    adjs.clone(),
+                    Arc::clone(&partition),
+                    sc,
+                );
+                let workload = WorkloadConfig {
+                    clients,
+                    total_requests: requests,
+                    seed,
+                    ..WorkloadConfig::defaults()
+                };
+                let report = run_closed_loop(&mut svc, &workload);
+                let qps: Vec<String> =
+                    report.per_worker.iter().map(|w| format!("{:.0}", w.qps)).collect();
+                emit(
+                    "serve_bench",
+                    &format!(
+                        "{ds:<8} {cache_label:<9} {fault_label:<9} p50 {:>7.3}ms  p99 {:>7.3}ms  \
+                         qps/worker [{}]  fetched {:.1} KB",
+                        report.latency_p50_s * 1e3,
+                        report.latency_p99_s * 1e3,
+                        qps.join(", "),
+                        report.fetch_bytes as f64 / 1e3,
+                    ),
+                    serde_json::json!({
+                        "dataset": ds,
+                        "cache": cache_label,
+                        "faults": fault_label,
+                        "p50_ms": report.latency_p50_s * 1e3,
+                        "p99_ms": report.latency_p99_s * 1e3,
+                    }),
+                );
+                let mut row = report.to_json();
+                if let serde_json::Value::Object(fields) = &mut row {
+                    fields.push(("cache".to_string(), serde_json::json!(cache_label)));
+                    fields.push(("faults".to_string(), serde_json::json!(fault_label)));
+                }
+                rows.push(row);
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+
+    let doc = serde_json::json!({
+        "experiment": "serve_bench",
+        "workers": workers,
+        "requests": requests,
+        "clients": clients,
+        "seed": seed,
+        "grid": rows,
+    });
+    std::fs::write(&out_path, doc.to_string()).expect("write BENCH_serving.json");
+    println!("wrote {out_path}");
+}

@@ -339,6 +339,24 @@ impl DistributedEngine {
         &self.config
     }
 
+    /// The dataset being trained on.
+    pub fn data(&self) -> &Arc<AttributedGraph> {
+        &self.data
+    }
+
+    /// The per-layer normalized adjacencies.
+    pub fn adjs(&self) -> &[Arc<CsrMatrix>] {
+        &self.adjs
+    }
+
+    /// Detaches the current model parameters as a read-only
+    /// [`crate::infer::ModelWeights`] — the inference entry point shared by
+    /// [`Self::evaluate`] and the `ec-serve` serving layer. Pure forward
+    /// queries never need a (mutable) training engine.
+    pub fn inference_model(&self) -> crate::infer::ModelWeights {
+        crate::infer::ModelWeights::from_parts(self.config.model, self.ps.weights())
+    }
+
     /// Current epoch counter (number of completed epochs).
     pub fn epochs_run(&self) -> usize {
         self.epoch
@@ -1073,25 +1091,15 @@ impl DistributedEngine {
     }
 
     /// Full-graph forward pass with the current weights (exact, no
-    /// compression — evaluation is out-of-band).
+    /// compression — evaluation is out-of-band). Delegates to the shared
+    /// read-only [`crate::infer::ModelWeights`] kernels, so this is
+    /// bit-identical to what a serving process computes from a checkpoint
+    /// of the same weights.
     pub fn forward_global(&self) -> Matrix {
-        let num_layers = self.config.num_layers();
-        let sage = self.config.model == ModelKind::Sage;
         // Evaluation runs outside the worker fan-out, so the full machine
         // budget (kernel_threads = 0 → auto) is available to the kernels.
         let kt = self.config.compute.kernel_threads;
-        let mut h = self.data.features.clone();
-        for l in 0..num_layers {
-            let (w, b) = self.ps.pull(l);
-            let xw = parallel::matmul(&h, w, kt);
-            let mut z = parallel::spmm(&self.adjs[l], &xw, kt);
-            if sage {
-                ops::add_assign(&mut z, &parallel::matmul(&h, self.ps.pull(num_layers + l).0, kt));
-            }
-            z = ops::add_bias(&z, b);
-            h = if l + 1 < num_layers { activations::relu(&z) } else { z };
-        }
-        h
+        self.inference_model().forward(&self.adjs, &self.data.features, kt)
     }
 }
 

@@ -30,6 +30,10 @@
 //!   ML-centered (AliGraph-FG / AGL) systems, and the DistDGL-like
 //!   online-sampling trainer;
 //! * [`cost_model`] — the analytic Table II cost comparison;
+//! * [`infer`] — read-only inference: [`infer::ModelWeights`] detaches
+//!   trained weights from the engine (or loads them straight from a
+//!   checkpoint) and owns the forward kernels that `evaluate()` and the
+//!   `ec-serve` serving layer share;
 //! * [`report`] — experiment result records shared by the bench harness;
 //! * [`wire`] — concrete serialization for every vertex message (the
 //!   gRPC/protobuf stand-in), with tests proving the engine's analytic
@@ -43,6 +47,7 @@ pub mod cost_model;
 pub mod engine;
 pub mod exec;
 pub mod fp;
+pub mod infer;
 pub mod report;
 pub mod sampling;
 pub mod trainer;

@@ -1,0 +1,199 @@
+//! Per-worker embedding cache: a deterministic LRU over fetched remote
+//! rows plus a pinned hot set that eviction never touches.
+//!
+//! Determinism: recency is a monotone logical counter bumped per lookup,
+//! and both directions of the LRU mapping live in `BTreeMap`s, so two runs
+//! that issue the same lookups evict the same rows in the same order — no
+//! wall clock, no hash-order iteration.
+//!
+//! Coherence: every entry is implicitly tagged with the store version the
+//! whole cache is at; [`EmbeddingCache::reset_to_version`] drops everything
+//! when the checkpoint refreshes. There is no per-entry staleness — a cache
+//! either serves one version or is empty (DESIGN.md §10).
+
+use std::collections::BTreeMap;
+
+/// LRU + pinned-hot-set cache of layer-`L−1` embedding rows.
+#[derive(Clone, Debug)]
+pub struct EmbeddingCache {
+    /// Max resident LRU rows (pinned rows do not count). 0 disables the
+    /// LRU part entirely; pinning still works.
+    capacity: usize,
+    /// Store version the resident rows belong to.
+    version: u32,
+    /// Rows eviction never touches (re-populated on refresh).
+    pinned: BTreeMap<u32, Vec<f32>>,
+    /// id → (recency stamp, row).
+    rows: BTreeMap<u32, (u64, Vec<f32>)>,
+    /// recency stamp → id (the eviction order).
+    lru: BTreeMap<u64, u32>,
+    /// Logical clock; strictly increases per touch.
+    tick: u64,
+    /// Lookups answered from `pinned` or `rows`.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Rows evicted to make room.
+    pub evictions: u64,
+}
+
+impl EmbeddingCache {
+    /// A cache holding at most `capacity` LRU rows.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            version: 0,
+            pinned: BTreeMap::new(),
+            rows: BTreeMap::new(),
+            lru: BTreeMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Store version the resident rows belong to.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Resident LRU rows (excluding pinned).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no LRU rows are resident.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of pinned rows.
+    pub fn pinned_len(&self) -> usize {
+        self.pinned.len()
+    }
+
+    /// Invalidates *everything* — LRU rows and pinned rows — and moves the
+    /// cache to `version`. Called on checkpoint refresh; the caller re-pins
+    /// the hot set afterwards (and pays the fetch traffic for it).
+    pub fn reset_to_version(&mut self, version: u32) {
+        self.version = version;
+        self.pinned.clear();
+        self.rows.clear();
+        self.lru.clear();
+    }
+
+    /// Pins `row` for `id`: always resident, never evicted, not counted
+    /// against `capacity`. A pinned id shadows any LRU entry.
+    pub fn pin(&mut self, id: u32, row: Vec<f32>) {
+        if let Some((stamp, _)) = self.rows.remove(&id) {
+            self.lru.remove(&stamp);
+        }
+        self.pinned.insert(id, row);
+    }
+
+    /// Looks `id` up, bumping its recency and the hit/miss counters.
+    pub fn get(&mut self, id: u32) -> Option<&[f32]> {
+        if self.pinned.contains_key(&id) {
+            self.hits += 1;
+            return self.pinned.get(&id).map(Vec::as_slice);
+        }
+        let Some(entry) = self.rows.get_mut(&id) else {
+            self.misses += 1;
+            return None;
+        };
+        self.hits += 1;
+        self.tick += 1;
+        self.lru.remove(&entry.0);
+        entry.0 = self.tick;
+        self.lru.insert(self.tick, id);
+        Some(entry.1.as_slice())
+    }
+
+    /// Inserts a fetched row, evicting the least-recently-used row when at
+    /// capacity. A `capacity` of 0 makes this a no-op; re-inserting an id
+    /// refreshes its payload and recency.
+    pub fn insert(&mut self, id: u32, row: Vec<f32>) {
+        if self.capacity == 0 || self.pinned.contains_key(&id) {
+            return;
+        }
+        self.tick += 1;
+        if let Some((stamp, _)) = self.rows.remove(&id) {
+            self.lru.remove(&stamp);
+        } else if self.rows.len() >= self.capacity {
+            // Oldest stamp = first key in the recency map.
+            if let Some((&stamp, &victim)) = self.lru.iter().next() {
+                self.lru.remove(&stamp);
+                self.rows.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.rows.insert(id, (self.tick, row));
+        self.lru.insert(self.tick, id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(v: f32) -> Vec<f32> {
+        vec![v; 3]
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = EmbeddingCache::new(2);
+        c.insert(1, row(1.0));
+        c.insert(2, row(2.0));
+        assert!(c.get(1).is_some()); // 1 is now the most recent
+        c.insert(3, row(3.0)); // evicts 2
+        assert!(c.get(2).is_none());
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn pinned_rows_survive_eviction_pressure() {
+        let mut c = EmbeddingCache::new(1);
+        c.pin(7, row(7.0));
+        for i in 0..10 {
+            c.insert(i, row(i as f32));
+        }
+        assert!(c.get(7).is_some(), "pinned row must never be evicted");
+        assert_eq!(c.len(), 1, "LRU part stays within capacity");
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_lru_but_not_pinning() {
+        let mut c = EmbeddingCache::new(0);
+        c.insert(1, row(1.0));
+        assert!(c.get(1).is_none());
+        c.pin(2, row(2.0));
+        assert!(c.get(2).is_some());
+    }
+
+    #[test]
+    fn reset_drops_everything_and_moves_the_version() {
+        let mut c = EmbeddingCache::new(4);
+        c.insert(1, row(1.0));
+        c.pin(2, row(2.0));
+        c.reset_to_version(5);
+        assert_eq!(c.version(), 5);
+        assert!(c.is_empty());
+        assert_eq!(c.pinned_len(), 0);
+        assert!(c.get(1).is_none());
+        assert!(c.get(2).is_none());
+    }
+
+    #[test]
+    fn reinsert_refreshes_payload() {
+        let mut c = EmbeddingCache::new(2);
+        c.insert(1, row(1.0));
+        c.insert(1, row(9.0));
+        assert_eq!(c.get(1), Some(row(9.0).as_slice()));
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! # `ec-serve` — checkpoint-backed inference over the partitioned store
+//!
+//! Training produces a checkpoint; this crate serves it. The north-star
+//! workload ("serve heavy traffic from millions of users") is read-mostly,
+//! latency-bound and cache-friendly — a different regime from training —
+//! and EC-Graph's compressed wire machinery is exactly what keeps the
+//! cross-partition embedding fetches cheap at serve time.
+//!
+//! The pieces, mirroring the training stack's layering:
+//!
+//! * [`store`] — the partitioned [`store::EmbeddingStore`]: materialized
+//!   layer-`L−1` activations, version-tagged, rebuilt per checkpoint via
+//!   the read-only [`ec_graph::infer::ModelWeights`] forward path;
+//! * [`cache`] — per-worker deterministic LRU + pinned-hot-set
+//!   [`cache::EmbeddingCache`] over fetched remote rows;
+//! * [`wire`] — the fetch protocol ([`wire::ServeRequest`] /
+//!   [`wire::ServeReply`]), per-row quantized so reconstruction does not
+//!   depend on request batching (the cache-consistency property);
+//! * [`service`] — [`service::InferenceService`]: batched per-vertex
+//!   query answering over [`ec_comm::SimNetwork`], byte-identical to the
+//!   full-graph forward pass in exact-fetch mode;
+//! * [`loadgen`] — seeded closed-loop load generation (Zipf popularity,
+//!   bursty think times) driving the service through a deterministic
+//!   discrete-event loop;
+//! * [`report`] — the [`report::ServeReport`] with p50/p99 latency and
+//!   QPS per worker, emitted as canonical JSON by `serve_bench`.
+//!
+//! Everything is deterministic under `ec_comm::set_deterministic_timing`:
+//! request latencies are *simulated* quantities (modeled network time +
+//! modeled compute), so two runs of one config produce byte-identical
+//! reports — the same discipline the training engine follows.
+
+pub mod cache;
+pub mod loadgen;
+pub mod report;
+pub mod service;
+pub mod store;
+pub mod wire;
+
+pub use cache::EmbeddingCache;
+pub use loadgen::{run_closed_loop, WorkloadConfig};
+pub use report::ServeReport;
+pub use service::{BatchCost, InferenceService};
+pub use store::EmbeddingStore;
+pub use wire::{ServeReply, ServeRequest};
+
+use ec_comm::NetworkModel;
+use ec_faults::FaultPlan;
+
+/// Serving-side configuration: batching, cache and cost-model knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Serving workers (must equal the partition's part count).
+    pub num_workers: usize,
+    /// Dispatch a batch as soon as this many requests are pending.
+    pub max_batch: usize,
+    /// … or as soon as the oldest pending request has waited this long
+    /// (simulated seconds).
+    pub max_delay_s: f64,
+    /// LRU capacity (rows) of each worker's embedding cache; 0 disables
+    /// caching of fetched rows.
+    pub cache_rows: usize,
+    /// Remote rows each worker pins (prefetches) per checkpoint install,
+    /// picked by descending in-edge degree.
+    pub pinned_rows: usize,
+    /// `None` ships exact `f32` rows (serving answers are then
+    /// bit-identical to the full-graph forward pass); `Some(b)` quantizes
+    /// each fetched row to `b` bits with a per-row range.
+    pub fetch_bits: Option<u8>,
+    /// α–β model of the serving network.
+    pub network: NetworkModel,
+    /// Fault plan injected into the serving network (stragglers, outages).
+    pub faults: FaultPlan,
+    /// Kernel threads for store (re)materialization; 0 = auto.
+    pub kernel_threads: usize,
+    /// Modeled seconds per floating-point operation of the final-layer
+    /// per-request compute (the serving analog of the training engine's
+    /// measured compute blocks — modeled so latencies are deterministic).
+    pub secs_per_flop: f64,
+    /// Fixed modeled overhead per dispatched batch (scheduling, kernel
+    /// launch) in seconds.
+    pub batch_overhead_s: f64,
+    /// Telemetry recording level for serving metrics.
+    pub telemetry: ec_trace::TelemetryConfig,
+}
+
+impl ServeConfig {
+    /// Defaults for `num_workers` workers: batches of up to 8 requests or
+    /// 2 ms, a 256-row cache with 32 pinned rows, exact fetches, a
+    /// gigabit network and a 5 GFLOP/s per-worker serving budget.
+    pub fn defaults(num_workers: usize) -> Self {
+        Self {
+            num_workers,
+            max_batch: 8,
+            max_delay_s: 2e-3,
+            cache_rows: 256,
+            pinned_rows: 32,
+            fetch_bits: None,
+            network: NetworkModel::gigabit_ethernet(),
+            faults: FaultPlan::none(),
+            kernel_threads: 0,
+            secs_per_flop: 2e-10,
+            batch_overhead_s: 20e-6,
+            telemetry: ec_trace::TelemetryConfig::default(),
+        }
+    }
+
+    /// Checks the knobs for consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_workers == 0 {
+            return Err("need at least one serving worker".into());
+        }
+        if self.max_batch == 0 {
+            return Err("max_batch must be at least 1".into());
+        }
+        // Written positively so NaN fails the check too.
+        let delay_ok = self.max_delay_s.is_finite() && self.max_delay_s >= 0.0;
+        if !delay_ok {
+            return Err(format!("max_delay_s {} must be finite and >= 0", self.max_delay_s));
+        }
+        if let Some(bits) = self.fetch_bits {
+            if bits == 0 || bits > ec_compress::quantize::MAX_BITS {
+                return Err(format!("fetch_bits {bits} out of range 1..=16"));
+            }
+        }
+        let cost_ok = self.secs_per_flop > 0.0 && self.batch_overhead_s >= 0.0;
+        if !cost_ok {
+            return Err("serving cost model must be positive".into());
+        }
+        self.faults.validate()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(ServeConfig::defaults(4).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_knobs() {
+        let mut c = ServeConfig::defaults(4);
+        c.max_batch = 0;
+        assert!(c.validate().is_err());
+        let mut c = ServeConfig::defaults(4);
+        c.fetch_bits = Some(0);
+        assert!(c.validate().is_err());
+        let mut c = ServeConfig::defaults(4);
+        c.fetch_bits = Some(17);
+        assert!(c.validate().is_err());
+        let mut c = ServeConfig::defaults(0);
+        assert!(c.validate().is_err());
+        c.num_workers = 2;
+        c.max_delay_s = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,150 @@
+//! The partitioned embedding store: each worker's shard of the
+//! materialized layer-`L−1` activations `H^{L-1}`.
+//!
+//! At checkpoint (re)load the store runs the shared read-only forward pass
+//! ([`ModelWeights::forward_through`]) up to the last hidden layer and
+//! keeps the result, version-tagged. Per-vertex queries then only compute
+//! the *final* layer — a one-row SpMM over the vertex's in-neighborhood —
+//! pulling neighbor rows from the local shard, the worker's cache, or the
+//! owning worker over the network.
+//!
+//! As everywhere in this codebase the cluster is simulated in-process: the
+//! store holds the full matrix, and *ownership* is an access discipline
+//! enforced by the service (a worker only reads rows it owns; everything
+//! else moves through [`crate::wire`] messages whose bytes are charged to
+//! the [`ec_comm::SimNetwork`]).
+
+use ec_graph::infer::ModelWeights;
+use ec_graph_data::AttributedGraph;
+use ec_partition::Partition;
+use ec_tensor::{CsrMatrix, Matrix};
+use std::sync::Arc;
+
+/// Version-tagged materialization of `H^{L-1}`, sharded by the partition.
+#[derive(Clone, Debug)]
+pub struct EmbeddingStore {
+    version: u32,
+    hidden: Matrix,
+    partition: Arc<Partition>,
+}
+
+impl EmbeddingStore {
+    /// Materializes the store for `model` at version 0.
+    pub fn build(
+        model: &ModelWeights,
+        adjs: &[Arc<CsrMatrix>],
+        data: &AttributedGraph,
+        partition: Arc<Partition>,
+        kernel_threads: usize,
+    ) -> Self {
+        let hidden =
+            model.forward_through(adjs, &data.features, model.num_layers() - 1, kernel_threads);
+        Self { version: 0, hidden, partition }
+    }
+
+    /// Re-materializes the store for refreshed weights, bumping the
+    /// version. Every consumer holding rows of the old version must drop
+    /// them (the service resets all caches).
+    pub fn refresh(
+        &mut self,
+        model: &ModelWeights,
+        adjs: &[Arc<CsrMatrix>],
+        data: &AttributedGraph,
+        kernel_threads: usize,
+    ) {
+        self.hidden =
+            model.forward_through(adjs, &data.features, model.num_layers() - 1, kernel_threads);
+        self.version += 1;
+    }
+
+    /// Current store version (bumped once per refresh).
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Number of vertices materialized.
+    pub fn num_vertices(&self) -> usize {
+        self.hidden.rows()
+    }
+
+    /// Hidden dimensionality of the stored rows.
+    pub fn dim(&self) -> usize {
+        self.hidden.cols()
+    }
+
+    /// The worker owning vertex `v`'s row.
+    pub fn owner(&self, v: usize) -> usize {
+        self.partition.part_of(v)
+    }
+
+    /// The partition the shards follow.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Vertex `v`'s layer-`L−1` row. Callers uphold the ownership
+    /// discipline: the service only calls this for rows the acting worker
+    /// owns (or on the owner's behalf when building a reply).
+    pub fn row(&self, v: usize) -> &[f32] {
+        self.hidden.row(v)
+    }
+
+    /// The requested rows stacked into a reply payload, in request order.
+    pub fn gather(&self, ids: &[u32]) -> Matrix {
+        let idx: Vec<usize> = ids.iter().map(|&v| v as usize).collect();
+        self.hidden.gather_rows(&idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_graph_data::{normalize, DatasetSpec};
+    use ec_partition::{hash::HashPartitioner, Partitioner};
+
+    fn fixture() -> (Arc<AttributedGraph>, Vec<Arc<CsrMatrix>>, ModelWeights, Arc<Partition>) {
+        let data = Arc::new(DatasetSpec::cora().instantiate_with(80, 8, 1));
+        let adj = Arc::new(normalize::gcn_normalized_adjacency(&data.graph));
+        let adjs = vec![adj; 2];
+        let config = ec_graph::config::TrainingConfig {
+            dims: vec![8, 6, data.num_classes],
+            num_workers: 3,
+            seed: 2,
+            ..ec_graph::config::TrainingConfig::defaults(8, data.num_classes)
+        };
+        let partition = Arc::new(HashPartitioner::default().partition(&data.graph, 3));
+        let engine = ec_graph::engine::DistributedEngine::new(
+            data.clone(),
+            adjs.clone(),
+            (*partition).clone(),
+            config,
+        );
+        let model = engine.inference_model();
+        (data, adjs, model, partition)
+    }
+
+    #[test]
+    fn store_matches_the_shared_forward_path() {
+        let (data, adjs, model, partition) = fixture();
+        let store = EmbeddingStore::build(&model, &adjs, &data, partition, 1);
+        let hidden = model.forward_through(&adjs, &data.features, 1, 1);
+        assert_eq!(store.version(), 0);
+        assert_eq!(store.num_vertices(), data.num_vertices());
+        assert_eq!(store.dim(), 6);
+        for v in [0usize, 7, 79] {
+            assert_eq!(store.row(v), hidden.row(v));
+        }
+        let g = store.gather(&[3, 1, 3]);
+        assert_eq!(g.row(0), hidden.row(3));
+        assert_eq!(g.row(1), hidden.row(1));
+        assert_eq!(g.row(2), hidden.row(3));
+    }
+
+    #[test]
+    fn refresh_bumps_the_version() {
+        let (data, adjs, model, partition) = fixture();
+        let mut store = EmbeddingStore::build(&model, &adjs, &data, partition, 1);
+        store.refresh(&model, &adjs, &data, 1);
+        assert_eq!(store.version(), 1);
+    }
+}

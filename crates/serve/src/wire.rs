@@ -1,0 +1,229 @@
+//! Wire formats for the serving-time embedding-fetch protocol.
+//!
+//! A cache miss on worker `w` for a vertex owned by worker `o` turns into a
+//! [`ServeRequest`] `w → o` (control channel) answered by a [`ServeReply`]
+//! `o → w` (forward channel). As in [`ec_graph::wire`], the simulation
+//! charges byte counts analytically; these types keep those charges honest
+//! — every message can be serialized, deserialized and measured, and the
+//! round-trip tests assert `to_bytes().len() == wire_size()`.
+//!
+//! Both messages carry the embedding-store *version* so a reply computed
+//! against a stale checkpoint can never be installed into a cache that has
+//! already moved on (the coherence rule of DESIGN.md §10).
+
+use ec_comm::codec;
+use ec_compress::Quantized;
+use ec_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A batched embedding-fetch request: "send me the layer-`L−1` rows of
+/// these global vertex ids, at store version `version`".
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServeRequest {
+    /// Embedding-store version the requester is serving at.
+    pub version: u32,
+    /// Global vertex ids, ascending.
+    pub ids: Vec<u32>,
+}
+
+impl ServeRequest {
+    /// Serialized size in bytes (must equal `to_bytes().len()`).
+    pub fn wire_size(&self) -> usize {
+        1 + 4 + codec::u32s_wire_size(&self.ids)
+    }
+
+    /// Serializes the request.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.wire_size());
+        buf.push(TAG_REQUEST);
+        buf.extend_from_slice(&self.version.to_le_bytes());
+        codec::put_u32s(&mut buf, &self.ids);
+        buf
+    }
+
+    /// Deserializes a buffer produced by [`Self::to_bytes`].
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, String> {
+        let (&tag, mut rest) = buf.split_first().ok_or("empty serve request")?;
+        if tag != TAG_REQUEST {
+            return Err(format!("unknown serve request tag {tag}"));
+        }
+        if rest.len() < 4 {
+            return Err("serve request version truncated".into());
+        }
+        let version = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+        rest = &rest[4..];
+        let ids = codec::get_u32s(&mut rest)?;
+        Ok(Self { version, ids })
+    }
+}
+
+/// The owning worker's answer: the requested rows, in request order.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ServeReply {
+    /// Uncompressed rows, stacked into one matrix.
+    Exact {
+        /// Store version the rows were read at.
+        version: u32,
+        /// One row per requested id, in request order.
+        rows: Matrix,
+    },
+    /// Per-row bucket quantization: one [`Quantized`] per requested row,
+    /// each with its own value range. Per-*row* (rather than per-message)
+    /// ranges make reconstruction independent of which other ids happened
+    /// to share the request — the property the embedding cache needs for
+    /// cached and freshly fetched answers to agree byte-for-byte.
+    RowQuantized {
+        /// Store version the rows were read at.
+        version: u32,
+        /// One independently compressed row per requested id.
+        rows: Vec<Quantized>,
+    },
+}
+
+const TAG_REQUEST: u8 = 0x10;
+const TAG_EXACT: u8 = 0x11;
+const TAG_ROW_QUANTIZED: u8 = 0x12;
+
+impl ServeReply {
+    /// Store version the reply was computed at.
+    pub fn version(&self) -> u32 {
+        match self {
+            ServeReply::Exact { version, .. } | ServeReply::RowQuantized { version, .. } => {
+                *version
+            }
+        }
+    }
+
+    /// Number of rows carried.
+    pub fn num_rows(&self) -> usize {
+        match self {
+            ServeReply::Exact { rows, .. } => rows.rows(),
+            ServeReply::RowQuantized { rows, .. } => rows.len(),
+        }
+    }
+
+    /// Serialized size in bytes (must equal `to_bytes().len()`).
+    pub fn wire_size(&self) -> usize {
+        1 + 4
+            + match self {
+                ServeReply::Exact { rows, .. } => codec::matrix_wire_size(rows),
+                ServeReply::RowQuantized { rows, .. } => {
+                    // One u32 length prefix per row: `Quantized::from_bytes`
+                    // wants an exact slice.
+                    4 + rows.iter().map(|q| 4 + q.wire_size()).sum::<usize>()
+                }
+            }
+    }
+
+    /// Serializes the reply.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.wire_size());
+        match self {
+            ServeReply::Exact { version, rows } => {
+                buf.push(TAG_EXACT);
+                buf.extend_from_slice(&version.to_le_bytes());
+                codec::put_matrix(&mut buf, rows);
+            }
+            ServeReply::RowQuantized { version, rows } => {
+                buf.push(TAG_ROW_QUANTIZED);
+                buf.extend_from_slice(&version.to_le_bytes());
+                buf.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+                for q in rows {
+                    let qb = q.to_bytes();
+                    buf.extend_from_slice(&(qb.len() as u32).to_le_bytes());
+                    buf.extend_from_slice(&qb);
+                }
+            }
+        }
+        buf
+    }
+
+    /// Deserializes a buffer produced by [`Self::to_bytes`].
+    pub fn from_bytes(buf: &[u8]) -> Result<Self, String> {
+        let (&tag, rest) = buf.split_first().ok_or("empty serve reply")?;
+        if rest.len() < 4 {
+            return Err("serve reply version truncated".into());
+        }
+        let version = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+        let mut rest = &rest[4..];
+        match tag {
+            TAG_EXACT => Ok(ServeReply::Exact { version, rows: codec::get_matrix(&mut rest)? }),
+            TAG_ROW_QUANTIZED => {
+                if rest.len() < 4 {
+                    return Err("serve reply row count truncated".into());
+                }
+                let n = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+                rest = &rest[4..];
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    if rest.len() < 4 {
+                        return Err("serve reply row length truncated".into());
+                    }
+                    let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+                    rest = &rest[4..];
+                    if rest.len() < len {
+                        return Err("serve reply row truncated".into());
+                    }
+                    rows.push(Quantized::from_bytes(&rest[..len])?);
+                    rest = &rest[len..];
+                }
+                Ok(ServeReply::RowQuantized { version, rows })
+            }
+            other => Err(format!("unknown serve reply tag {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ec_tensor::init;
+
+    #[test]
+    fn serve_request_round_trips_and_sizes_match() {
+        let msg = ServeRequest { version: 3, ids: vec![1, 5, 9, 200] };
+        let bytes = msg.to_bytes();
+        assert_eq!(bytes.len(), msg.wire_size());
+        assert_eq!(ServeRequest::from_bytes(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn exact_reply_round_trips_and_sizes_match() {
+        let msg = ServeReply::Exact { version: 7, rows: init::uniform(4, 6, -1.0, 1.0, 11) };
+        let bytes = msg.to_bytes();
+        assert_eq!(bytes.len(), msg.wire_size());
+        assert_eq!(ServeReply::from_bytes(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn row_quantized_reply_round_trips_and_sizes_match() {
+        let rows: Vec<Quantized> = (0..3)
+            .map(|i| Quantized::compress(&init::uniform(1, 6, -1.0, 1.0, 20 + i), 4))
+            .collect();
+        let msg = ServeReply::RowQuantized { version: 2, rows };
+        let bytes = msg.to_bytes();
+        assert_eq!(bytes.len(), msg.wire_size());
+        assert_eq!(ServeReply::from_bytes(&bytes).unwrap(), msg);
+        assert_eq!(msg.num_rows(), 3);
+        assert_eq!(msg.version(), 2);
+    }
+
+    #[test]
+    fn empty_reply_round_trips() {
+        let msg = ServeReply::RowQuantized { version: 0, rows: Vec::new() };
+        let bytes = msg.to_bytes();
+        assert_eq!(bytes.len(), msg.wire_size());
+        assert_eq!(ServeReply::from_bytes(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn fuzzed_inputs_error_cleanly() {
+        for len in [0usize, 1, 3, 9, 33] {
+            let junk: Vec<u8> = (0..len).map(|i| (i * 31 + 7) as u8).collect();
+            let _ = ServeRequest::from_bytes(&junk);
+            let _ = ServeReply::from_bytes(&junk);
+        }
+        assert!(ServeRequest::from_bytes(&[0xFF, 0, 0, 0, 0]).is_err());
+        assert!(ServeReply::from_bytes(&[0xFF, 0, 0, 0, 0]).is_err());
+    }
+}

@@ -165,6 +165,20 @@ metric_catalog! {
         "Per-message backward-pass wire sizes" },
     FpReconErrL1 => { "fp.recon_err_l1", Gauge, "l1", ["epoch"],
         "Total L1 reconstruction error of the epoch's forward messages" },
+    ServeCacheHit => { "serve.cache_hit", Counter, "rows", ["epoch", "worker"],
+        "Serving embedding-cache hits (label 0 is the store refresh version)" },
+    ServeCacheMiss => { "serve.cache_miss", Counter, "rows", ["epoch", "worker"],
+        "Serving embedding-cache misses fetched from the owning worker" },
+    ServeBatchOccupancy => { "serve.batch_occupancy", Histogram, "requests", ["epoch", "worker"],
+        "Requests coalesced into one serving batch at dispatch" },
+    ServeFetchBytes => { "serve.fetch_bytes", Counter, "bytes", ["epoch", "src", "dst"],
+        "Embedding-fetch reply bytes moved src->dst at serve time" },
+    ServeLatencyP50 => { "serve.latency_p50", Gauge, "seconds", ["epoch"],
+        "Median simulated request latency of the serving run" },
+    ServeLatencyP99 => { "serve.latency_p99", Gauge, "seconds", ["epoch"],
+        "99th-percentile simulated request latency of the serving run" },
+    ServeQps => { "serve.qps", Gauge, "requests_per_s", ["epoch", "worker"],
+        "Served queries per simulated second, per worker" },
 }
 
 impl MetricId {
@@ -264,7 +278,14 @@ fn id_from_index(idx: u16) -> Option<MetricId> {
         19 => MetricId::SuperstepComputeS,
         20 => MetricId::FpWireBytes,
         21 => MetricId::BpWireBytes,
-        _ => MetricId::FpReconErrL1,
+        22 => MetricId::FpReconErrL1,
+        23 => MetricId::ServeCacheHit,
+        24 => MetricId::ServeCacheMiss,
+        25 => MetricId::ServeBatchOccupancy,
+        26 => MetricId::ServeFetchBytes,
+        27 => MetricId::ServeLatencyP50,
+        28 => MetricId::ServeLatencyP99,
+        _ => MetricId::ServeQps,
     })
 }
 
@@ -276,7 +297,7 @@ mod tests {
     fn catalog_and_enum_agree() {
         assert_eq!(MetricId::SelectorCps.def().name, "selector.cps");
         assert_eq!(MetricId::FpReconErrL1.def().name, "fp.recon_err_l1");
-        assert_eq!(MetricId::FpReconErrL1 as usize, CATALOG.len() - 1);
+        assert_eq!(MetricId::ServeQps as usize, CATALOG.len() - 1);
         for (i, def) in CATALOG.iter().enumerate() {
             let id = id_from_index(i as u16).expect("index round-trips");
             assert_eq!(id as usize, i);

@@ -1,19 +1,23 @@
 #!/usr/bin/env bash
 # Full local gate: formatting, lints (warnings are errors), and the whole
 # workspace test suite. CI runs exactly this script.
-# Pass --bench to also run the hot-path benchmark (writes BENCH_hotpath.json
-# at the repo root).
+# Pass --bench to also run the hot-path and serving benchmarks (writes
+# BENCH_hotpath.json and BENCH_serving.json at the repo root).
 # Pass --trace-smoke to also drive the CLI end-to-end with the telemetry
 # exporters on and validate the emitted trace/metrics files.
+# Pass --serve-smoke to also drive `ecgraph serve` end-to-end (fast path)
+# and validate the emitted serve report.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_BENCH=0
 RUN_TRACE_SMOKE=0
+RUN_SERVE_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --bench) RUN_BENCH=1 ;;
     --trace-smoke) RUN_TRACE_SMOKE=1 ;;
+    --serve-smoke) RUN_SERVE_SMOKE=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -33,13 +37,15 @@ cargo test --workspace -q
 if [[ "$RUN_BENCH" == "1" ]]; then
   echo "== hot-path benchmark (BENCH_hotpath.json) =="
   cargo run -q --release -p ec-bench --bin hotpath_bench
+  echo "== serving benchmark (BENCH_serving.json) =="
+  cargo run -q --release -p ec-bench --bin serve_bench
 fi
 
 if [[ "$RUN_TRACE_SMOKE" == "1" ]]; then
   echo "== trace smoke (CLI exporters end-to-end) =="
   SMOKE_DIR=$(mktemp -d)
   trap 'rm -rf "$SMOKE_DIR"' EXIT
-  cargo run -q -p ec-graph --bin ecgraph -- train \
+  cargo run -q -p ec-graph-repro --bin ecgraph -- train \
     dataset=cora vertices=150 workers=4 epochs=6 fp=reqec:2 bp=resec:4 \
     --quiet --trace-out "$SMOKE_DIR/trace.json" --metrics-out "$SMOKE_DIR/metrics.json"
   cargo run -q -p ec-trace --bin trace_check -- \
@@ -50,6 +56,24 @@ if [[ "$RUN_TRACE_SMOKE" == "1" ]]; then
   done
   grep -q 'fp:exchange' "$SMOKE_DIR/trace.json" \
     || { echo "trace.json is missing fp:exchange spans" >&2; exit 1; }
+fi
+
+if [[ "$RUN_SERVE_SMOKE" == "1" ]]; then
+  echo "== serve smoke (ecgraph serve end-to-end) =="
+  SERVE_DIR=$(mktemp -d)
+  # Re-arming EXIT replaces any --trace-smoke trap; clean both dirs.
+  trap 'rm -rf "$SERVE_DIR" "${SMOKE_DIR:-}"' EXIT
+  cargo run -q -p ec-graph-repro --bin ecgraph -- serve \
+    dataset=cora vertices=150 workers=4 epochs=3 requests=300 \
+    --quiet --report-out "$SERVE_DIR/serve.json" --metrics-out "$SERVE_DIR/serve_metrics.json"
+  for needle in latency_p50_s latency_p99_s '"served":300' cache_hits; do
+    grep -q "$needle" "$SERVE_DIR/serve.json" \
+      || { echo "serve.json is missing $needle" >&2; exit 1; }
+  done
+  for needle in serve.cache_hit serve.latency_p99 serve.qps; do
+    grep -q "$needle" "$SERVE_DIR/serve_metrics.json" \
+      || { echo "serve_metrics.json is missing $needle" >&2; exit 1; }
+  done
 fi
 
 echo "All checks passed."

@@ -1,14 +1,21 @@
-//! `ecgraph` — command-line front end for the EC-Graph trainer.
+//! `ecgraph` — command-line front end for the EC-Graph trainer and the
+//! `ec-serve` inference service.
 //!
 //! ```sh
 //! ecgraph train dataset=cora workers=6 fp=reqec:2 bp=resec:4 epochs=100
 //! ecgraph train dataset=products layers=3 fp=cp:8 partitioner=metis
 //! ecgraph train dataset=cora workers=4 --trace-out trace.json --metrics-out metrics.json
+//! ecgraph serve dataset=cora workers=4 epochs=5 requests=500 cache=256
 //! ecgraph datasets            # list the built-in dataset replicas
 //! ```
 //!
 //! `fp` accepts `exact`, `cp:<bits>`, `reqec:<bits>`, `reqec-adapt:<bits>`
 //! or `delayed:<r>`; `bp` accepts `exact`, `cp:<bits>` or `resec:<bits>`.
+//!
+//! `serve` trains briefly (or reuses `checkpoint=<file>` if it exists),
+//! reloads the checkpoint through the engine-free inference path, and
+//! drives the serving cluster with the seeded closed-loop load generator;
+//! `--report-out <file>` writes the run's canonical `ServeReport` JSON.
 //!
 //! Observability: `--trace-out <file>` writes a Chrome `trace_event` JSON
 //! (or a flat JSONL event log when the file ends in `.jsonl`),
@@ -16,23 +23,28 @@
 //! `telemetry=off|epoch|superstep|trace` overrides the recording level the
 //! flags imply. `--quiet` silences the progress output.
 
+use ec_faults::FaultPlan;
 use ec_graph::config::{BpMode, FpMode, ModelKind, TrainingConfig};
+use ec_graph::engine::DistributedEngine;
+use ec_graph::infer::ModelWeights;
 use ec_graph::trainer::train;
-use ec_graph_data::DatasetSpec;
+use ec_graph_data::{normalize, DatasetSpec};
 use ec_partition::hash::HashPartitioner;
 use ec_partition::ldg::LdgPartitioner;
 use ec_partition::metis::MetisLikePartitioner;
 use ec_partition::Partitioner;
+use ec_serve::{run_closed_loop, InferenceService, ServeConfig, WorkloadConfig};
 use ec_trace::{TelemetryConfig, TelemetryLevel};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-/// Flag-style (non-`key=value`) train options.
-struct TrainOpts {
+/// Flag-style (non-`key=value`) options shared by `train` and `serve`.
+struct CliOpts {
     trace_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    report_out: Option<PathBuf>,
     quiet: bool,
 }
 
@@ -41,7 +53,17 @@ fn main() -> ExitCode {
     match args.next().as_deref() {
         Some("train") => {
             let rest: Vec<String> = args.collect();
-            match parse_train_args(&rest).and_then(|(kv, opts)| run_train(&kv, &opts)) {
+            match parse_cli_args(&rest).and_then(|(kv, opts)| run_train(&kv, &opts)) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("serve") => {
+            let rest: Vec<String> = args.collect();
+            match parse_cli_args(&rest).and_then(|(kv, opts)| run_serve(&kv, &opts)) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) => {
                     eprintln!("error: {e}");
@@ -69,19 +91,20 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: ecgraph <train|datasets> [key=value ...] \
-                 [--trace-out <file>] [--metrics-out <file>] [--quiet]"
+                "usage: ecgraph <train|serve|datasets> [key=value ...] \
+                 [--trace-out <file>] [--metrics-out <file>] [--report-out <file>] [--quiet]"
             );
             eprintln!("  e.g. ecgraph train dataset=cora workers=6 fp=reqec:2 bp=resec:4");
+            eprintln!("       ecgraph serve dataset=cora workers=4 epochs=5 requests=500");
             ExitCode::FAILURE
         }
     }
 }
 
-/// Splits the `train` arguments into `key=value` pairs and flags.
-fn parse_train_args(rest: &[String]) -> Result<(HashMap<String, String>, TrainOpts), String> {
+/// Splits the `train`/`serve` arguments into `key=value` pairs and flags.
+fn parse_cli_args(rest: &[String]) -> Result<(HashMap<String, String>, CliOpts), String> {
     let mut kv = HashMap::new();
-    let mut opts = TrainOpts { trace_out: None, metrics_out: None, quiet: false };
+    let mut opts = CliOpts { trace_out: None, metrics_out: None, report_out: None, quiet: false };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -93,12 +116,17 @@ fn parse_train_args(rest: &[String]) -> Result<(HashMap<String, String>, TrainOp
                 let path = it.next().ok_or_else(|| "--metrics-out needs a path".to_string())?;
                 opts.metrics_out = Some(PathBuf::from(path));
             }
+            "--report-out" => {
+                let path = it.next().ok_or_else(|| "--report-out needs a path".to_string())?;
+                opts.report_out = Some(PathBuf::from(path));
+            }
             "--quiet" => opts.quiet = true,
             other => {
                 let (k, v) = other.split_once('=').ok_or_else(|| {
                     format!(
                         "unrecognized argument '{other}' (expected key=value, \
-                         --trace-out <file>, --metrics-out <file>, or --quiet)"
+                         --trace-out <file>, --metrics-out <file>, --report-out <file>, \
+                         or --quiet)"
                     )
                 })?;
                 kv.insert(k.to_string(), v.to_string());
@@ -108,7 +136,10 @@ fn parse_train_args(rest: &[String]) -> Result<(HashMap<String, String>, TrainOp
     Ok((kv, opts))
 }
 
-fn run_train(kv: &HashMap<String, String>, opts: &TrainOpts) -> Result<(), String> {
+fn run_train(kv: &HashMap<String, String>, opts: &CliOpts) -> Result<(), String> {
+    if opts.report_out.is_some() {
+        return Err("--report-out only applies to `ecgraph serve`".into());
+    }
     let get = |k: &str, d: &str| kv.get(k).cloned().unwrap_or_else(|| d.to_string());
 
     // The export flags imply a recording level; an explicit `telemetry=`
@@ -231,6 +262,171 @@ fn run_train(kv: &HashMap<String, String>, opts: &TrainOpts) -> Result<(), Strin
             r.avg_epoch_time(),
             r.total_bytes() as f64 / 1e6
         );
+    }
+    Ok(())
+}
+
+/// `ecgraph serve`: train a small model (or reuse an existing
+/// `checkpoint=` file), reload the weights through the engine-free
+/// inference path, and drive the serving cluster with the closed-loop
+/// load generator.
+fn run_serve(kv: &HashMap<String, String>, opts: &CliOpts) -> Result<(), String> {
+    if opts.trace_out.is_some() {
+        return Err("--trace-out only applies to `ecgraph train` (serving records no spans)".into());
+    }
+    let get = |k: &str, d: &str| kv.get(k).cloned().unwrap_or_else(|| d.to_string());
+    let level = match kv.get("telemetry") {
+        Some(s) => s.parse::<TelemetryLevel>()?,
+        None if opts.metrics_out.is_some() => TelemetryLevel::Epoch,
+        None => TelemetryLevel::Off,
+    };
+
+    let dataset = get("dataset", "cora");
+    let spec = DatasetSpec::all()
+        .into_iter()
+        .find(|s| s.name == dataset)
+        .ok_or_else(|| format!("unknown dataset '{dataset}' (try `ecgraph datasets`)"))?;
+    let vertices: usize = get("vertices", &spec.default_vertices.to_string())
+        .parse()
+        .map_err(|e| format!("bad vertices: {e}"))?;
+    let dims_cap: usize = get("features", &spec.feature_dim.min(256).to_string())
+        .parse()
+        .map_err(|e| format!("bad features: {e}"))?;
+    let layers: usize = get("layers", &spec.default_layers.to_string()).parse().unwrap_or(2);
+    let hidden: usize = get("hidden", "16").parse().unwrap_or(16);
+    let workers: usize = get("workers", "4").parse().unwrap_or(4);
+    let epochs: usize = get("epochs", "5").parse().unwrap_or(5);
+    let seed: u64 = get("seed", "1").parse().unwrap_or(1);
+    let model = match get("model", "gcn").as_str() {
+        "gcn" => ModelKind::Gcn,
+        "sage" => ModelKind::Sage,
+        other => return Err(format!("unknown model '{other}'")),
+    };
+
+    let requests: u64 = get("requests", "500").parse().map_err(|e| format!("bad requests: {e}"))?;
+    let clients: usize = get("clients", "16").parse().map_err(|e| format!("bad clients: {e}"))?;
+    let cache: usize = get("cache", "256").parse().map_err(|e| format!("bad cache: {e}"))?;
+    let pinned: usize = get("pinned", "32").parse().map_err(|e| format!("bad pinned: {e}"))?;
+    let bits: u8 = get("bits", "0").parse().map_err(|e| format!("bad bits: {e}"))?;
+    let straggler: f64 =
+        get("straggler", "0").parse().map_err(|e| format!("bad straggler: {e}"))?;
+    let zipf: f64 = get("zipf", "0.9").parse().map_err(|e| format!("bad zipf: {e}"))?;
+
+    if !opts.quiet {
+        println!("instantiating {dataset} replica (|V|={vertices}, d0={dims_cap}) …");
+    }
+    let data = Arc::new(spec.instantiate_with(vertices, dims_cap, seed));
+    let mut dims = vec![data.feature_dim()];
+    dims.extend(std::iter::repeat_n(hidden, layers - 1));
+    dims.push(data.num_classes);
+    let partition = Arc::new(HashPartitioner::default().partition(&data.graph, workers));
+    let adj = Arc::new(normalize::gcn_normalized_adjacency(&data.graph));
+    let adjs: Vec<_> = vec![adj; layers];
+
+    // The serving path always goes through the on-disk checkpoint — the
+    // server never holds a trainer. `checkpoint=` reuses an existing file
+    // (and keeps a freshly written one); otherwise a temp file is used.
+    let explicit_ckpt = kv.get("checkpoint").map(PathBuf::from);
+    let ckpt = explicit_ckpt.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("ecgraph_serve_{}.ckpt", std::process::id()))
+    });
+    if !ckpt.exists() {
+        let config = TrainingConfig {
+            dims: dims.clone(),
+            model,
+            num_workers: workers,
+            max_epochs: epochs,
+            seed,
+            ..TrainingConfig::defaults(data.feature_dim(), data.num_classes)
+        };
+        config.validate()?;
+        if !opts.quiet {
+            println!("training {epochs} epochs to produce a checkpoint …");
+        }
+        let mut engine =
+            DistributedEngine::new(Arc::clone(&data), adjs.clone(), (*partition).clone(), config);
+        for _ in 0..epochs {
+            engine.run_epoch();
+        }
+        engine.save_checkpoint(&ckpt).map_err(|e| format!("saving checkpoint: {e:?}"))?;
+    } else if !opts.quiet {
+        println!("reusing checkpoint {} …", ckpt.display());
+    }
+    let weights =
+        ModelWeights::load(&ckpt, model).map_err(|e| format!("loading checkpoint: {e:?}"))?;
+    if explicit_ckpt.is_none() {
+        let _ = std::fs::remove_file(&ckpt);
+    }
+
+    let mut sc = ServeConfig::defaults(workers);
+    sc.cache_rows = cache;
+    sc.pinned_rows = pinned;
+    if bits > 0 {
+        sc.fetch_bits = Some(bits);
+    }
+    if straggler > 1.0 {
+        sc.faults = FaultPlan::none().with_straggler(0, straggler);
+    }
+    sc.telemetry = TelemetryConfig::at(level);
+    sc.validate()?;
+    let workload = WorkloadConfig {
+        clients,
+        total_requests: requests,
+        zipf_exponent: zipf,
+        seed,
+        ..WorkloadConfig::defaults()
+    };
+    workload.validate()?;
+
+    if !opts.quiet {
+        println!(
+            "serving {requests} requests on {workers} workers \
+             (cache {cache} rows, {pinned} pinned, fetch {}) …",
+            if bits > 0 { format!("{bits}-bit") } else { "exact".to_string() }
+        );
+    }
+    let mut svc = InferenceService::new(weights, Arc::clone(&data), adjs, partition, sc);
+    let report = run_closed_loop(&mut svc, &workload);
+
+    if !opts.quiet {
+        let (hits, misses) = report
+            .per_worker
+            .iter()
+            .fold((0u64, 0u64), |(h, m), w| (h + w.cache_hits, m + w.cache_misses));
+        let hit_rate =
+            if hits + misses > 0 { hits as f64 / (hits + misses) as f64 * 100.0 } else { 0.0 };
+        println!(
+            "\nserved {} requests in {:.3}s simulated — p50 {:.3}ms, p99 {:.3}ms, {:.0} qps",
+            report.served,
+            report.sim_duration_s,
+            report.latency_p50_s * 1e3,
+            report.latency_p99_s * 1e3,
+            report.qps_total
+        );
+        println!(
+            "cache hit rate {:.1}% ({hits} hits / {misses} misses), \
+             fetched {:.1} KB over the wire",
+            hit_rate,
+            report.fetch_bytes as f64 / 1e3
+        );
+    }
+    if let Some(path) = &opts.report_out {
+        std::fs::write(path, report.to_json().to_string())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        if !opts.quiet {
+            println!("wrote serve report to {}", path.display());
+        }
+    }
+    if let Some(path) = &opts.metrics_out {
+        let telemetry = report
+            .telemetry
+            .as_ref()
+            .ok_or_else(|| "telemetry is off; nothing to write to --metrics-out".to_string())?;
+        std::fs::write(path, ec_trace::export::metrics_json(telemetry))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        if !opts.quiet {
+            println!("wrote metrics to {}", path.display());
+        }
     }
     Ok(())
 }

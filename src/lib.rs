@@ -16,6 +16,8 @@
 //! * [`nn`] — hand-rolled autodiff, GCN/SAGE layers, optimizers,
 //! * [`ecgraph`] — the EC-Graph distributed engine, ReqEC-FP, ResEC-BP and
 //!   every baseline system from the paper's evaluation,
+//! * [`serve`] — the checkpoint-backed inference service (embedding store,
+//!   per-worker caches, request batching, closed-loop load generation),
 //! * [`trace`] — deterministic span tracing and the EC-metrics registry,
 //!   with Chrome-trace / JSONL / metrics-JSON exporters.
 
@@ -26,5 +28,6 @@ pub use ec_graph as ecgraph;
 pub use ec_graph_data as data;
 pub use ec_nn as nn;
 pub use ec_partition as partition;
+pub use ec_serve as serve;
 pub use ec_tensor as tensor;
 pub use ec_trace as trace;

@@ -160,3 +160,75 @@ fn telemetry_is_inert_under_fault_injection() {
         "fault counters must reach the registry"
     );
 }
+
+/// The serving stack obeys the same discipline: a closed-loop run's
+/// canonical `ServeReport` JSON must be byte-identical with telemetry off
+/// and at every recording level, while the non-Off runs actually attach
+/// the serving metrics.
+#[test]
+fn serve_telemetry_levels_never_change_the_report() {
+    use ec_graph_repro::partition::hash::HashPartitioner;
+    use ec_graph_repro::partition::Partitioner;
+    use ec_graph_repro::serve::{run_closed_loop, InferenceService, ServeConfig, WorkloadConfig};
+
+    ec_comm::set_deterministic_timing(true);
+    let data = Arc::new(DatasetSpec::cora().instantiate_with(140, 12, 5));
+    let adj = Arc::new(ec_graph_repro::data::normalize::gcn_normalized_adjacency(&data.graph));
+    let adjs = vec![adj; 2];
+    let config = TrainingConfig {
+        dims: vec![12, 8, data.num_classes],
+        num_workers: 4,
+        max_epochs: 2,
+        seed: 3,
+        ..TrainingConfig::defaults(12, data.num_classes)
+    };
+    let partition = Arc::new(HashPartitioner::default().partition(&data.graph, 4));
+    let mut engine = ec_graph_repro::ecgraph::engine::DistributedEngine::new(
+        Arc::clone(&data),
+        adjs.clone(),
+        (*partition).clone(),
+        config,
+    );
+    engine.run_epoch();
+    engine.run_epoch();
+    let weights = engine.inference_model();
+
+    let run = |level: TelemetryLevel| {
+        let mut sc = ServeConfig::defaults(4);
+        sc.telemetry = TelemetryConfig::at(level);
+        let mut svc = InferenceService::new(
+            weights.clone(),
+            Arc::clone(&data),
+            adjs.clone(),
+            Arc::clone(&partition),
+            sc,
+        );
+        let workload =
+            WorkloadConfig { total_requests: 300, seed: 17, ..WorkloadConfig::defaults() };
+        run_closed_loop(&mut svc, &workload)
+    };
+
+    let off = run(TelemetryLevel::Off);
+    assert!(off.telemetry.is_none(), "Off must not attach a report");
+    let base = off.to_json().to_string();
+    for level in [TelemetryLevel::Epoch, TelemetryLevel::Superstep, TelemetryLevel::Trace] {
+        let r = run(level);
+        let report = r
+            .telemetry
+            .as_ref()
+            .unwrap_or_else(|| panic!("{} run must attach a telemetry report", level.as_str()));
+        for name in ["serve.cache_hit", "serve.batch_occupancy", "serve.latency_p99", "serve.qps"] {
+            assert!(
+                report.rows_named(name).next().is_some(),
+                "{} report must carry {name}",
+                level.as_str()
+            );
+        }
+        assert_eq!(
+            r.to_json().to_string(),
+            base,
+            "serve report diverged between Off and {}",
+            level.as_str()
+        );
+    }
+}

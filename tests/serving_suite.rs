@@ -1,0 +1,246 @@
+//! The serving path's correctness contract:
+//!
+//! 1. a checkpoint written by a trained engine reloads — through a *fresh*
+//!    engine and through the engine-free `ModelWeights` path — into
+//!    byte-identical forward output;
+//! 2. in exact-fetch mode every served answer is bit-identical to the
+//!    corresponding row of the full-graph forward pass;
+//! 3. the embedding cache is invisible: cache-on and cache-off runs return
+//!    byte-identical answers, for exact *and* quantized fetches, before
+//!    and after a checkpoint refresh (DESIGN.md §10's coherence rule);
+//! 4. the closed-loop load generator is a pure function of its seed.
+
+use ec_graph_repro::data::DatasetSpec;
+use ec_graph_repro::ecgraph::config::{ModelKind, TrainingConfig};
+use ec_graph_repro::ecgraph::engine::DistributedEngine;
+use ec_graph_repro::ecgraph::infer::ModelWeights;
+use ec_graph_repro::partition::hash::HashPartitioner;
+use ec_graph_repro::partition::{Partition, Partitioner};
+use ec_graph_repro::serve::service::ServeError;
+use ec_graph_repro::serve::{run_closed_loop, InferenceService, ServeConfig, WorkloadConfig};
+use ec_graph_repro::tensor::{CsrMatrix, Matrix};
+use std::sync::Arc;
+
+type Fixture = (
+    Arc<ec_graph_repro::data::AttributedGraph>,
+    Vec<Arc<CsrMatrix>>,
+    Arc<Partition>,
+    TrainingConfig,
+);
+
+const WORKERS: usize = 4;
+
+fn fixture(model: ModelKind) -> Fixture {
+    let data = Arc::new(DatasetSpec::cora().instantiate_with(130, 10, 5));
+    let adj = Arc::new(ec_graph_repro::data::normalize::gcn_normalized_adjacency(&data.graph));
+    let adjs = vec![adj; 2];
+    let config = TrainingConfig {
+        dims: vec![10, 8, data.num_classes],
+        model,
+        num_workers: WORKERS,
+        max_epochs: 3,
+        seed: 7,
+        ..TrainingConfig::defaults(10, data.num_classes)
+    };
+    let partition = Arc::new(HashPartitioner::default().partition(&data.graph, WORKERS));
+    (data, adjs, partition, config)
+}
+
+fn trained_engine(fx: &Fixture, epochs: usize) -> DistributedEngine {
+    let (data, adjs, partition, config) = fx;
+    let mut engine = DistributedEngine::new(
+        Arc::clone(data),
+        adjs.clone(),
+        (**partition).clone(),
+        config.clone(),
+    );
+    for _ in 0..epochs {
+        engine.run_epoch();
+    }
+    engine
+}
+
+fn bits_of(m: &Matrix) -> Vec<u32> {
+    m.as_slice().iter().map(|x| x.to_bits()).collect()
+}
+
+/// Serves every vertex through its owning worker in fixed-size batches and
+/// stacks the answers back into vertex order.
+fn serve_all(svc: &mut InferenceService, n: usize, out_dim: usize) -> Matrix {
+    let mut out = Matrix::zeros(n, out_dim);
+    for w in 0..svc.num_workers() {
+        let owned: Vec<u32> = (0..n as u32).filter(|&v| svc.route(v as usize) == w).collect();
+        for chunk in owned.chunks(8) {
+            let (logits, _) = svc.answer_batch(w, chunk).expect("valid batch");
+            for (i, &v) in chunk.iter().enumerate() {
+                out.set_row(v as usize, logits.row(i));
+            }
+        }
+    }
+    out
+}
+
+/// Satellite: `save_checkpoint` → fresh engine → `load_checkpoint` must
+/// reproduce `forward_global` to the bit, with the engine-free
+/// `ModelWeights::load` path agreeing as a third witness.
+#[test]
+fn on_disk_checkpoint_round_trips_bit_identically() {
+    for model in [ModelKind::Gcn, ModelKind::Sage] {
+        let fx = fixture(model);
+        let trained = trained_engine(&fx, 3);
+        let reference = trained.forward_global();
+        let path = std::env::temp_dir().join(format!(
+            "serving_suite_rt_{:?}_{}.ckpt",
+            model,
+            std::process::id()
+        ));
+        trained.save_checkpoint(&path).expect("save");
+        drop(trained);
+
+        let mut fresh = trained_engine(&fx, 0);
+        assert_ne!(
+            bits_of(&fresh.forward_global()),
+            bits_of(&reference),
+            "fresh engine must start from different weights or the test is vacuous"
+        );
+        fresh.load_checkpoint(&path).expect("load");
+        assert_eq!(bits_of(&fresh.forward_global()), bits_of(&reference));
+
+        let standalone = ModelWeights::load(&path, model).expect("standalone load");
+        let (_, adjs, _, _) = &fx;
+        let out = standalone.forward(adjs, &fx.0.features, 1);
+        assert_eq!(bits_of(&out), bits_of(&reference));
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// Acceptance: exact-fetch serving reproduces the full forward pass bit
+/// for bit, for both model kinds.
+#[test]
+fn served_answers_match_the_full_forward_pass() {
+    for model in [ModelKind::Gcn, ModelKind::Sage] {
+        let fx = fixture(model);
+        let engine = trained_engine(&fx, 3);
+        let reference = engine.forward_global();
+        let weights = engine.inference_model();
+        let (data, adjs, partition, _) = &fx;
+        let mut svc = InferenceService::new(
+            weights,
+            Arc::clone(data),
+            adjs.clone(),
+            Arc::clone(partition),
+            ServeConfig::defaults(WORKERS),
+        );
+        let served = serve_all(&mut svc, data.num_vertices(), data.num_classes);
+        assert_eq!(bits_of(&served), bits_of(&reference), "{model:?} serving diverged");
+    }
+}
+
+/// Acceptance: the cache is invisible — cache-on and cache-off (direct)
+/// answers are byte-identical under exact and quantized fetches, and stay
+/// so after a simulated checkpoint refresh.
+#[test]
+fn cached_answers_are_byte_identical_to_direct_answers() {
+    for fetch_bits in [None, Some(8u8)] {
+        let fx = fixture(ModelKind::Gcn);
+        let engine_v0 = trained_engine(&fx, 2);
+        let weights_v0 = engine_v0.inference_model();
+        let (data, adjs, partition, _) = &fx;
+        let n = data.num_vertices();
+
+        let build = |cache_rows: usize, pinned_rows: usize| {
+            let mut sc = ServeConfig::defaults(WORKERS);
+            sc.cache_rows = cache_rows;
+            sc.pinned_rows = pinned_rows;
+            sc.fetch_bits = fetch_bits;
+            InferenceService::new(
+                weights_v0.clone(),
+                Arc::clone(data),
+                adjs.clone(),
+                Arc::clone(partition),
+                sc,
+            )
+        };
+        let mut cached = build(256, 32);
+        let mut direct = build(0, 0);
+
+        // Serve everything twice so the second pass hits warm cache rows.
+        let _ = serve_all(&mut cached, n, data.num_classes);
+        let warm = serve_all(&mut cached, n, data.num_classes);
+        let cold = serve_all(&mut direct, n, data.num_classes);
+        assert_eq!(
+            bits_of(&warm),
+            bits_of(&cold),
+            "cache changed an answer (fetch_bits {fetch_bits:?})"
+        );
+        let hits: u64 = cached.cache_stats().iter().map(|s| s.0).sum();
+        assert!(hits > 0, "the cached run must actually hit the cache");
+
+        // Simulated checkpoint refresh: train further, push new weights.
+        let engine_v1 = trained_engine(&fx, 3);
+        let weights_v1 = engine_v1.inference_model();
+        cached.refresh(weights_v1.clone());
+        direct.refresh(weights_v1);
+        assert_eq!(cached.version(), 1);
+        let warm_v1 = serve_all(&mut cached, n, data.num_classes);
+        let cold_v1 = serve_all(&mut direct, n, data.num_classes);
+        assert_eq!(
+            bits_of(&warm_v1),
+            bits_of(&cold_v1),
+            "cache served stale rows after refresh (fetch_bits {fetch_bits:?})"
+        );
+        assert_ne!(bits_of(&warm_v1), bits_of(&warm), "refresh must change the answers");
+    }
+}
+
+/// Routing misuse is reported as a value, never a panic (the request loop
+/// is in `no-panic-hot-path` scope).
+#[test]
+fn misrouted_and_out_of_range_batches_are_rejected() {
+    let fx = fixture(ModelKind::Gcn);
+    let engine = trained_engine(&fx, 1);
+    let (data, adjs, partition, _) = &fx;
+    let mut svc = InferenceService::new(
+        engine.inference_model(),
+        Arc::clone(data),
+        adjs.clone(),
+        Arc::clone(partition),
+        ServeConfig::defaults(WORKERS),
+    );
+    let v0 = 0u32;
+    let wrong = (svc.route(0) + 1) % WORKERS;
+    assert!(matches!(
+        svc.answer_batch(wrong, &[v0]),
+        Err(ServeError::WrongOwner { vertex: 0, .. })
+    ));
+    let out_of_range = data.num_vertices() as u32;
+    assert!(matches!(
+        svc.answer_batch(svc.route(0), &[out_of_range]),
+        Err(ServeError::VertexOutOfRange(v)) if v == out_of_range
+    ));
+}
+
+/// The closed loop is a pure function of (config, seed): identical runs
+/// emit byte-identical reports; a different seed must change them.
+#[test]
+fn closed_loop_reports_are_seed_deterministic() {
+    ec_graph_repro::comm::set_deterministic_timing(true);
+    let fx = fixture(ModelKind::Gcn);
+    let engine = trained_engine(&fx, 2);
+    let weights = engine.inference_model();
+    let (data, adjs, partition, _) = &fx;
+    let run = |seed: u64| {
+        let mut svc = InferenceService::new(
+            weights.clone(),
+            Arc::clone(data),
+            adjs.clone(),
+            Arc::clone(partition),
+            ServeConfig::defaults(WORKERS),
+        );
+        let workload = WorkloadConfig { total_requests: 400, seed, ..WorkloadConfig::defaults() };
+        run_closed_loop(&mut svc, &workload).to_json().to_string()
+    };
+    let a = run(17);
+    assert_eq!(a, run(17), "identical serving runs diverged");
+    assert_ne!(a, run(18), "the workload seed must influence the run");
+}
