@@ -39,6 +39,8 @@ pub enum CheckpointError {
     ShapeMismatch,
     /// A serialized matrix failed to decode.
     Decode(String),
+    /// A recovery was requested but the named checkpoint does not exist.
+    Missing(&'static str),
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -51,6 +53,7 @@ impl std::fmt::Display for CheckpointError {
             }
             CheckpointError::ShapeMismatch => write!(f, "checkpoint shape mismatch"),
             CheckpointError::Decode(msg) => write!(f, "checkpoint decode error: {msg}"),
+            CheckpointError::Missing(what) => write!(f, "no checkpoint to restore: {what}"),
         }
     }
 }

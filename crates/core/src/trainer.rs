@@ -4,6 +4,7 @@
 use crate::config::TrainingConfig;
 use crate::engine::DistributedEngine;
 use crate::report::{EpochRecord, RunResult};
+use ec_comm::ps::CheckpointError;
 use ec_comm::HostTimer;
 use ec_graph_data::{normalize, AttributedGraph};
 use ec_partition::{Partition, Partitioner};
@@ -52,7 +53,13 @@ pub fn train_prepartitioned(
             + engine.preprocessing().feature_cache_s,
         ..Default::default()
     };
-    run_epoch_loop(&mut engine, &config, &mut result);
+    if let Err(e) = run_epoch_loop(&mut engine, &config, &mut result) {
+        // An in-memory restore can only fail when the snapshot and engine
+        // diverged structurally — a bug, not a runtime condition. The loop
+        // reports it as a typed error (it sits on the fault-recovery hot
+        // path); this orchestration boundary is where aborting is allowed.
+        panic!("crash recovery failed: {e}");
+    }
     result.telemetry = engine.take_telemetry();
     result
 }
@@ -67,11 +74,17 @@ pub fn train_prepartitioned(
 /// [`RunResult::recovery_s`] — before restoring and replaying. Because a
 /// restored engine replays deterministically, the post-recovery loss curve
 /// matches the uninterrupted one.
+///
+/// # Errors
+/// [`CheckpointError::Missing`] when a scheduled crash fires with no
+/// checkpoint to roll back to, and any [`CheckpointError`] from
+/// [`DistributedEngine::restore`] when the snapshot does not match the
+/// engine — both indicate a caller bug, never a recoverable fault.
 pub fn run_epoch_loop(
     engine: &mut DistributedEngine,
     config: &TrainingConfig,
     result: &mut RunResult,
-) {
+) -> Result<(), CheckpointError> {
     let mut best_val = f64::MIN;
     let mut since_best = 0usize;
     let mut last_val = 0.0f64;
@@ -93,12 +106,14 @@ pub fn run_epoch_loop(
             // so the cluster rolls back to the latest checkpoint. Each
             // scheduled crash fires once (the restarted worker stays up).
             next_crash += 1;
-            let ckpt = checkpoint.as_ref().expect("crash schedule implies a checkpoint");
+            let Some(ckpt) = checkpoint.as_ref() else {
+                return Err(CheckpointError::Missing("crash recovery checkpoint"));
+            };
             let keep = (base_records + ckpt.epoch()).min(result.epochs.len());
             result.recovery_s += result.epochs.drain(keep..).map(|e| e.sim_time()).sum::<f64>();
             result.crashes_recovered += 1;
             engine.telemetry_note_crash(t);
-            engine.restore(ckpt).expect("crash checkpoint matches the engine it came from");
+            engine.restore(ckpt)?;
             // Rebuild the early-stopping trackers from the surviving
             // history so the replay is indistinguishable from a run that
             // never went past the checkpoint.
@@ -157,6 +172,7 @@ pub fn run_epoch_loop(
         }
     }
     result.finalize();
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1,0 +1,263 @@
+//! The incremental analysis cache: per-file [`FileSummary`] results keyed
+//! by a content hash, stored as JSON under `target/ec-lint-cache`.
+//!
+//! The cached unit is exactly the part of the analysis that is a pure
+//! function of one file's bytes: its function list with direct effects
+//! and *unresolved* raw calls. Resolution and the fixpoint are cross-file
+//! questions, re-answered from the summaries on every run — so a warm
+//! cache changes where summaries come from, never what they say, and the
+//! cold/warm byte-identity test in `tests/golden.rs` holds by
+//! construction. The key mixes the file's content hash, its module path
+//! (which depends on `Cargo.toml`, not the file), its workspace-relative
+//! path, and [`ANALYSIS_VERSION`]; bumping the version invalidates every
+//! entry when the summary format or the detectors change. Corrupt or
+//! unreadable entries are treated as misses, never errors.
+
+use crate::callgraph::{FileSummary, FnNode, RawCall, RawCallKind};
+use crate::effects::{Effect, EffectSet, EffectSite};
+use serde_json::{json, Value};
+use std::path::{Path, PathBuf};
+
+/// Bump when the summary JSON shape or the direct-effect detectors change.
+pub const ANALYSIS_VERSION: u32 = 1;
+
+/// FNV-1a, 64-bit.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The cache key for one file's summary.
+pub fn summary_key(rel: &str, src: &str, module: &str) -> u64 {
+    let mut h = fnv1a(rel.as_bytes());
+    h ^= fnv1a(src.as_bytes()).rotate_left(17);
+    h ^= fnv1a(module.as_bytes()).rotate_left(34);
+    h ^= u64::from(ANALYSIS_VERSION).rotate_left(51);
+    h
+}
+
+/// A directory of cached summaries.
+pub struct Cache {
+    dir: PathBuf,
+}
+
+impl Cache {
+    /// Opens (creating if needed) the cache directory. Returns `None` when
+    /// the directory cannot be created — the caller just runs cold.
+    pub fn open(dir: &Path) -> Option<Self> {
+        std::fs::create_dir_all(dir).ok()?;
+        Some(Self { dir: dir.to_path_buf() })
+    }
+
+    fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.json"))
+    }
+
+    /// Loads the summary stored under `key`, if present and well-formed.
+    pub fn load(&self, key: u64) -> Option<FileSummary> {
+        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        let v: Value = serde_json::from_str(&text).ok()?;
+        summary_from_json(&v)
+    }
+
+    /// Stores `summary` under `key`. Write failures are ignored: a cache
+    /// that cannot persist is just a slow cache.
+    pub fn store(&self, key: u64, summary: &FileSummary) {
+        let _ = std::fs::write(self.entry_path(key), summary_to_json(summary).to_string());
+    }
+}
+
+fn effect_to_str(e: Effect) -> &'static str {
+    e.name()
+}
+
+fn effect_from_str(s: &str) -> Option<Effect> {
+    Effect::ALL.into_iter().find(|e| e.name() == s)
+}
+
+/// Serializes a summary. Field order is fixed by the literal, so the same
+/// summary always produces the same bytes.
+pub fn summary_to_json(s: &FileSummary) -> Value {
+    json!({
+        "version": ANALYSIS_VERSION,
+        "rel": s.rel,
+        "module": s.module,
+        "fns": s.fns.iter().map(fn_to_json).collect::<Vec<_>>(),
+    })
+}
+
+fn fn_to_json(f: &FnNode) -> Value {
+    json!({
+        "fq": f.fq,
+        "path": f.path,
+        "line": f.line,
+        "name": f.name,
+        "impl_ty": f.impl_ty,
+        "is_test": f.is_test,
+        "body": f.body.map(|(a, b)| vec![a, b]),
+        "direct": f.direct.0,
+        "sites": f.sites.iter().map(|site| json!({
+            "effect": effect_to_str(site.effect),
+            "line": site.line,
+            "what": site.what,
+        })).collect::<Vec<_>>(),
+        "calls": f.calls.iter().map(call_to_json).collect::<Vec<_>>(),
+    })
+}
+
+fn call_to_json(c: &RawCall) -> Value {
+    let kind = match &c.kind {
+        RawCallKind::Free(name) => json!({"free": name}),
+        RawCallKind::Method { name, recv } => json!({"method": name, "recv": recv}),
+        RawCallKind::Qualified(segs) => json!({"qualified": segs}),
+    };
+    json!({"kind": kind, "line": c.line, "tok": c.tok})
+}
+
+/// Deserializes a summary; `None` on any shape or version mismatch.
+pub fn summary_from_json(v: &Value) -> Option<FileSummary> {
+    if v.get("version")?.as_u64()? != u64::from(ANALYSIS_VERSION) {
+        return None;
+    }
+    let fns = v.get("fns")?.as_array()?.iter().map(fn_from_json).collect::<Option<Vec<_>>>()?;
+    Some(FileSummary {
+        rel: v.get("rel")?.as_str()?.to_string(),
+        module: v.get("module")?.as_str()?.to_string(),
+        fns,
+    })
+}
+
+fn fn_from_json(v: &Value) -> Option<FnNode> {
+    let body = match v.get("body")? {
+        Value::Null => None,
+        Value::Array(a) if a.len() == 2 => Some((a[0].as_u64()? as usize, a[1].as_u64()? as usize)),
+        _ => return None,
+    };
+    let sites = v
+        .get("sites")?
+        .as_array()?
+        .iter()
+        .map(|s| {
+            Some(EffectSite {
+                effect: effect_from_str(s.get("effect")?.as_str()?)?,
+                line: s.get("line")?.as_u64()? as usize,
+                what: s.get("what")?.as_str()?.to_string(),
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let calls =
+        v.get("calls")?.as_array()?.iter().map(call_from_json).collect::<Option<Vec<_>>>()?;
+    Some(FnNode {
+        fq: v.get("fq")?.as_str()?.to_string(),
+        path: v.get("path")?.as_str()?.to_string(),
+        line: v.get("line")?.as_u64()? as usize,
+        name: v.get("name")?.as_str()?.to_string(),
+        impl_ty: match v.get("impl_ty")? {
+            Value::Null => None,
+            Value::String(s) => Some(s.clone()),
+            _ => return None,
+        },
+        is_test: v.get("is_test")?.as_bool()?,
+        body,
+        direct: EffectSet(u8::try_from(v.get("direct")?.as_u64()?).ok()?),
+        sites,
+        calls,
+    })
+}
+
+fn call_from_json(v: &Value) -> Option<RawCall> {
+    let kind = v.get("kind")?;
+    let kind = if let Some(name) = kind.get("free").and_then(Value::as_str) {
+        RawCallKind::Free(name.to_string())
+    } else if let Some(name) = kind.get("method").and_then(Value::as_str) {
+        let recv = match kind.get("recv")? {
+            Value::Null => None,
+            Value::String(s) => Some(s.clone()),
+            _ => return None,
+        };
+        RawCallKind::Method { name: name.to_string(), recv }
+    } else if let Some(segs) = kind.get("qualified").and_then(Value::as_array) {
+        RawCallKind::Qualified(
+            segs.iter().map(|s| s.as_str().map(str::to_string)).collect::<Option<Vec<_>>>()?,
+        )
+    } else {
+        return None;
+    };
+    Some(RawCall {
+        kind,
+        line: v.get("line")?.as_u64()? as usize,
+        tok: v.get("tok")?.as_u64()? as usize,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser;
+
+    fn sample_summary() -> FileSummary {
+        let src = "use crate::helpers::ship;\n\
+                   fn go(m: HashMap<u32, u32>) {\n\
+                   ship();\n\
+                   net.send(0, b);\n\
+                   for k in &m { exec::fan_out(k); }\n\
+                   let t = Instant::now();\n\
+                   }";
+        let lexed = lex(src);
+        let parsed = parser::parse(&lexed).unwrap();
+        crate::callgraph::summarize_file("crates/core/src/a.rs", "core::a", &lexed, &parsed)
+    }
+
+    #[test]
+    fn summaries_round_trip_through_json() {
+        let s = sample_summary();
+        let v = summary_to_json(&s);
+        let back = summary_from_json(&v).expect("round-trips");
+        assert_eq!(back.rel, s.rel);
+        assert_eq!(back.module, s.module);
+        assert_eq!(back.fns.len(), s.fns.len());
+        for (a, b) in s.fns.iter().zip(&back.fns) {
+            assert_eq!(a.fq, b.fq);
+            assert_eq!(a.direct, b.direct);
+            assert_eq!(a.sites, b.sites);
+            assert_eq!(a.calls, b.calls);
+            assert_eq!(a.body, b.body);
+        }
+        // Byte-determinism of the stored form itself.
+        assert_eq!(v.to_string(), summary_to_json(&s).to_string());
+    }
+
+    #[test]
+    fn version_mismatch_is_a_miss() {
+        let mut v = summary_to_json(&sample_summary());
+        v["version"] = json!(ANALYSIS_VERSION + 1);
+        assert!(summary_from_json(&v).is_none());
+    }
+
+    #[test]
+    fn keys_separate_content_path_and_module() {
+        let k = summary_key("a.rs", "fn f() {}", "m");
+        assert_ne!(k, summary_key("a.rs", "fn g() {}", "m"), "content");
+        assert_ne!(k, summary_key("b.rs", "fn f() {}", "m"), "path");
+        assert_ne!(k, summary_key("a.rs", "fn f() {}", "n"), "module");
+        assert_eq!(k, summary_key("a.rs", "fn f() {}", "m"), "deterministic");
+    }
+
+    #[test]
+    fn cache_stores_and_loads() {
+        let dir = std::env::temp_dir().join(format!("ec-lint-cache-test-{}", std::process::id()));
+        let cache = Cache::open(&dir).expect("opens");
+        let s = sample_summary();
+        let key = summary_key(&s.rel, "whatever", &s.module);
+        assert!(cache.load(key).is_none(), "cold");
+        cache.store(key, &s);
+        let warm = cache.load(key).expect("warm hit");
+        assert_eq!(warm.fns.len(), s.fns.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

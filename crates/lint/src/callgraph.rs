@@ -1,0 +1,703 @@
+//! The workspace call graph: per-file function summaries, best-effort call
+//! resolution through the symbol table, and the [`Analysis`] bundle the
+//! transitive rules consume.
+//!
+//! Resolution is deliberately best-effort, mirroring the symbol table's
+//! philosophy: free calls resolve through imports and module siblings,
+//! `A::b` paths through the import map (`Self`/`crate` normalized), and
+//! method calls by receiver (`self.helper()` lands on the enclosing impl)
+//! or — when the method name is unique across all impls and not a
+//! ubiquitous std name — by that unique definition. Unresolvable calls
+//! (trait objects, std methods, closures passed as values) simply produce
+//! no edge, so the analysis under-approximates reachability; it never
+//! invents edges. All containers are BTree-ordered, so the graph — and
+//! everything derived from it — is byte-deterministic.
+
+use crate::effects::{scan_direct, EffectSet, EffectSite};
+use crate::lexer::{LexedFile, TokKind};
+use crate::parser::{Item, ItemKind, ParsedFile};
+use crate::rules::{ident_at, is_punct, test_mask, typed_names};
+use crate::symbols::Workspace;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Method names so ubiquitous across std and the workspace that a
+/// unique-definition match on them would almost always be a false edge.
+const COMMON_METHOD_NAMES: &[&str] = &[
+    "new",
+    "clone",
+    "default",
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "iter",
+    "iter_mut",
+    "next",
+    "into_iter",
+    "contains",
+    "contains_key",
+    "extend",
+    "clear",
+    "as_ref",
+    "as_mut",
+    "as_slice",
+    "as_str",
+    "to_vec",
+    "to_string",
+    "fmt",
+    "eq",
+    "cmp",
+    "hash",
+    "drop",
+    "from",
+    "into",
+    "write",
+    "read",
+    "flush",
+    "min",
+    "max",
+    "abs",
+    "sqrt",
+    "take",
+    "map",
+    "and_then",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "ok_or",
+    "expect",
+    "unwrap",
+    "sum",
+    "fold",
+    "collect",
+    "filter",
+    "any",
+    "all",
+    "count",
+    "zip",
+    "enumerate",
+];
+
+/// Keywords that can syntactically precede a `(` without being a call.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "match", "while", "for", "loop", "return", "break", "continue", "let", "fn",
+    "in", "move", "ref", "mut", "pub", "use", "mod", "impl", "trait", "struct", "enum", "union",
+    "where", "as", "dyn", "unsafe", "async", "await", "const", "static", "type", "extern",
+];
+
+/// One unresolved call occurrence inside a function body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RawCallKind {
+    /// `name(…)` with no path or receiver.
+    Free(String),
+    /// `recv.name(…)`; `recv` is the identifier directly before the dot,
+    /// when there is one (`None` for chained or complex receivers).
+    Method { name: String, recv: Option<String> },
+    /// `a::b::c(…)`, segments in source order (includes `Self`/`crate`).
+    Qualified(Vec<String>),
+}
+
+/// One call site, before resolution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RawCall {
+    /// What was called.
+    pub kind: RawCallKind,
+    /// 1-based source line of the callee name.
+    pub line: usize,
+    /// Token index of the callee name (lets closure scans range-filter).
+    pub tok: usize,
+}
+
+/// One function definition with its direct effects and raw call sites.
+#[derive(Clone, Debug)]
+pub struct FnNode {
+    /// Fully-qualified name (`ec_graph::engine::DistributedEngine::run_epoch`).
+    pub fq: String,
+    /// Defining file (workspace-relative, `/`-separated).
+    pub path: String,
+    /// 1-based line of the `fn`.
+    pub line: usize,
+    /// Bare function name.
+    pub name: String,
+    /// Enclosing impl's self type, for associated fns.
+    pub impl_ty: Option<String>,
+    /// True for `#[test]`/`#[cfg(test)]` functions (excluded from effects).
+    pub is_test: bool,
+    /// Token range of the body interior in the defining file.
+    pub body: Option<(usize, usize)>,
+    /// Direct effects of the body (empty for test fns).
+    pub direct: EffectSet,
+    /// Where each direct effect occurs.
+    pub sites: Vec<EffectSite>,
+    /// Unresolved calls the body makes (test fns record none).
+    pub calls: Vec<RawCall>,
+}
+
+/// The cacheable per-file unit: every function the file defines, with
+/// direct effects computed and calls left unresolved (resolution is a
+/// cross-file question re-answered each run).
+#[derive(Clone, Debug)]
+pub struct FileSummary {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// The file's module path (`ec_graph::engine`).
+    pub module: String,
+    /// Functions in source order.
+    pub fns: Vec<FnNode>,
+}
+
+/// Summarizes one parsed file: walks the item tree tracking the module
+/// path and enclosing impl type, and scans each non-test fn body for
+/// direct effects and raw calls.
+pub fn summarize_file(
+    rel: &str,
+    module: &str,
+    lexed: &LexedFile,
+    parsed: &ParsedFile,
+) -> FileSummary {
+    let toks = &lexed.tokens;
+    let mask = test_mask(toks);
+    let unordered = typed_names(toks, &mask, &["HashMap", "HashSet", "Receiver"]);
+    let mut fns = Vec::new();
+    walk_items(&parsed.items, module, None, rel, lexed, &mask, &unordered, &mut fns);
+    FileSummary { rel: rel.to_string(), module: module.to_string(), fns }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk_items(
+    items: &[Item],
+    module: &str,
+    impl_ty: Option<&str>,
+    rel: &str,
+    lexed: &LexedFile,
+    mask: &[bool],
+    unordered: &BTreeSet<String>,
+    out: &mut Vec<FnNode>,
+) {
+    for item in items {
+        match item.kind {
+            ItemKind::Fn => {
+                let Some(name) = &item.name else { continue };
+                let fq = match impl_ty {
+                    Some(ty) => format!("{module}::{ty}::{name}"),
+                    None => format!("{module}::{name}"),
+                };
+                let (direct, sites, calls) = match (item.is_test, item.body) {
+                    (false, Some(body)) => {
+                        let (set, sites) = scan_direct(&lexed.tokens, mask, body, unordered);
+                        let calls = collect_raw_calls(lexed, mask, body);
+                        (set, sites, calls)
+                    }
+                    _ => (EffectSet::EMPTY, Vec::new(), Vec::new()),
+                };
+                out.push(FnNode {
+                    fq,
+                    path: rel.to_string(),
+                    line: item.line,
+                    name: name.clone(),
+                    impl_ty: impl_ty.map(str::to_string),
+                    is_test: item.is_test,
+                    body: item.body,
+                    direct,
+                    sites,
+                    calls,
+                });
+            }
+            ItemKind::Mod => {
+                if let Some(name) = &item.name {
+                    let sub = format!("{module}::{name}");
+                    walk_items(&item.children, &sub, None, rel, lexed, mask, unordered, out);
+                }
+            }
+            ItemKind::Impl => {
+                let base = item
+                    .impl_ty
+                    .as_deref()
+                    .map(|ty| ty.split('<').next().unwrap_or(ty).trim().to_string());
+                walk_items(
+                    &item.children,
+                    module,
+                    base.as_deref(),
+                    rel,
+                    lexed,
+                    mask,
+                    unordered,
+                    out,
+                );
+            }
+            ItemKind::Trait => {
+                // Default method bodies: attribute to `module::TraitName`.
+                if let Some(name) = &item.name {
+                    walk_items(
+                        &item.children,
+                        module,
+                        Some(name),
+                        rel,
+                        lexed,
+                        mask,
+                        unordered,
+                        out,
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Extracts the raw call occurrences in `[range.0, range.1)`. Macro
+/// invocations (`name!`) never match because the `(` test looks at the
+/// token directly after the name.
+pub(crate) fn collect_raw_calls(
+    lexed: &LexedFile,
+    mask: &[bool],
+    range: (usize, usize),
+) -> Vec<RawCall> {
+    let toks = &lexed.tokens;
+    let (start, end) = (range.0, range.1.min(toks.len()));
+    let mut out = Vec::new();
+    for i in start..end {
+        if mask.get(i).copied().unwrap_or(false)
+            || toks[i].kind != TokKind::Ident
+            || !is_punct(toks, i + 1, "(")
+        {
+            continue;
+        }
+        let name = toks[i].text.as_str();
+        if NON_CALL_KEYWORDS.contains(&name) {
+            continue;
+        }
+        let line = toks[i].line;
+        if i >= 1 && is_punct(toks, i - 1, ".") {
+            let recv = if i >= 2 { ident_at(toks, i - 2).map(str::to_string) } else { None };
+            out.push(RawCall {
+                kind: RawCallKind::Method { name: name.into(), recv },
+                line,
+                tok: i,
+            });
+        } else if i >= 2 && is_punct(toks, i - 1, ":") && is_punct(toks, i - 2, ":") {
+            // Walk the `::`-separated path backwards.
+            let mut segs = vec![name.to_string()];
+            let mut j = i;
+            while j >= 3
+                && is_punct(toks, j - 1, ":")
+                && is_punct(toks, j - 2, ":")
+                && ident_at(toks, j - 3).is_some()
+            {
+                segs.push(toks[j - 3].text.clone());
+                j -= 3;
+            }
+            segs.reverse();
+            out.push(RawCall { kind: RawCallKind::Qualified(segs), line, tok: i });
+        } else {
+            out.push(RawCall { kind: RawCallKind::Free(name.into()), line, tok: i });
+        }
+    }
+    out
+}
+
+/// One resolved edge occurrence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CallSite {
+    /// Fully-qualified callee.
+    pub callee: String,
+    /// 1-based source line of the call.
+    pub line: usize,
+    /// Token index of the callee name in the caller's file.
+    pub tok: usize,
+}
+
+/// The resolved call graph plus inferred effects — everything the
+/// transitive rules need, built once per run.
+#[derive(Clone, Debug, Default)]
+pub struct Analysis {
+    /// Every function, keyed by fully-qualified name.
+    pub nodes: BTreeMap<String, FnNode>,
+    /// Resolved call sites per caller, in token order.
+    pub edges: BTreeMap<String, Vec<CallSite>>,
+    /// Sorted, deduplicated callee lists (the BFS adjacency).
+    pub adjacency: BTreeMap<String, Vec<String>>,
+    /// Direct effects per function.
+    pub direct: BTreeMap<String, EffectSet>,
+    /// Transitive (fixpoint) effects per function.
+    pub all: BTreeMap<String, EffectSet>,
+}
+
+impl Analysis {
+    /// Builds the analysis from per-file summaries: merges duplicate
+    /// definitions (cfg arms, same-named methods in one impl chain),
+    /// resolves raw calls to edges, and runs effect inference to fixpoint.
+    pub fn build(ws: &Workspace, summaries: &[FileSummary]) -> Self {
+        let mut nodes: BTreeMap<String, FnNode> = BTreeMap::new();
+        for s in summaries {
+            for f in &s.fns {
+                match nodes.get_mut(&f.fq) {
+                    Some(existing) => {
+                        // Duplicate fq: union the effects, keep both call
+                        // lists. The first definition's location wins.
+                        existing.direct.join(f.direct);
+                        existing.sites.extend(f.sites.iter().cloned());
+                        existing.calls.extend(f.calls.iter().cloned());
+                        existing.is_test &= f.is_test;
+                    }
+                    None => {
+                        nodes.insert(f.fq.clone(), f.clone());
+                    }
+                }
+            }
+        }
+
+        // Suffix indexes for fallback resolution.
+        let mut by_name: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        let mut methods_by_name: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for (fq, node) in &nodes {
+            if node.is_test {
+                continue;
+            }
+            by_name.entry(node.name.as_str()).or_default().push(fq.as_str());
+            if node.impl_ty.is_some() {
+                methods_by_name.entry(node.name.as_str()).or_default().push(fq.as_str());
+            }
+        }
+
+        let resolver = Resolver { ws, nodes: &nodes, by_name, methods_by_name };
+        let mut edges: BTreeMap<String, Vec<CallSite>> = BTreeMap::new();
+        let mut per_file: BTreeMap<&str, &FileSummary> = BTreeMap::new();
+        for s in summaries {
+            per_file.insert(s.rel.as_str(), s);
+        }
+        for (fq, node) in &nodes {
+            let module = per_file.get(node.path.as_str()).map(|s| s.module.as_str()).unwrap_or("");
+            let mut sites = Vec::new();
+            for call in &node.calls {
+                if let Some(callee) = resolver.resolve_call(&node.path, module, node, call) {
+                    if callee != *fq {
+                        sites.push(CallSite { callee, line: call.line, tok: call.tok });
+                    }
+                }
+            }
+            edges.insert(fq.clone(), sites);
+        }
+
+        let mut adjacency: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for (caller, sites) in &edges {
+            let mut callees: Vec<String> = sites.iter().map(|s| s.callee.clone()).collect();
+            callees.sort();
+            callees.dedup();
+            adjacency.insert(caller.clone(), callees);
+        }
+
+        let direct: BTreeMap<String, EffectSet> =
+            nodes.iter().map(|(fq, n)| (fq.clone(), n.direct)).collect();
+        let all = crate::effects::infer(&adjacency, &direct);
+        Self { nodes, edges, adjacency, direct, all }
+    }
+
+    /// Transitive effects of `fq` (empty for unknown functions).
+    pub fn effects_of(&self, fq: &str) -> EffectSet {
+        self.all.get(fq).copied().unwrap_or(EffectSet::EMPTY)
+    }
+
+    /// Shortest call chain from `from` to a function directly exhibiting
+    /// `effect` (see [`crate::effects::chain_to_effect`]).
+    pub fn chain(&self, from: &str, effect: crate::effects::Effect) -> Option<Vec<String>> {
+        crate::effects::chain_to_effect(&self.adjacency, &self.direct, from, effect)
+    }
+
+    /// Every function reachable from `entries` (inclusive), BFS order
+    /// collapsed into a sorted set.
+    pub fn reachable_from(&self, entries: &[String]) -> BTreeSet<String> {
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut queue: Vec<String> = Vec::new();
+        for e in entries {
+            if seen.insert(e.clone()) {
+                queue.push(e.clone());
+            }
+        }
+        let mut qi = 0;
+        while qi < queue.len() {
+            let cur = queue[qi].clone();
+            qi += 1;
+            if let Some(callees) = self.adjacency.get(&cur) {
+                for c in callees {
+                    if seen.insert(c.clone()) {
+                        queue.push(c.clone());
+                    }
+                }
+            }
+        }
+        seen
+    }
+
+    /// Shortest call path `from → … → to` over the adjacency (BFS with
+    /// sorted neighbors, so ties break deterministically). `from == to`
+    /// yields a one-element path.
+    pub fn path_between(&self, from: &str, to: &str) -> Option<Vec<String>> {
+        if from == to {
+            return Some(vec![from.to_string()]);
+        }
+        let mut parent: BTreeMap<String, String> = BTreeMap::new();
+        let mut queue: Vec<String> = vec![from.to_string()];
+        parent.insert(from.to_string(), String::new());
+        let mut qi = 0;
+        while qi < queue.len() {
+            let cur = queue[qi].clone();
+            qi += 1;
+            let Some(callees) = self.adjacency.get(&cur) else { continue };
+            for c in callees {
+                if parent.contains_key(c) {
+                    continue;
+                }
+                parent.insert(c.clone(), cur.clone());
+                if c == to {
+                    let mut path = vec![c.clone()];
+                    let mut at = cur.clone();
+                    while !at.is_empty() {
+                        path.push(at.clone());
+                        at = parent[&at].clone();
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push(c.clone());
+            }
+        }
+        None
+    }
+
+    /// Resolves an entry-point pattern from lint.toml: an exact
+    /// fully-qualified name, or a `::`-suffix matched against all non-test
+    /// functions. Returns all matches, sorted.
+    pub fn resolve_pattern(&self, pattern: &str) -> Vec<String> {
+        if self.nodes.contains_key(pattern) {
+            return vec![pattern.to_string()];
+        }
+        let suffix = format!("::{pattern}");
+        self.nodes
+            .iter()
+            .filter(|(fq, n)| !n.is_test && fq.ends_with(&suffix))
+            .map(|(fq, _)| fq.clone())
+            .collect()
+    }
+}
+
+/// Formats a chain note: `call chain: a → b → c`.
+pub fn chain_note(chain: &[String]) -> String {
+    format!("call chain: {}", chain.join(" → "))
+}
+
+struct Resolver<'a> {
+    ws: &'a Workspace,
+    nodes: &'a BTreeMap<String, FnNode>,
+    by_name: BTreeMap<&'a str, Vec<&'a str>>,
+    methods_by_name: BTreeMap<&'a str, Vec<&'a str>>,
+}
+
+impl<'a> Resolver<'a> {
+    fn resolve_call(
+        &self,
+        rel: &str,
+        module: &str,
+        caller: &FnNode,
+        call: &RawCall,
+    ) -> Option<String> {
+        match &call.kind {
+            RawCallKind::Free(name) => {
+                if let Some(fq) = self.ws.resolve(rel, name) {
+                    if self.nodes.contains_key(&fq) {
+                        return Some(fq);
+                    }
+                }
+                // A method of the enclosing impl called without `self.`
+                // (associated fns), then a unique free definition anywhere.
+                if let Some(ty) = &caller.impl_ty {
+                    let sibling = format!("{module}::{ty}::{name}");
+                    if self.nodes.contains_key(&sibling) {
+                        return Some(sibling);
+                    }
+                }
+                self.unique(&self.by_name, name)
+            }
+            RawCallKind::Method { name, recv } => {
+                if recv.as_deref() == Some("self") {
+                    if let Some(ty) = &caller.impl_ty {
+                        let sibling = format!("{module}::{ty}::{name}");
+                        if self.nodes.contains_key(&sibling) {
+                            return Some(sibling);
+                        }
+                    }
+                }
+                if COMMON_METHOD_NAMES.contains(&name.as_str()) {
+                    return None;
+                }
+                self.unique(&self.methods_by_name, name)
+            }
+            RawCallKind::Qualified(segs) => {
+                if segs.is_empty() {
+                    return None;
+                }
+                let mut segs = segs.clone();
+                // Normalize `Self` and `crate` heads.
+                if segs[0] == "Self" {
+                    let ty = caller.impl_ty.as_deref()?;
+                    segs[0] = ty.to_string();
+                    let candidate = format!("{module}::{}", segs.join("::"));
+                    return self.nodes.contains_key(&candidate).then_some(candidate);
+                }
+                if segs[0] == "crate" {
+                    let crate_name = module.split("::").next().unwrap_or(module);
+                    segs[0] = crate_name.to_string();
+                    let candidate = segs.join("::");
+                    return self.nodes.contains_key(&candidate).then_some(candidate);
+                }
+                // Resolve the head through the import map, then try the
+                // path as written, then module-local, then unique suffix.
+                if let Some(head_fq) = self.ws.resolve(rel, &segs[0]) {
+                    let candidate = format!("{head_fq}::{}", segs[1..].join("::"));
+                    if self.nodes.contains_key(&candidate) {
+                        return Some(candidate);
+                    }
+                }
+                let as_written = segs.join("::");
+                if self.nodes.contains_key(&as_written) {
+                    return Some(as_written);
+                }
+                let local = format!("{module}::{as_written}");
+                if self.nodes.contains_key(&local) {
+                    return Some(local);
+                }
+                let suffix = format!("::{as_written}");
+                let mut hits: Vec<&str> = self
+                    .nodes
+                    .iter()
+                    .filter(|(fq, n)| !n.is_test && fq.ends_with(&suffix))
+                    .map(|(fq, _)| fq.as_str())
+                    .collect();
+                hits.sort();
+                hits.dedup();
+                (hits.len() == 1).then(|| hits[0].to_string())
+            }
+        }
+    }
+
+    fn unique(&self, index: &BTreeMap<&str, Vec<&str>>, name: &str) -> Option<String> {
+        match index.get(name).map(Vec::as_slice) {
+            Some([one]) => Some((*one).to_string()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::effects::Effect;
+    use crate::lexer::lex;
+    use std::path::Path;
+
+    fn analyze(files: &[(&str, &str)]) -> Analysis {
+        let map: BTreeMap<String, LexedFile> =
+            files.iter().map(|(p, s)| (p.to_string(), lex(s))).collect();
+        let ws = Workspace::build(Path::new("/nonexistent-ws-root"), &map).expect("builds");
+        let summaries: Vec<FileSummary> = map
+            .iter()
+            .map(|(rel, lexed)| {
+                let module = ws.module_of(rel).unwrap_or("x").to_string();
+                summarize_file(rel, &module, lexed, &ws.parsed[rel])
+            })
+            .collect();
+        Analysis::build(&ws, &summaries)
+    }
+
+    #[test]
+    fn free_calls_resolve_through_imports_across_files() {
+        let a = analyze(&[
+            ("crates/core/src/engine.rs", "use crate::helpers::ship;\nfn go() { ship(); }"),
+            ("crates/core/src/helpers.rs", "pub fn ship(net: &mut N) { net.send(0, b); }"),
+        ]);
+        assert!(a.effects_of("core::engine::go").contains(Effect::Sends));
+        let chain = a.chain("core::engine::go", Effect::Sends).unwrap();
+        assert_eq!(chain, vec!["core::engine::go", "core::helpers::ship"]);
+    }
+
+    #[test]
+    fn self_methods_resolve_to_the_enclosing_impl() {
+        let a = analyze(&[(
+            "crates/core/src/engine.rs",
+            "struct E;\nimpl E {\nfn run(&mut self) { self.helper(); }\n\
+             fn helper(&self) { let x = opt.unwrap(); }\n}",
+        )]);
+        assert!(a.effects_of("core::engine::E::run").contains(Effect::MayPanic));
+        let chain = a.chain("core::engine::E::run", Effect::MayPanic).unwrap();
+        assert_eq!(chain.len(), 2);
+        assert!(chain[1].ends_with("E::helper"));
+    }
+
+    #[test]
+    fn qualified_calls_resolve_module_heads() {
+        let a = analyze(&[
+            ("crates/core/src/lib.rs", "pub mod exec;\npub mod engine;"),
+            ("crates/core/src/exec.rs", "pub fn fan_out() { panic!(\"boom\"); }"),
+            ("crates/core/src/engine.rs", "use crate::exec;\nfn go() { exec::fan_out(); }"),
+        ]);
+        assert!(a.effects_of("core::engine::go").contains(Effect::MayPanic));
+    }
+
+    #[test]
+    fn common_method_names_never_make_edges() {
+        let a = analyze(&[(
+            "crates/core/src/a.rs",
+            "struct V;\nimpl V { fn push(&mut self, x: u32) { q.unwrap(); } }\n\
+             fn go(items: &mut Vec<u32>) { items.push(1); }",
+        )]);
+        assert!(a.effects_of("core::a::go").is_empty(), "{:?}", a.all);
+    }
+
+    #[test]
+    fn unique_uncommon_methods_do_make_edges() {
+        let a = analyze(&[(
+            "crates/core/src/a.rs",
+            "struct Pool;\nimpl Pool { fn drain_replay(&mut self) { net.send(0, b); } }\n\
+             fn go(p: &mut Pool) { p.drain_replay(); }",
+        )]);
+        assert!(a.effects_of("core::a::go").contains(Effect::Sends));
+    }
+
+    #[test]
+    fn test_functions_contribute_no_effects() {
+        let a = analyze(&[(
+            "crates/core/src/a.rs",
+            "fn clean() {}\n#[cfg(test)] mod t { #[test] fn boom() { x.unwrap(); } }",
+        )]);
+        assert!(a.effects_of("core::a::clean").is_empty());
+        for (fq, set) in &a.all {
+            assert!(set.is_empty(), "{fq} has {set}");
+        }
+    }
+
+    #[test]
+    fn recursion_terminates_and_keeps_own_effects() {
+        let a = analyze(&[(
+            "crates/core/src/a.rs",
+            "fn odd(n: u32) -> bool { if n == 0 { record_zero(); false } else { even(n - 1) } }\n\
+             fn even(n: u32) -> bool { if n == 0 { true } else { odd(n - 1) } }",
+        )]);
+        assert!(a.effects_of("core::a::odd").contains(Effect::Telemetry));
+        assert!(a.effects_of("core::a::even").contains(Effect::Telemetry));
+    }
+
+    #[test]
+    fn patterns_resolve_by_suffix() {
+        let a = analyze(&[(
+            "crates/core/src/engine.rs",
+            "struct E;\nimpl E { fn run_epoch(&mut self) {} }",
+        )]);
+        assert_eq!(a.resolve_pattern("E::run_epoch"), vec!["core::engine::E::run_epoch"]);
+        assert_eq!(a.resolve_pattern("core::engine::E::run_epoch").len(), 1);
+        assert!(a.resolve_pattern("no_such_fn").is_empty());
+    }
+}

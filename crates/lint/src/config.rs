@@ -19,6 +19,9 @@
 use crate::diag::Severity;
 use std::collections::BTreeMap;
 
+/// Keys a rule section may set.
+const KNOWN_KEYS: &[&str] = &["severity", "include", "exclude", "lock", "entry_points", "sinks"];
+
 /// Where one rule applies, and how hard it fails.
 #[derive(Clone, Debug)]
 pub struct RuleConfig {
@@ -30,13 +33,25 @@ pub struct RuleConfig {
     pub exclude: Vec<String>,
     /// Workspace-relative lockfile path (only `wire-schema-lock` uses it).
     pub lock: Option<String>,
+    /// Function patterns (fully-qualified or `::`-suffixes) the
+    /// reachability analysis starts from (`no-panic-hot-path`).
+    pub entry_points: Vec<String>,
+    /// Function patterns whose transitive inputs must stay ordered
+    /// (`determinism-taint`).
+    pub sinks: Vec<String>,
 }
 
 impl RuleConfig {
     /// Whether `rel_path` (workspace-relative, `/`-separated) is in scope.
     pub fn applies_to(&self, rel_path: &str) -> bool {
-        self.include.iter().any(|p| prefix_match(p, rel_path))
-            && !self.exclude.iter().any(|p| prefix_match(p, rel_path))
+        self.include.iter().any(|p| prefix_match(p, rel_path)) && !self.excludes(rel_path)
+    }
+
+    /// Whether `rel_path` is carved out by an `exclude` prefix. The
+    /// reachability rules use this alone: their scope is the call graph,
+    /// not the `include` list (which stays as the token-scan fallback).
+    pub fn excludes(&self, rel_path: &str) -> bool {
+        self.exclude.iter().any(|p| prefix_match(p, rel_path))
     }
 }
 
@@ -85,11 +100,19 @@ impl LintConfig {
                 if name.is_empty() {
                     return Err(err("empty section name".into()));
                 }
+                if !crate::KNOWN_RULES.contains(&name) {
+                    return Err(err(format!(
+                        "unknown rule [{name}]{}",
+                        did_you_mean(name, crate::KNOWN_RULES)
+                    )));
+                }
                 rules.entry(name.to_string()).or_insert(RuleConfig {
                     severity: Severity::Error,
                     include: Vec::new(),
                     exclude: Vec::new(),
                     lock: None,
+                    entry_points: Vec::new(),
+                    sinks: Vec::new(),
                 });
                 current = Some(name.to_string());
                 continue;
@@ -107,16 +130,60 @@ impl LintConfig {
                 "include" => rule.include = parse_string_array(value.trim()).map_err(&err)?,
                 "exclude" => rule.exclude = parse_string_array(value.trim()).map_err(&err)?,
                 "lock" => rule.lock = Some(parse_string(value.trim()).map_err(&err)?),
-                other => return Err(err(format!("unknown key {other:?}"))),
+                "entry_points" => {
+                    rule.entry_points = parse_string_array(value.trim()).map_err(&err)?;
+                }
+                "sinks" => rule.sinks = parse_string_array(value.trim()).map_err(&err)?,
+                other => {
+                    return Err(err(format!(
+                        "unknown key {other:?}{}",
+                        did_you_mean(other, KNOWN_KEYS)
+                    )));
+                }
             }
         }
         for (name, rule) in &rules {
-            if rule.include.is_empty() {
+            // Graph-scoped rules are rooted at `sinks` patterns rather than
+            // path prefixes; everything else needs an include list.
+            if rule.include.is_empty() && rule.sinks.is_empty() {
                 return Err(format!("rule [{name}] has no include paths"));
             }
         }
         Ok(Self { rules })
     }
+}
+
+/// `; did you mean "…"?` when some candidate is within edit distance 3 of
+/// `got` (the closest one wins; ties break toward the first candidate).
+fn did_you_mean(got: &str, candidates: &[&str]) -> String {
+    let mut best: Option<(usize, &str)> = None;
+    for c in candidates {
+        let d = edit_distance(got, c);
+        if best.is_none_or(|(bd, _)| d < bd) {
+            best = Some((d, c));
+        }
+    }
+    match best {
+        Some((d, c)) if d <= 3 => format!("; did you mean {c:?}?"),
+        _ => String::new(),
+    }
+}
+
+/// Levenshtein distance, two-row dynamic program.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
 }
 
 /// Cuts a trailing `# comment` — safe because values in this subset never
@@ -205,6 +272,8 @@ include = [
             include: vec!["crates/core".into()],
             exclude: vec!["crates/core/src/bin".into()],
             lock: None,
+            entry_points: Vec::new(),
+            sinks: Vec::new(),
         };
         assert!(rule.applies_to("crates/core/src/engine.rs"));
         assert!(!rule.applies_to("crates/core2/src/engine.rs"));
@@ -218,6 +287,8 @@ include = [
             include: vec!["crates/comm/src/ps.rs".into()],
             exclude: vec![],
             lock: None,
+            entry_points: Vec::new(),
+            sinks: Vec::new(),
         };
         assert!(rule.applies_to("crates/comm/src/ps.rs"));
         assert!(!rule.applies_to("crates/comm/src/network.rs"));
@@ -226,8 +297,42 @@ include = [
     #[test]
     fn rejects_malformed_lines() {
         assert!(LintConfig::parse("severity = \"error\"").is_err(), "key before section");
-        assert!(LintConfig::parse("[r]\nseverity error").is_err(), "missing =");
-        assert!(LintConfig::parse("[r]\nseverity = \"loud\"").is_err(), "bad severity");
-        assert!(LintConfig::parse("[r]\nseverity = \"warn\"").is_err(), "no includes");
+        assert!(LintConfig::parse("[no-wall-clock]\nseverity error").is_err(), "missing =");
+        assert!(LintConfig::parse("[no-wall-clock]\nseverity = \"loud\"").is_err(), "bad severity");
+        assert!(LintConfig::parse("[no-wall-clock]\nseverity = \"warn\"").is_err(), "no includes");
+    }
+
+    #[test]
+    fn unknown_sections_are_hard_errors_with_suggestions() {
+        let err = LintConfig::parse("[no-wall-clok]\ninclude = [\"crates\"]").unwrap_err();
+        assert!(err.contains("unknown rule [no-wall-clok]"), "{err}");
+        assert!(err.contains("did you mean \"no-wall-clock\"?"), "{err}");
+        // Far from every known rule: no suggestion, still an error.
+        let err = LintConfig::parse("[totally-made-up-pass-name-xyz]").unwrap_err();
+        assert!(err.contains("unknown rule"), "{err}");
+        assert!(!err.contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn unknown_keys_are_hard_errors_with_suggestions() {
+        let err = LintConfig::parse("[no-wall-clock]\nincldue = [\"crates\"]").unwrap_err();
+        assert!(err.contains("unknown key \"incldue\""), "{err}");
+        assert!(err.contains("did you mean \"include\"?"), "{err}");
+    }
+
+    #[test]
+    fn entry_points_and_sinks_parse() {
+        let cfg = LintConfig::parse(
+            "[no-panic-hot-path]\ninclude = [\"crates\"]\n\
+             entry_points = [\"DistributedEngine::run_epoch\"]\n\
+             [determinism-taint]\ninclude = [\"crates\"]\n\
+             sinks = [\"RunResult::to_json\", \"put_matrix\"]",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.rules["no-panic-hot-path"].entry_points,
+            vec!["DistributedEngine::run_epoch".to_string()]
+        );
+        assert_eq!(cfg.rules["determinism-taint"].sinks.len(), 2);
     }
 }

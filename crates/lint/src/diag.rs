@@ -43,6 +43,9 @@ pub struct Diagnostic {
     pub line: usize,
     /// Human explanation of the violation.
     pub message: String,
+    /// Supporting context — for the transitive rules, the call chain that
+    /// carries the effect to the flagged line.
+    pub note: Option<String>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -55,20 +58,30 @@ impl fmt::Display for Diagnostic {
             self.severity.as_str(),
             self.rule,
             self.message
-        )
+        )?;
+        if let Some(note) = &self.note {
+            write!(f, "\n  note: {note}")?;
+        }
+        Ok(())
     }
 }
 
 impl Diagnostic {
-    /// Machine-readable form for `--json`.
+    /// Machine-readable form for `--json`. The `note` key appears only
+    /// when the finding carries one, so note-less reports keep their
+    /// pre-existing byte shape.
     pub fn to_json(&self) -> serde_json::Value {
-        serde_json::json!({
+        let mut obj = serde_json::json!({
             "rule": self.rule,
             "severity": self.severity.as_str(),
             "path": self.path,
             "line": self.line,
             "message": self.message,
-        })
+        });
+        if let Some(note) = &self.note {
+            obj["note"] = serde_json::Value::String(note.clone());
+        }
+        obj
     }
 }
 
@@ -84,6 +97,7 @@ mod tests {
             path: "crates/core/src/engine.rs".into(),
             line: 42,
             message: "std::time::Instant used".into(),
+            note: None,
         };
         assert_eq!(
             d.to_string(),
@@ -99,10 +113,25 @@ mod tests {
             path: "p.rs".into(),
             line: 1,
             message: "m".into(),
+            note: None,
         };
         assert_eq!(
             d.to_json().to_string(),
             r#"{"rule":"r","severity":"warn","path":"p.rs","line":1,"message":"m"}"#
         );
+    }
+
+    #[test]
+    fn notes_render_indented_and_serialize() {
+        let d = Diagnostic {
+            rule: "no-panic-hot-path".into(),
+            severity: Severity::Error,
+            path: "p.rs".into(),
+            line: 3,
+            message: "m".into(),
+            note: Some("call chain: a → b".into()),
+        };
+        assert_eq!(d.to_string(), "p.rs:3: error [no-panic-hot-path] m\n  note: call chain: a → b");
+        assert_eq!(d.to_json()["note"].as_str(), Some("call chain: a → b"));
     }
 }

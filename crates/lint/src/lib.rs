@@ -37,22 +37,44 @@
 //!   are reported after suppression filtering, so they cannot themselves
 //!   be suppressed.
 //!
+//! Interprocedural rules, built on a workspace call graph ([`callgraph`])
+//! with fixpoint effect inference ([`effects`]):
+//!
+//! * `no-panic-hot-path` with `entry_points` configured flags any
+//!   panicking function reachable from a superstep/serve entry;
+//! * [`sem::thread_scope_hygiene`] follows helper calls out of worker
+//!   closures to sends/telemetry any number of hops away;
+//! * [`sem::determinism_taint`] — serialization sinks must not
+//!   transitively depend on unordered iteration, unseeded RNG, or the
+//!   wall clock.
+//!
+//! Findings from these rules carry the offending call chain as a note.
+//! Per-file analysis summaries can be cached ([`cache`], `--cache` on the
+//! CLI) keyed by content hash; resolution and the fixpoint re-run from
+//! summaries each time, so warm runs are byte-identical to cold ones.
+//! Diagnostics export as SARIF 2.1.0 ([`sarif`], `--sarif <path>`).
+//!
 //! Scopes live in `lint.toml` ([`config::LintConfig`]); inline escapes are
 //! `// ec-lint: allow(<rule>)` on or directly above the flagged line.
 
+pub mod cache;
+pub mod callgraph;
 pub mod config;
 pub mod diag;
+pub mod effects;
 pub mod lexer;
 pub mod parser;
 pub mod rules;
+pub mod sarif;
 pub mod sem;
 pub mod symbols;
 
+use callgraph::Analysis;
 use config::{LintConfig, RuleConfig};
 use diag::Diagnostic;
 use lexer::LexedFile;
 use std::collections::{BTreeMap, BTreeSet};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use symbols::Workspace;
 
 /// Every rule this binary implements, in the order they are documented.
@@ -66,12 +88,13 @@ pub const KNOWN_RULES: &[&str] = &[
     "no-float-unordered-reduce",
     "metric-catalog-sync",
     "wire-schema-lock",
+    "determinism-taint",
     "unused-suppression",
 ];
 
 /// Rules that need the parsed workspace symbol table.
 const SEMANTIC_RULES: &[&str] =
-    &["thread-scope-hygiene", "metric-catalog-sync", "wire-schema-lock"];
+    &["thread-scope-hygiene", "metric-catalog-sync", "wire-schema-lock", "determinism-taint"];
 
 /// Directories never worth descending into.
 const SKIP_DIRS: &[&str] = &["target", ".git", ".claude", "node_modules"];
@@ -107,6 +130,31 @@ pub fn collect_rust_files(root: &Path) -> std::io::Result<Vec<String>> {
     Ok(out)
 }
 
+/// Options for [`run_with`] beyond the config file.
+#[derive(Clone, Debug, Default)]
+pub struct RunOptions {
+    /// Directory for the incremental analysis cache; `None` runs cold.
+    pub cache_dir: Option<PathBuf>,
+}
+
+/// Whether `rel` is part of the lint fixture corpus. Fixture bait must not
+/// enter the *workspace* call graph — a fixture `fn` named like a real
+/// helper would hijack unique-suffix resolution. (Linting the fixture tree
+/// itself is unaffected: there the corpus files are `src/…`, not under a
+/// `tests/fixtures` prefix.)
+fn is_fixture_corpus(rel: &str) -> bool {
+    rel.starts_with("tests/fixtures/") || rel.contains("/tests/fixtures/")
+}
+
+/// Runs every configured rule over the workspace at `root` with default
+/// options (no cache). See [`run_with`].
+///
+/// # Errors
+/// See [`run_with`].
+pub fn run(root: &Path, config: &LintConfig) -> Result<Vec<Diagnostic>, String> {
+    run_with(root, config, &RunOptions::default())
+}
+
 /// Runs every configured rule over the workspace at `root`.
 ///
 /// Returns unsuppressed diagnostics sorted by `(path, line, rule)`.
@@ -115,7 +163,11 @@ pub fn collect_rust_files(root: &Path) -> std::io::Result<Vec<String>> {
 /// An unknown rule name in the config, an unreadable file, or (when a
 /// semantic rule is configured) a file whose item structure cannot be
 /// parsed.
-pub fn run(root: &Path, config: &LintConfig) -> Result<Vec<Diagnostic>, String> {
+pub fn run_with(
+    root: &Path,
+    config: &LintConfig,
+    opts: &RunOptions,
+) -> Result<Vec<Diagnostic>, String> {
     for name in config.rules.keys() {
         if !KNOWN_RULES.contains(&name.as_str()) {
             return Err(format!("lint.toml: unknown rule [{name}]"));
@@ -123,14 +175,40 @@ pub fn run(root: &Path, config: &LintConfig) -> Result<Vec<Diagnostic>, String> 
     }
     let files = collect_rust_files(root).map_err(|e| format!("walking {root:?}: {e}"))?;
     let mut lexed: BTreeMap<String, LexedFile> = BTreeMap::new();
+    let mut src_of: BTreeMap<String, String> = BTreeMap::new();
     for rel in &files {
         let src =
             std::fs::read_to_string(root.join(rel)).map_err(|e| format!("reading {rel}: {e}"))?;
         lexed.insert(rel.clone(), lexer::lex(&src));
+        src_of.insert(rel.clone(), src);
     }
-    let ws: Option<Workspace> = if config.rules.keys().any(|r| SEMANTIC_RULES.contains(&r.as_str()))
-    {
-        Some(Workspace::build(root, &lexed)?)
+    let needs_analysis = config.rules.contains_key("thread-scope-hygiene")
+        || config.rules.contains_key("determinism-taint")
+        || config.rules.get("no-panic-hot-path").is_some_and(|rc| !rc.entry_points.is_empty());
+    let needs_ws =
+        needs_analysis || config.rules.keys().any(|r| SEMANTIC_RULES.contains(&r.as_str()));
+    let ws: Option<Workspace> = if needs_ws { Some(Workspace::build(root, &lexed)?) } else { None };
+    let analysis: Option<Analysis> = if needs_analysis {
+        let ws = ws.as_ref().expect("analysis implies workspace");
+        let cache = opts.cache_dir.as_deref().and_then(cache::Cache::open);
+        let mut summaries = Vec::new();
+        for rel in &files {
+            if is_fixture_corpus(rel) {
+                continue;
+            }
+            let module = ws.module_of(rel).unwrap_or("").to_string();
+            let key = cache::summary_key(rel, &src_of[rel], &module);
+            if let Some(hit) = cache.as_ref().and_then(|c| c.load(key)) {
+                summaries.push(hit);
+                continue;
+            }
+            let summary = callgraph::summarize_file(rel, &module, &lexed[rel], &ws.parsed[rel]);
+            if let Some(c) = &cache {
+                c.store(key, &summary);
+            }
+            summaries.push(summary);
+        }
+        Some(Analysis::build(ws, &summaries))
     } else {
         None
     };
@@ -141,17 +219,46 @@ pub fn run(root: &Path, config: &LintConfig) -> Result<Vec<Diagnostic>, String> 
         match rule_name.as_str() {
             "no-wall-clock"
             | "no-unseeded-rng"
-            | "no-panic-hot-path"
             | "no-unordered-iteration"
             | "no-float-unordered-reduce" => {
                 for rel in &scoped {
                     diagnostics.extend(run_file_rule(rule_name, rc, rel, &lexed[rel]));
                 }
             }
+            "no-panic-hot-path" => {
+                // The token scan over the `include` scope always runs; with
+                // `entry_points` configured, reachability findings join it.
+                // Where both flag one line, the reachability finding wins —
+                // it carries the call chain.
+                let mut merged: BTreeMap<(String, usize), Diagnostic> = BTreeMap::new();
+                if !rc.entry_points.is_empty() {
+                    let analysis = analysis.as_ref().expect("entry points imply analysis");
+                    for d in sem::no_panic_reachable(rc, analysis) {
+                        if d.path == "lint.toml" {
+                            diagnostics.push(d); // dead-pattern errors never merge
+                        } else {
+                            merged.entry((d.path.clone(), d.line)).or_insert(d);
+                        }
+                    }
+                }
+                for rel in &scoped {
+                    for d in run_file_rule(rule_name, rc, rel, &lexed[rel]) {
+                        merged.entry((d.path.clone(), d.line)).or_insert(d);
+                    }
+                }
+                diagnostics.extend(merged.into_values());
+            }
             "thread-scope-hygiene" => {
                 let ws = ws.as_ref().expect("semantic rule implies workspace");
+                let analysis = analysis.as_ref().expect("scope hygiene implies analysis");
                 for rel in &scoped {
-                    diagnostics.extend(sem::thread_scope_hygiene(rc, rel, &lexed[rel], ws));
+                    diagnostics.extend(sem::thread_scope_hygiene(
+                        rc,
+                        rel,
+                        &lexed[rel],
+                        ws,
+                        analysis,
+                    ));
                 }
             }
             "wire-hygiene" => {
@@ -166,6 +273,10 @@ pub fn run(root: &Path, config: &LintConfig) -> Result<Vec<Diagnostic>, String> 
             "wire-schema-lock" => {
                 let ws = ws.as_ref().expect("semantic rule implies workspace");
                 diagnostics.extend(sem::wire_schema_lock(rc, root, &scoped, ws));
+            }
+            "determinism-taint" => {
+                let analysis = analysis.as_ref().expect("taint rule implies analysis");
+                diagnostics.extend(sem::determinism_taint(rc, analysis));
             }
             "unused-suppression" => {} // runs after suppression matching below
             other => return Err(format!("lint.toml: unknown rule [{other}]")),
@@ -249,7 +360,7 @@ mod tests {
         let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
         let toml = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml at repo root");
         let config = LintConfig::parse(&toml).expect("lint.toml parses");
-        assert_eq!(config.rules.len(), 10, "all ten rules configured");
+        assert_eq!(config.rules.len(), 11, "all eleven rules configured");
         let diags = run(&root, &config).expect("lint run succeeds");
         assert!(
             diags.is_empty(),

@@ -6,12 +6,9 @@
 
 use crate::config::RuleConfig;
 use crate::diag::Diagnostic;
+use crate::effects::UNORDERED_ITER_METHODS;
 use crate::lexer::{LexedFile, Tok, TokKind};
 use std::collections::BTreeSet;
-
-/// Methods whose call on a `HashMap`/`HashSet` walks it in arbitrary order.
-const UNORDERED_ITER_METHODS: &[&str] =
-    &["iter", "iter_mut", "keys", "values", "values_mut", "drain", "into_keys", "into_values"];
 
 pub(crate) fn ident_at(toks: &[Tok], i: usize) -> Option<&str> {
     toks.get(i).filter(|t| t.kind == TokKind::Ident).map(|t| t.text.as_str())
@@ -109,7 +106,14 @@ pub(crate) fn diag(
     line: usize,
     message: String,
 ) -> Diagnostic {
-    Diagnostic { rule: rule.into(), severity: rc.severity, path: path.into(), line, message }
+    Diagnostic {
+        rule: rule.into(),
+        severity: rc.severity,
+        path: path.into(),
+        line,
+        message,
+        note: None,
+    }
 }
 
 /// `no-wall-clock`: `std::time::{Instant, SystemTime}` are banned outside
@@ -455,6 +459,8 @@ mod tests {
             include: vec!["".into()],
             exclude: vec![],
             lock: None,
+            entry_points: Vec::new(),
+            sinks: Vec::new(),
         }
     }
 

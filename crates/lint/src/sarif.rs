@@ -1,0 +1,176 @@
+//! SARIF 2.1.0 export: the interchange format GitHub code scanning (and
+//! most editor SARIF viewers) ingest.
+//!
+//! One run, one driver (`ec-lint`), every known rule listed in the
+//! driver's `rules` array so `ruleIndex` back-references resolve. Paths
+//! are emitted as workspace-relative URIs under `%SRCROOT%`, which is how
+//! upload-sarif maps them onto the repository without knowing the
+//! checkout directory. Output is deterministic: diagnostics arrive
+//! already sorted from [`crate::run_with`], and the JSON value preserves
+//! literal key order, so the same findings always serialize to the same
+//! bytes (the cold/warm cache test in `tests/golden.rs` relies on this).
+
+use crate::diag::{Diagnostic, Severity};
+use serde_json::{json, Value};
+
+/// One-line rule summaries for the SARIF rule metadata. Kept here (not in
+/// the rule modules) because this is presentation text, not analysis.
+fn rule_summary(rule: &str) -> &'static str {
+    match rule {
+        "no-wall-clock" => "Wall-clock reads outside the sanctioned timer make runs diverge",
+        "no-unseeded-rng" => "Random draws must flow from the run seed, never OS entropy",
+        "no-panic-hot-path" => {
+            "No panicking call on a superstep/serve path, directly or via the call graph"
+        }
+        "no-unordered-iteration" => "Hash-container iteration order is process-random",
+        "wire-hygiene" => "Serialize wire types must round-trip and derive Deserialize",
+        "thread-scope-hygiene" => {
+            "Scoped worker closures must not touch replay-ordered shared state"
+        }
+        "no-float-unordered-reduce" => "Float reductions over unordered sources reorder bytes",
+        "metric-catalog-sync" => "Every declared metric is recorded; every use site is declared",
+        "wire-schema-lock" => "Wire struct shapes must match the committed wire.lock",
+        "determinism-taint" => {
+            "Serialization sinks must not transitively depend on unordered state"
+        }
+        "unused-suppression" => "Inline allows must still suppress a real finding",
+        _ => "ec-lint rule",
+    }
+}
+
+/// Builds the complete SARIF 2.1.0 log for one lint run.
+pub fn to_sarif(diags: &[Diagnostic]) -> Value {
+    let rules: Vec<Value> = crate::KNOWN_RULES
+        .iter()
+        .map(|r| {
+            let short = json!({ "text": rule_summary(r) });
+            json!({ "id": *r, "shortDescription": short })
+        })
+        .collect();
+    let results: Vec<Value> = diags.iter().map(result_of).collect();
+    let driver = json!({
+        "name": "ec-lint",
+        "version": env!("CARGO_PKG_VERSION"),
+        "rules": rules,
+    });
+    let tool = json!({ "driver": driver });
+    let run = json!({ "tool": tool, "results": results, "columnKind": "utf16CodeUnits" });
+    let runs = vec![run];
+    json!({
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": runs,
+    })
+}
+
+fn result_of(d: &Diagnostic) -> Value {
+    let mut text = d.message.clone();
+    if let Some(note) = &d.note {
+        text.push_str(" (");
+        text.push_str(note);
+        text.push(')');
+    }
+    let level = match d.severity {
+        Severity::Error => "error",
+        Severity::Warn => "warning",
+    };
+    let message = json!({ "text": text });
+    let artifact = json!({ "uri": d.path, "uriBaseId": "%SRCROOT%" });
+    let region = json!({ "startLine": d.line });
+    let physical = json!({ "artifactLocation": artifact, "region": region });
+    let location = json!({ "physicalLocation": physical });
+    let locations = vec![location];
+    let mut result = json!({
+        "ruleId": d.rule,
+        "level": level,
+        "message": message,
+        "locations": locations,
+    });
+    if let Some(idx) = crate::KNOWN_RULES.iter().position(|r| *r == d.rule) {
+        result["ruleIndex"] = json!(idx);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic {
+                rule: "no-panic-hot-path".into(),
+                severity: Severity::Error,
+                path: "crates/core/src/engine.rs".into(),
+                line: 12,
+                message: "`unwrap` can panic".into(),
+                note: Some("call chain: a → b".into()),
+            },
+            Diagnostic {
+                rule: "no-wall-clock".into(),
+                severity: Severity::Warn,
+                path: "crates/serve/src/service.rs".into(),
+                line: 7,
+                message: "std::time::Instant used".into(),
+                note: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn log_shape_is_sarif_2_1_0() {
+        let log = to_sarif(&sample());
+        assert_eq!(log["version"].as_str(), Some("2.1.0"));
+        let run = &log["runs"].as_array().expect("runs array")[0];
+        assert_eq!(run["tool"]["driver"]["name"].as_str(), Some("ec-lint"));
+        let rules = run["tool"]["driver"]["rules"].as_array().expect("rules");
+        assert_eq!(rules.len(), crate::KNOWN_RULES.len());
+        let results = run["results"].as_array().expect("results");
+        assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn results_carry_level_location_and_note() {
+        let log = to_sarif(&sample());
+        let results = log["runs"][0]["results"].clone();
+        let first = &results.as_array().expect("results")[0];
+        assert_eq!(first["level"].as_str(), Some("error"));
+        assert_eq!(
+            first["locations"][0]["physicalLocation"]["artifactLocation"]["uri"].as_str(),
+            Some("crates/core/src/engine.rs")
+        );
+        assert_eq!(
+            first["locations"][0]["physicalLocation"]["region"]["startLine"].as_u64(),
+            Some(12)
+        );
+        let text = first["message"]["text"].as_str().expect("text");
+        assert!(text.contains("call chain"), "note folded into message: {text}");
+        let second = &results.as_array().expect("results")[1];
+        assert_eq!(second["level"].as_str(), Some("warning"));
+        assert!(!second["message"]["text"].as_str().unwrap().contains('('));
+    }
+
+    #[test]
+    fn rule_index_points_into_driver_rules() {
+        let log = to_sarif(&sample());
+        let run = &log["runs"].as_array().expect("runs")[0];
+        let rules = run["tool"]["driver"]["rules"].as_array().expect("rules");
+        for result in run["results"].as_array().expect("results") {
+            let idx = result["ruleIndex"].as_u64().expect("index") as usize;
+            assert_eq!(rules[idx]["id"].as_str(), result["ruleId"].as_str());
+        }
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let diags = sample();
+        assert_eq!(to_sarif(&diags).to_string(), to_sarif(&diags).to_string());
+    }
+
+    #[test]
+    fn empty_run_is_still_a_valid_log() {
+        let log = to_sarif(&[]);
+        assert_eq!(log["runs"][0]["results"].as_array().map(Vec::len), Some(0));
+        assert_eq!(log["version"].as_str(), Some("2.1.0"));
+    }
+}

@@ -10,28 +10,16 @@
 //! the escape hatch remains an inline `ec-lint` allow comment — but the
 //! false-positive surface is far smaller than a bare token match.
 
+use crate::callgraph::Analysis;
 use crate::config::RuleConfig;
 use crate::diag::Diagnostic;
+use crate::effects::{receiver_is_shared_state, Effect, SEND_METHODS, TELEMETRY_METHODS};
 use crate::lexer::{LexedFile, Tok, TokKind};
 use crate::parser::ItemKind;
 use crate::rules::{diag, ident_at, is_punct, matching_delim, punct_at, test_mask, typed_names};
 use crate::symbols::Workspace;
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
-
-/// Methods that emit simulated network traffic.
-const SEND_METHODS: &[&str] = &["send", "try_send", "broadcast"];
-
-/// [`TelemetrySink`]-shaped recording methods (checked together with the
-/// receiver-name heuristic below, so `points.push(x)` stays clean while
-/// `ring.push(ev)` is flagged).
-const TELEMETRY_METHODS: &[&str] =
-    &["add", "set", "observe", "span", "push", "push_host_span", "note_crash", "rewind_to_epoch"];
-
-/// Receiver-name fragments that mark a binding as replay-ordered shared
-/// state (the sink, the registry, a span ring, the simulated network).
-const SHARED_STATE_FRAGMENTS: &[&str] =
-    &["telemetry", "sink", "registry", "ring", "network", "net"];
 
 /// Iterator adapters that reduce — order-sensitive for floats.
 const REDUCERS: &[&str] = &["sum", "product", "fold", "reduce"];
@@ -40,11 +28,6 @@ const REDUCERS: &[&str] = &["sum", "product", "fold", "reduce"];
 /// these exempts a `sum`/`product` from the float rule.
 const INT_TYPES: &[&str] =
     &["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
-
-fn receiver_is_shared_state(name: &str) -> bool {
-    let lower = name.to_ascii_lowercase();
-    SHARED_STATE_FRAGMENTS.iter().any(|frag| lower.contains(frag))
-}
 
 /// `thread-scope-hygiene`: inside the closures handed to
 /// `exec::run_workers`, `scope.spawn`, or `thread::scope`, worker code must
@@ -59,6 +42,7 @@ pub fn thread_scope_hygiene(
     path: &str,
     file: &LexedFile,
     ws: &Workspace,
+    analysis: &Analysis,
 ) -> Vec<Diagnostic> {
     let toks = &file.tokens;
     let mask = test_mask(toks);
@@ -87,11 +71,185 @@ pub fn thread_scope_hygiene(
         let close = matching_delim(toks, i + 1, "(", ")");
         let Some(body) = closure_body_range(toks, i + 2, close) else { continue };
         scan_closure_body(rc, path, toks, body, &mut out);
+        scan_closure_calls(rc, path, toks, body, analysis, &mut out);
     }
     // Nested spawn sites (scope → spawn) scan overlapping ranges; keep one
     // diagnostic per (line, message).
     out.sort_by(|a, b| (a.line, &a.message).cmp(&(b.line, &b.message)));
     out.dedup_by(|a, b| a.line == b.line && a.message == b.message);
+    out
+}
+
+/// The transitive half of `thread-scope-hygiene`: a call inside the
+/// closure to any function that *reaches* a send or a replay-ordered
+/// telemetry write is as unsafe as doing it inline — the effect still
+/// happens on the worker thread. Resolved call sites within the closure's
+/// token range are checked against the fixpoint effect sets; each finding
+/// carries the call chain to the offending function as its note.
+fn scan_closure_calls(
+    rc: &RuleConfig,
+    path: &str,
+    toks: &[Tok],
+    (start, end): (usize, usize),
+    analysis: &Analysis,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (caller_fq, sites) in &analysis.edges {
+        let Some(node) = analysis.nodes.get(caller_fq) else { continue };
+        if node.path != path {
+            continue;
+        }
+        for site in sites {
+            if site.tok < start || site.tok >= end {
+                continue;
+            }
+            let called = ident_at(toks, site.tok).unwrap_or("<call>");
+            let fx = analysis.effects_of(&site.callee);
+            for (effect, verb) in [
+                (Effect::Sends, "emits network traffic"),
+                (Effect::Telemetry, "writes replay-ordered telemetry"),
+            ] {
+                if !fx.contains(effect) {
+                    continue;
+                }
+                let mut d = diag(
+                    rc,
+                    "thread-scope-hygiene",
+                    path,
+                    site.line,
+                    format!(
+                        "`{called}()` transitively {verb} inside a scoped worker closure; \
+                         return the data and perform the effect during ordered replay"
+                    ),
+                );
+                if let Some(chain) = analysis.chain(&site.callee, effect) {
+                    d.note = Some(crate::callgraph::chain_note(&chain));
+                }
+                out.push(d);
+            }
+        }
+    }
+}
+
+/// The reachability half of `no-panic-hot-path`: with `entry_points`
+/// configured, every non-test function reachable from a superstep/serve
+/// entry must be panic-free, wherever it lives — the `include` file list
+/// becomes a fallback scope rather than the rule's definition. Each direct
+/// `MayPanic` site in a reached function is flagged at its own line, with
+/// the call chain from the entry point as the note. `exclude` prefixes
+/// still carve files out; a pattern that matches nothing is itself an
+/// error (a silently dead entry point would un-guard the whole path).
+pub fn no_panic_reachable(rc: &RuleConfig, analysis: &Analysis) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut entries: Vec<String> = Vec::new();
+    for pat in &rc.entry_points {
+        let hits = analysis.resolve_pattern(pat);
+        if hits.is_empty() {
+            out.push(diag(
+                rc,
+                "no-panic-hot-path",
+                "lint.toml",
+                1,
+                format!(
+                    "entry point {pat:?} matches no function in the call graph; fix the \
+                     [no-panic-hot-path] entry_points list"
+                ),
+            ));
+        }
+        entries.extend(hits);
+    }
+    entries.sort();
+    entries.dedup();
+    let reached = analysis.reachable_from(&entries);
+    for fq in &reached {
+        let Some(node) = analysis.nodes.get(fq) else { continue };
+        if node.is_test || rc.excludes(&node.path) || !node.direct.contains(Effect::MayPanic) {
+            continue;
+        }
+        let chain = entries
+            .iter()
+            .find_map(|e| analysis.path_between(e, fq))
+            .map(|c| crate::callgraph::chain_note(&c));
+        for site in &node.sites {
+            if site.effect != Effect::MayPanic {
+                continue;
+            }
+            let mut d = diag(
+                rc,
+                "no-panic-hot-path",
+                &node.path,
+                site.line,
+                format!(
+                    "{} can panic and is reachable from a superstep/serve entry point; \
+                     propagate a typed error instead",
+                    site.what
+                ),
+            );
+            d.note = chain.clone();
+            out.push(d);
+        }
+    }
+    out
+}
+
+/// The effects whose reach into a serialization sink breaks byte-identity.
+const TAINT_EFFECTS: [(Effect, &str); 3] = [
+    (Effect::UnorderedIter, "iterates a hash container in process-random order"),
+    (Effect::UnseededRng, "draws OS entropy from an unseeded RNG"),
+    (Effect::WallClock, "reads the host wall clock"),
+];
+
+/// `determinism-taint`: functions named in `sinks` serialize run output
+/// (`RunResult::to_json`, the wire encode paths). If anything such a sink
+/// transitively calls iterates unordered state, draws OS entropy, or reads
+/// the wall clock, the serialized bytes can differ between identical runs
+/// — exactly the drift the byte-identity suite exists to catch, but found
+/// statically and attributed to a call chain.
+pub fn determinism_taint(rc: &RuleConfig, analysis: &Analysis) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for pat in &rc.sinks {
+        let hits = analysis.resolve_pattern(pat);
+        if hits.is_empty() {
+            out.push(diag(
+                rc,
+                "determinism-taint",
+                "lint.toml",
+                1,
+                format!(
+                    "sink {pat:?} matches no function in the call graph; fix the \
+                     [determinism-taint] sinks list"
+                ),
+            ));
+            continue;
+        }
+        for fq in hits {
+            let Some(node) = analysis.nodes.get(&fq) else { continue };
+            if node.is_test || rc.excludes(&node.path) {
+                continue;
+            }
+            let fx = analysis.effects_of(&fq);
+            for (effect, what) in TAINT_EFFECTS {
+                if !fx.contains(effect) {
+                    continue;
+                }
+                let mut d = diag(
+                    rc,
+                    "determinism-taint",
+                    &node.path,
+                    node.line,
+                    format!(
+                        "`{}` is a serialization sink but transitively {what}; order or \
+                         seed the source before it feeds serialized output",
+                        node.name
+                    ),
+                );
+                if let Some(chain) = analysis.chain(&fq, effect) {
+                    d.note = Some(crate::callgraph::chain_note(&chain));
+                }
+                out.push(d);
+            }
+        }
+    }
     out
 }
 
@@ -546,6 +704,8 @@ mod tests {
             include: vec!["".into()],
             exclude: vec![],
             lock: None,
+            entry_points: Vec::new(),
+            sinks: Vec::new(),
         }
     }
 
@@ -554,6 +714,23 @@ mod tests {
             files.iter().map(|(p, s)| (p.to_string(), lex(s))).collect();
         let ws = Workspace::build(Path::new("/nonexistent-ws-root"), &map).expect("builds");
         (ws, map)
+    }
+
+    fn analysis_of(ws: &Workspace, map: &BTreeMap<String, LexedFile>) -> Analysis {
+        let summaries: Vec<_> = map
+            .iter()
+            .map(|(rel, lexed)| {
+                let module = ws.module_of(rel).unwrap_or("x").to_string();
+                crate::callgraph::summarize_file(rel, &module, lexed, &ws.parsed[rel])
+            })
+            .collect();
+        Analysis::build(ws, &summaries)
+    }
+
+    fn hygiene(files: &[(&str, &str)], path: &str) -> Vec<Diagnostic> {
+        let (ws, map) = ws_of(files);
+        let an = analysis_of(&ws, &map);
+        thread_scope_hygiene(&rc(), path, &map[path], &ws, &an)
     }
 
     #[test]
@@ -567,13 +744,7 @@ mod tests {
                    w\n\
                    });\n\
                    }";
-        let (ws, map) = ws_of(&[("crates/core/src/engine.rs", src)]);
-        let d = thread_scope_hygiene(
-            &rc(),
-            "crates/core/src/engine.rs",
-            &map["crates/core/src/engine.rs"],
-            &ws,
-        );
+        let d = hygiene(&[("crates/core/src/engine.rs", src)], "crates/core/src/engine.rs");
         assert_eq!(d.len(), 4, "{d:?}");
         assert!(d[0].message.contains("`self`"));
         assert!(d[1].message.contains("network.send"));
@@ -587,13 +758,7 @@ mod tests {
                    let out = run_workers(t, n, |w| matmul(&h[w], &wts));\n\
                    for (w, r) in out.iter().enumerate() { network.send(w, r); }\n\
                    }";
-        let (ws, map) = ws_of(&[("crates/core/src/engine.rs", src)]);
-        let d = thread_scope_hygiene(
-            &rc(),
-            "crates/core/src/engine.rs",
-            &map["crates/core/src/engine.rs"],
-            &ws,
-        );
+        let d = hygiene(&[("crates/core/src/engine.rs", src)], "crates/core/src/engine.rs");
         assert!(d.is_empty(), "{d:?}");
     }
 
@@ -602,13 +767,7 @@ mod tests {
         // A local fn named run_workers that resolves to a non-exec module.
         let src = "fn run_workers(n: usize, f: impl Fn(usize)) {}\n\
                    fn go() { run_workers(4, |w| { self_like.send(w); }); }";
-        let (ws, map) = ws_of(&[("crates/graph/src/pool.rs", src)]);
-        let d = thread_scope_hygiene(
-            &rc(),
-            "crates/graph/src/pool.rs",
-            &map["crates/graph/src/pool.rs"],
-            &ws,
-        );
+        let d = hygiene(&[("crates/graph/src/pool.rs", src)], "crates/graph/src/pool.rs");
         assert!(d.is_empty(), "{d:?}");
     }
 
@@ -616,15 +775,95 @@ mod tests {
     fn scope_hygiene_sees_scope_spawn() {
         let src =
             "fn go() { std::thread::scope(|s| { s.spawn(move || { sink.observe(m, l, v); }); }); }";
-        let (ws, map) = ws_of(&[("crates/core/src/exec.rs", src)]);
-        let d = thread_scope_hygiene(
-            &rc(),
-            "crates/core/src/exec.rs",
-            &map["crates/core/src/exec.rs"],
-            &ws,
-        );
+        let d = hygiene(&[("crates/core/src/exec.rs", src)], "crates/core/src/exec.rs");
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].message.contains("sink.observe"));
+    }
+
+    #[test]
+    fn scope_hygiene_flags_transitive_sends_through_helpers() {
+        // closure → helper (other file) → send: invisible to the direct
+        // scan, caught by the call-graph half with a chain note.
+        let engine = "use crate::helpers::ship_partial;\n\
+                      fn go() {\n\
+                      let out = run_workers(t, n, |w| {\n\
+                      ship_partial(w);\n\
+                      w\n\
+                      });\n\
+                      }";
+        let helpers = "pub fn ship_partial(w: usize) { net.send(w, b); }";
+        let d = hygiene(
+            &[("crates/core/src/engine.rs", engine), ("crates/core/src/helpers.rs", helpers)],
+            "crates/core/src/engine.rs",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("transitively emits network traffic"), "{d:?}");
+        let note = d[0].note.as_deref().expect("chain note");
+        assert!(note.contains("ship_partial"), "{note}");
+    }
+
+    #[test]
+    fn scope_hygiene_allows_pure_helpers() {
+        let engine = "use crate::helpers::square;\n\
+                      fn go() { let out = run_workers(t, n, |w| square(w)); }";
+        let helpers = "pub fn square(w: usize) -> usize { w * w }";
+        let d = hygiene(
+            &[("crates/core/src/engine.rs", engine), ("crates/core/src/helpers.rs", helpers)],
+            "crates/core/src/engine.rs",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn panic_reachability_walks_cross_file_chains() {
+        let engine = "use crate::helpers::load;\n\
+                      struct E;\nimpl E { fn run_epoch(&mut self) { load(0); } }";
+        let helpers = "pub fn load(i: usize) -> u32 { table.get(i).unwrap() }";
+        let (ws, map) = ws_of(&[
+            ("crates/core/src/engine.rs", engine),
+            ("crates/core/src/helpers.rs", helpers),
+        ]);
+        let an = analysis_of(&ws, &map);
+        let mut cfg = rc();
+        cfg.entry_points = vec!["E::run_epoch".into()];
+        let d = no_panic_reachable(&cfg, &an);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].path, "crates/core/src/helpers.rs");
+        assert!(d[0].note.as_deref().unwrap().contains("run_epoch"), "{d:?}");
+
+        // Excluding the helper file silences it; a dead entry point errors.
+        cfg.exclude = vec!["crates/core/src/helpers.rs".into()];
+        assert!(no_panic_reachable(&cfg, &an).is_empty());
+        cfg.exclude = vec![];
+        cfg.entry_points = vec!["E::no_such_entry".into()];
+        let d = no_panic_reachable(&cfg, &an);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("matches no function"), "{d:?}");
+    }
+
+    #[test]
+    fn determinism_taint_flags_unordered_flows_into_sinks() {
+        let report = "use crate::stats::summarize;\n\
+                      struct RunResult;\nimpl RunResult {\n\
+                      fn to_json(&self) -> String { summarize(&self.counts); String::new() }\n\
+                      }";
+        let stats = "pub fn summarize(counts: &HashMap<u32, u64>) -> u64 {\n\
+                     let mut n = 0;\nfor v in counts.values() { n += v; }\nn\n}";
+        let (ws, map) =
+            ws_of(&[("crates/core/src/report.rs", report), ("crates/core/src/stats.rs", stats)]);
+        let an = analysis_of(&ws, &map);
+        let mut cfg = rc();
+        cfg.sinks = vec!["RunResult::to_json".into()];
+        let d = determinism_taint(&cfg, &an);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("process-random order"), "{d:?}");
+        assert!(d[0].note.as_deref().unwrap().contains("summarize"), "{d:?}");
+
+        // An unmatched sink pattern is its own error.
+        cfg.sinks = vec!["Nothing::here".into()];
+        let d = determinism_taint(&cfg, &an);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("matches no function"), "{d:?}");
     }
 
     #[test]

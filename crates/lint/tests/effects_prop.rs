@@ -1,0 +1,116 @@
+//! Property tests for the effect-inference fixpoint: on arbitrary (cyclic)
+//! call graphs it must terminate, agree with a brute-force reachability
+//! closure, and be invariant under node relabeling — i.e. the answer
+//! depends on the graph, never on the `BTreeMap` iteration order the
+//! fixpoint happens to sweep in.
+
+use ec_lint::effects::{infer, EffectSet};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Ground truth by definition: a function's effect set is the union of the
+/// direct sets of every node reachable from it (including itself).
+fn reachability_closure(
+    edges: &BTreeMap<String, Vec<String>>,
+    direct: &BTreeMap<String, EffectSet>,
+) -> BTreeMap<String, EffectSet> {
+    let mut names: BTreeSet<String> = direct.keys().cloned().collect();
+    for (caller, callees) in edges {
+        names.insert(caller.clone());
+        names.extend(callees.iter().cloned());
+    }
+    let mut out = BTreeMap::new();
+    for name in &names {
+        let mut seen = BTreeSet::new();
+        let mut queue = vec![name.clone()];
+        let mut set = EffectSet::EMPTY;
+        while let Some(cur) = queue.pop() {
+            if !seen.insert(cur.clone()) {
+                continue;
+            }
+            if let Some(d) = direct.get(&cur) {
+                set.join(*d);
+            }
+            if let Some(callees) = edges.get(&cur) {
+                queue.extend(callees.iter().cloned());
+            }
+        }
+        out.insert(name.clone(), set);
+    }
+    out
+}
+
+/// Builds a graph over `n` nodes from raw pick lists (indices taken mod
+/// `n`, effect bits masked to the 6 real effects). Self-loops and
+/// duplicate edges are kept — the fixpoint must tolerate both.
+fn build_graph(
+    n: usize,
+    edge_picks: &[(usize, usize)],
+    effect_picks: &[(usize, u8)],
+    label: impl Fn(usize) -> String,
+) -> (BTreeMap<String, Vec<String>>, BTreeMap<String, EffectSet>) {
+    let mut edges: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for &(a, b) in edge_picks {
+        edges.entry(label(a % n)).or_default().push(label(b % n));
+    }
+    let mut direct: BTreeMap<String, EffectSet> = BTreeMap::new();
+    for i in 0..n {
+        direct.insert(label(i), EffectSet::EMPTY);
+    }
+    for &(i, bits) in effect_picks {
+        direct.entry(label(i % n)).or_insert(EffectSet::EMPTY).join(EffectSet(bits & 0x3f));
+    }
+    (edges, direct)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The fixpoint terminates on arbitrary cyclic graphs and computes
+    /// exactly the reachability closure of the direct sets.
+    #[test]
+    fn fixpoint_matches_reachability_closure(
+        n in 1usize..24,
+        edge_picks in proptest::collection::vec((0usize..24, 0usize..24), 0..96),
+        effect_picks in proptest::collection::vec((0usize..24, 0u8..64), 0..32),
+    ) {
+        let (edges, direct) = build_graph(n, &edge_picks, &effect_picks, |i| format!("n{i:02}"));
+        let inferred = infer(&edges, &direct);
+        let truth = reachability_closure(&edges, &direct);
+        prop_assert_eq!(inferred, truth);
+    }
+
+    /// Relabeling the nodes (which permutes the BTreeMap sweep order)
+    /// commutes with inference: rename → infer equals infer → rename.
+    #[test]
+    fn fixpoint_is_independent_of_node_order(
+        n in 1usize..24,
+        edge_picks in proptest::collection::vec((0usize..24, 0usize..24), 0..96),
+        effect_picks in proptest::collection::vec((0usize..24, 0u8..64), 0..32),
+        salt in proptest::collection::vec(0u64..u64::MAX, 24..25),
+    ) {
+        // A permutation of 0..n: sort indices by their random salt.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (salt[i], i));
+        let perm = move |i: usize| order[i];
+
+        let fwd = |i: usize| format!("n{i:02}");
+        let renamed = |i: usize| format!("m{:02}", perm(i));
+
+        let (edges_a, direct_a) = build_graph(n, &edge_picks, &effect_picks, fwd);
+        let (edges_b, direct_b) = build_graph(n, &edge_picks, &effect_picks, renamed);
+
+        let inferred_a = infer(&edges_a, &direct_a);
+        let inferred_b = infer(&edges_b, &direct_b);
+
+        // Map A's answer through the relabeling and compare.
+        let mapped: BTreeMap<String, EffectSet> = inferred_a
+            .into_iter()
+            .map(|(name, set)| {
+                let i: usize = name[1..].parse().expect("n-prefixed label");
+                (format!("m{:02}", perm(i)), set)
+            })
+            .collect();
+        prop_assert_eq!(mapped, inferred_b);
+    }
+}

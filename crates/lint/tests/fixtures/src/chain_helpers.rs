@@ -1,0 +1,24 @@
+//! Helpers for the cross-file chain fixtures. `ship_block` is the only
+//! function that touches the network, and `read_unordered` the only one
+//! that walks a hash container; everything upstream picks those effects
+//! up transitively through the call graph.
+
+pub fn fan_out_gradients(w: usize) {
+    ship_block(w);
+}
+
+pub fn ship_block(w: usize) {
+    net.send(w, w as u64);
+}
+
+pub fn pure_norm(w: usize) -> usize {
+    w.saturating_mul(3)
+}
+
+pub fn read_unordered(counts: HashMap<u32, u32>) -> u32 {
+    let mut acc = 0;
+    for (_k, v) in counts.iter() {
+        acc += v;
+    }
+    acc
+}

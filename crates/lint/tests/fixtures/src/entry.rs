@@ -1,0 +1,10 @@
+//! Entry point for the reachability-based `no-panic-hot-path` fixture:
+//! this file is *outside* the rule's include list, and so is the helper
+//! it calls — only the call-graph pass connects the entry point to the
+//! unwrap it must flag.
+
+use crate::panic_helper::load_slot;
+
+pub fn run_epoch_fixture(n: usize) -> u32 {
+    load_slot(n)
+}

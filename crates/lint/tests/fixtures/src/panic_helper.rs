@@ -1,0 +1,15 @@
+//! Helper reachable from `run_epoch_fixture`; its unwrap is flagged by
+//! the call-graph pass even though this file is outside the token-scan
+//! include list. `lookup` itself is clean and must stay unflagged.
+
+pub fn load_slot(n: usize) -> u32 {
+    lookup(n).unwrap()
+}
+
+fn lookup(n: usize) -> Option<u32> {
+    if n > 0 {
+        Some(n as u32)
+    } else {
+        None
+    }
+}

@@ -1,0 +1,27 @@
+//! Seeded *transitive* `thread-scope-hygiene` violations: the closure
+//! body is pure at the token level, but a called helper reaches a send
+//! two hops down the call graph.
+
+use crate::chain_helpers::{fan_out_gradients, pure_norm};
+use crate::exec::run_workers;
+
+pub struct ChainEngine;
+
+impl ChainEngine {
+    /// Positive: `fan_out_gradients` → `ship_block` → `net.send` — the
+    /// send is two files away but still races the ordered replay.
+    pub fn chained_send(&mut self, threads: usize, n: usize) {
+        let _out = run_workers(threads, n, |w| {
+            fan_out_gradients(w);
+            w
+        });
+    }
+
+    /// Clean: the helper is pure compute all the way down.
+    pub fn chained_pure(&mut self, threads: usize, n: usize) {
+        let _out = run_workers(threads, n, |w| {
+            pure_norm(w);
+            w
+        });
+    }
+}

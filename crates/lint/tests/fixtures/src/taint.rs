@@ -1,0 +1,24 @@
+//! Seeded `determinism-taint` violations: a serialization sink whose
+//! helper chain reaches unordered iteration. `CleanReport::to_json`
+//! proves a sink with a pure call graph stays quiet.
+
+use crate::chain_helpers::read_unordered;
+
+pub struct FixtureReport;
+
+impl FixtureReport {
+    /// Positive: `to_json` → `read_unordered` → HashMap iteration.
+    pub fn to_json(&self) -> String {
+        let total = read_unordered(self.counts);
+        format!("{{\"total\":{total}}}")
+    }
+}
+
+pub struct CleanReport;
+
+impl CleanReport {
+    /// Clean: fixed arithmetic only.
+    pub fn to_json(&self) -> String {
+        String::from("{}")
+    }
+}

@@ -57,6 +57,7 @@ fn every_rule_fires_on_the_fixtures() {
         "no-float-unordered-reduce",
         "metric-catalog-sync",
         "wire-schema-lock",
+        "determinism-taint",
         "unused-suppression",
     ] {
         assert!(
@@ -130,4 +131,133 @@ fn json_output_lists_every_diagnostic() {
             || text.contains(&format!("\"errors\": {errors}")),
         "{text}"
     );
+}
+
+/// Builds the interprocedural analysis over a workspace root the same way
+/// `run_with` does, so tests can inspect the graph directly.
+fn analysis_over(root: &Path) -> (Vec<String>, ec_lint::callgraph::Analysis) {
+    let files = ec_lint::collect_rust_files(root).unwrap();
+    let mut lexed = std::collections::BTreeMap::new();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel)).unwrap();
+        lexed.insert(rel.clone(), ec_lint::lexer::lex(&src));
+    }
+    let ws = ec_lint::symbols::Workspace::build(root, &lexed).unwrap();
+    let mut summaries = Vec::new();
+    for rel in &files {
+        if rel.starts_with("tests/fixtures/") || rel.contains("/tests/fixtures/") {
+            continue;
+        }
+        let module = ws.module_of(rel).unwrap_or("").to_string();
+        summaries.push(ec_lint::callgraph::summarize_file(
+            rel,
+            &module,
+            &lexed[rel],
+            &ws.parsed[rel],
+        ));
+    }
+    (files, ec_lint::callgraph::Analysis::build(&ws, &summaries))
+}
+
+#[test]
+fn fixture_call_graph_matches_the_snapshot() {
+    let (_, analysis) = analysis_over(&fixtures_root());
+    let mut dump = String::new();
+    for (fq, node) in &analysis.nodes {
+        let all = analysis.effects_of(fq);
+        dump.push_str(&format!("fn {fq} direct={} all={}\n", node.direct, all));
+        if let Some(sites) = analysis.edges.get(fq) {
+            let mut callees: Vec<&str> = sites.iter().map(|s| s.callee.as_str()).collect();
+            callees.sort_unstable();
+            callees.dedup();
+            for c in callees {
+                dump.push_str(&format!("  -> {c}\n"));
+            }
+        }
+    }
+    let snapshot = fixtures_root().join("callgraph.txt");
+    if std::env::var("UPDATE_CALLGRAPH_SNAPSHOT").is_ok() {
+        std::fs::write(&snapshot, &dump).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&snapshot).expect(
+        "tests/fixtures/callgraph.txt missing; regenerate with \
+         UPDATE_CALLGRAPH_SNAPSHOT=1 cargo test -p ec-lint --test golden",
+    );
+    assert_eq!(
+        dump, expected,
+        "fixture call graph drifted from tests/fixtures/callgraph.txt; \
+         regenerate it if the change is intentional"
+    );
+}
+
+/// Acceptance: the call graph is total over the real workspace — every
+/// non-fixture `.rs` file parses into the symbol table and yields a
+/// summary, and every summarized function landed in the graph.
+#[test]
+fn call_graph_covers_every_workspace_file() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let (files, analysis) = analysis_over(&root);
+    let covered: std::collections::BTreeSet<&str> =
+        analysis.nodes.values().map(|n| n.path.as_str()).collect();
+    for rel in &files {
+        if rel.starts_with("tests/fixtures/") || rel.contains("/tests/fixtures/") {
+            continue;
+        }
+        // A file whose parse yields no `fn` items contributes no nodes —
+        // e.g. one whose functions all live inside macro invocations,
+        // which the tolerant parser deliberately treats as opaque. Every
+        // file with at least one parsed `fn` must appear in the graph.
+        let src = std::fs::read_to_string(root.join(rel)).unwrap();
+        let lexed = ec_lint::lexer::lex(&src);
+        let parsed = ec_lint::parser::parse(&lexed).unwrap();
+        let has_fns = parsed.all_items().iter().any(|i| i.kind == ec_lint::parser::ItemKind::Fn);
+        if has_fns {
+            assert!(covered.contains(rel.as_str()), "no call-graph nodes from {rel}");
+        }
+    }
+    assert!(analysis.nodes.len() > 1000, "workspace graph suspiciously small");
+}
+
+/// Acceptance: a cold run and a warm (fully cached) run over the fixture
+/// corpus produce byte-identical JSON and SARIF.
+#[test]
+fn cold_and_warm_cache_runs_are_byte_identical() {
+    let bin = env!("CARGO_BIN_EXE_ec-lint");
+    let scratch = std::env::temp_dir().join(format!("ec-lint-coldwarm-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).unwrap();
+    let cache = scratch.join("cache");
+    let run = |sarif: &Path| {
+        let out = Command::new(bin)
+            .args(["--check", "--json", "--root"])
+            .arg(fixtures_root())
+            .arg("--cache-dir")
+            .arg(&cache)
+            .arg("--sarif")
+            .arg(sarif)
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(1), "fixtures fail the check either way");
+        out.stdout
+    };
+    let cold_sarif = scratch.join("cold.sarif");
+    let warm_sarif = scratch.join("warm.sarif");
+    let cold_json = run(&cold_sarif);
+    assert!(cache.read_dir().unwrap().next().is_some(), "cold run populated the cache");
+    let warm_json = run(&warm_sarif);
+    assert_eq!(cold_json, warm_json, "warm cache changed the JSON bytes");
+    assert_eq!(
+        std::fs::read(&cold_sarif).unwrap(),
+        std::fs::read(&warm_sarif).unwrap(),
+        "warm cache changed the SARIF bytes"
+    );
+    std::fs::remove_dir_all(&scratch).ok();
+}
+
+#[test]
+fn sarif_export_covers_every_fixture_diagnostic() {
+    let diags = fixture_diags();
+    let log = ec_lint::sarif::to_sarif(&diags);
+    let results = log["runs"][0]["results"].as_array().expect("results").len();
+    assert_eq!(results, diags.len());
 }

@@ -29,7 +29,11 @@ echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== ec-lint (determinism / panic / wire-schema invariants) =="
-cargo run -q -p ec-lint -- --check
+# --cache keeps per-file analysis summaries under target/ec-lint-cache so
+# repeated local runs only re-analyze edited files; the JSON and SARIF
+# reports at the repo root are what CI uploads as artifacts.
+cargo run -q -p ec-lint -- --check --cache --sarif ec-lint-report.sarif \
+  | tee ec-lint-report.txt
 
 echo "== cargo test =="
 cargo test --workspace -q

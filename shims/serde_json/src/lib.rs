@@ -1,10 +1,11 @@
 //! Offline stand-in for `serde_json`: a [`Value`] tree, the [`json!`]
-//! constructor macro, and RFC 8259 text output via `Display`/`to_string`.
-//!
-//! Only the construction-and-print path the bench harness uses is
-//! implemented; parsing is intentionally absent.
+//! constructor macro, RFC 8259 text output via `Display`/`to_string`, and
+//! a matching [`from_str`] parser with the upstream accessor surface
+//! (`get`, `as_*`, `Index`/`IndexMut`) — enough for round-tripping the
+//! ec-lint analysis cache and other tool state through disk.
 
 use std::fmt;
+use std::ops::{Index, IndexMut};
 
 /// A JSON value.
 #[derive(Clone, Debug, PartialEq)]
@@ -25,6 +26,346 @@ pub enum Value {
     Array(Vec<Value>),
     /// An object with insertion-ordered keys.
     Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object member lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) => u64::try_from(*i).ok(),
+            Value::UInt(u) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, when it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+    /// Upstream semantics: out-of-bounds or non-array indexing yields
+    /// `Value::Null` rather than panicking.
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl IndexMut<&str> for Value {
+    /// Upstream semantics: indexing an object with a missing key inserts
+    /// `null` there; indexing a non-object panics.
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        let Value::Object(fields) = self else {
+            panic!("cannot index non-object JSON value with a string key");
+        };
+        if let Some(pos) = fields.iter().position(|(k, _)| k == key) {
+            return &mut fields[pos].1;
+        }
+        fields.push((key.to_string(), Value::Null));
+        &mut fields.last_mut().expect("just pushed").1
+    }
+}
+
+/// A parse failure, with a byte offset into the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset of the failure.
+    pub offset: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Parses RFC 8259 text into a [`Value`].
+///
+/// # Errors
+/// Malformed input, or trailing non-whitespace after the top-level value.
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let bytes = text.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> Error {
+        Error { message: message.to_string(), offset: self.pos }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_word(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.bytes.get(self.pos) {
+            Some(b'n') => self.expect_word("null", Value::Null),
+            Some(b't') => self.expect_word("true", Value::Bool(true)),
+            Some(b'f') => self.expect_word("false", Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.pos += 1; // [
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.eat(b']') {
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            if self.eat(b']') {
+                return Ok(Value::Array(items));
+            }
+            if !self.eat(b',') {
+                return Err(self.err("expected ',' or ']' in array"));
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.pos += 1; // {
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.eat(b'}') {
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.bytes.get(self.pos) != Some(&b'"') {
+                return Err(self.err("expected a string object key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if !self.eat(b':') {
+                return Err(self.err("expected ':' after object key"));
+            }
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            if self.eat(b'}') {
+                return Ok(Value::Object(fields));
+            }
+            if !self.eat(b',') {
+                return Err(self.err("expected ',' or '}' in object"));
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.pos += 1; // "
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            // Surrogate pairs: combine \uD800-\uDBFF with
+                            // the following low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&hex) {
+                                let rest = self.bytes.get(self.pos + 5..self.pos + 11);
+                                let low = rest
+                                    .filter(|r| r.starts_with(b"\\u"))
+                                    .and_then(|r| std::str::from_utf8(&r[2..]).ok())
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                    .filter(|l| (0xDC00..0xE000).contains(l))
+                                    .ok_or_else(|| self.err("unpaired surrogate"))?;
+                                self.pos += 6;
+                                0x10000 + ((hex - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                hex
+                            };
+                            out.push(char::from_u32(c).ok_or_else(|| self.err("bad codepoint"))?);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) if b < 0x80 => {
+                    if b < 0x20 {
+                        return Err(self.err("unescaped control character"));
+                    }
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: the input is a &str, so this is a
+                    // valid sequence; copy the whole char.
+                    let s = &self.bytes[self.pos..];
+                    let text = std::str::from_utf8(s).map_err(|_| self.err("bad utf-8"))?;
+                    let c = text.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        self.eat(b'-');
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.eat(b'.') {
+            is_float = true;
+            while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if !self.eat(b'+') {
+                self.eat(b'-');
+            }
+            while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>().map(Value::Float).map_err(|_| self.err("bad number"))
+    }
 }
 
 /// Conversion into a [`Value`], used by the [`json!`] macro.
@@ -214,5 +555,52 @@ mod tests {
     #[test]
     fn strings_escape() {
         assert_eq!(json!("a\"b\n").to_string(), r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn parse_round_trips_print() {
+        let b = vec![json!(true), json!(null), json!("x\ny")];
+        let c = json!({"d": -7i64});
+        let v = json!({"a": 1usize, "b": b, "c": c});
+        let text = v.to_string();
+        let back = crate::from_str(&text).expect("parses");
+        assert_eq!(back, v);
+        assert_eq!(back.to_string(), text);
+    }
+
+    #[test]
+    fn accessors_read_members() {
+        let v = crate::from_str(r#"{"n": 42, "s": "hi", "b": false, "arr": [1, 2]}"#).unwrap();
+        assert_eq!(v.get("n").and_then(crate::Value::as_u64), Some(42));
+        assert_eq!(v["s"].as_str(), Some("hi"));
+        assert_eq!(v["b"].as_bool(), Some(false));
+        assert_eq!(v["arr"].as_array().map(Vec::len), Some(2));
+        assert!(v["missing"].is_null());
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn index_mut_inserts_and_overwrites() {
+        let mut v = json!({"keep": 1u32});
+        v["note"] = json!("added");
+        v["keep"] = json!(2u32);
+        assert_eq!(v.to_string(), r#"{"keep":2,"note":"added"}"#);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(crate::from_str("{").is_err());
+        assert!(crate::from_str("[1,]").is_err());
+        assert!(crate::from_str(r#"{"a" 1}"#).is_err());
+        assert!(crate::from_str("1 2").is_err(), "trailing tokens");
+        assert!(crate::from_str("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parse_handles_numbers_and_unicode_escapes() {
+        assert_eq!(crate::from_str("-12").unwrap(), crate::Value::Int(-12));
+        assert_eq!(crate::from_str("18446744073709551615").unwrap(), crate::Value::UInt(u64::MAX));
+        assert_eq!(crate::from_str("2.5e2").unwrap().as_f64(), Some(250.0));
+        assert_eq!(crate::from_str(r#""é😀""#).unwrap().as_str(), Some("é😀"));
     }
 }
