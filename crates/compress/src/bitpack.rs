@@ -5,11 +5,15 @@
 //! equivalent of the paper's Fig. 3 step that concatenates 2-bit codes into
 //! 32-bit unsigned integers.
 //!
-//! The codecs work word-at-a-time over a `u64` accumulator (at most
-//! `7 + 32` bits are ever in flight, so the accumulator cannot overflow)
-//! instead of shuffling individual bits, and the streaming entry points
-//! [`pack_iter`] / [`unpack_iter`] let quantization fuse bucketing with
-//! packing so no intermediate code vector is ever allocated.
+//! The codecs stream through a `u64` accumulator in whole-word lanes
+//! rather than shuffling individual bits or bytes. Widths that divide 64
+//! (1, 2, 4, 8, 16, 32 — every width the Bit-Tuner actually picks) pack
+//! `64/bits` codes per `u64` and emit/refill eight little-endian bytes at
+//! a time; other widths flush four bytes per drain. Both paths produce
+//! byte-for-byte the layout of the original byte-at-a-time loops (LSB-first
+//! emission of the accumulator *is* little-endian order), and the streaming
+//! entry points [`pack_iter`] / [`unpack_iter`] let quantization fuse
+//! bucketing with packing so no intermediate code vector is ever allocated.
 
 /// Packs `codes` (each `< 2^bits`) into a byte buffer, LSB-first.
 ///
@@ -40,20 +44,46 @@ pub fn pack(codes: &[u32], bits: u8) -> Vec<u8> {
 pub fn pack_iter(codes: impl IntoIterator<Item = u32>, count: usize, bits: u8) -> Vec<u8> {
     assert!((1..=32).contains(&bits), "bit width {bits} out of range");
     let mut out = Vec::with_capacity(packed_len(count, bits));
+    let mut iter = codes.into_iter();
+    let mut taken = 0usize;
+    if 64 % bits as u32 == 0 {
+        // Whole-word lane: `per_word` codes fill a u64 exactly, and
+        // LSB-first emission of a full accumulator is its little-endian
+        // byte order, so the layout matches the byte-at-a-time path.
+        let per_word = (64 / bits as u32) as usize;
+        'words: for _ in 0..count / per_word {
+            let mut word = 0u64;
+            let mut shift = 0u32;
+            for _ in 0..per_word {
+                // A short iterator falls through to the final count check.
+                let Some(code) = iter.next() else { break 'words };
+                word |= (code as u64) << shift;
+                shift += bits as u32;
+                taken += 1;
+            }
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+    }
+    // Generic path and the sub-word tail: drain four bytes per flush (the
+    // accumulator peaks at 31 + 32 bits in flight, so it cannot overflow).
     let mut acc = 0u64;
     let mut nbits = 0u32;
-    let mut taken = 0usize;
-    for code in codes.into_iter().take(count) {
+    for code in iter.take(count - taken) {
         acc |= (code as u64) << nbits;
         nbits += bits as u32;
-        while nbits >= 8 {
-            out.push(acc as u8);
-            acc >>= 8;
-            nbits -= 8;
+        if nbits >= 32 {
+            out.extend_from_slice(&(acc as u32).to_le_bytes());
+            acc >>= 32;
+            nbits -= 32;
         }
         taken += 1;
     }
     assert_eq!(taken, count, "iterator yielded {taken} codes, expected {count}");
+    while nbits >= 8 {
+        out.push(acc as u8);
+        acc >>= 8;
+        nbits -= 8;
+    }
     if nbits > 0 {
         out.push(acc as u8);
     }
@@ -111,6 +141,15 @@ impl Iterator for Unpacker<'_> {
             return None;
         }
         self.remaining -= 1;
+        if self.nbits == 0 && self.pos + 8 <= self.bytes.len() {
+            // Whole-word refill. The accumulator holds exactly `nbits`
+            // valid bits at all times, so at zero it is empty and absorbs a
+            // full little-endian u64 — one load instead of eight shifts.
+            let b = &self.bytes[self.pos..self.pos + 8];
+            self.acc = u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]);
+            self.pos += 8;
+            self.nbits = 64;
+        }
         while self.nbits < self.bits {
             // In-bounds by the `unpack_iter` length check.
             self.acc |= (self.bytes[self.pos] as u64) << self.nbits;

@@ -135,19 +135,23 @@ impl ComputeConfig {
     }
 
     /// Resolves `(worker_threads, kernel_threads)` for `num_workers`
-    /// simulated workers: auto worker threads cap at the worker count, and
-    /// auto kernel threads divide the remaining machine parallelism so the
-    /// two levels never oversubscribe each other.
+    /// simulated workers: auto worker threads cap at the worker count, auto
+    /// kernel threads divide the remaining machine parallelism, and *both*
+    /// levels — explicit or auto — cap at the physical parallelism the
+    /// shared [`ec_tensor::pool`] reported at construction. Requesting 8
+    /// threads on a 2-core host therefore runs 2, never 8 time-sliced
+    /// lanes: oversubscription only adds context-switch cost, and the
+    /// self-timed compute blocks would report inflated wall clocks.
     pub fn resolve(&self, num_workers: usize) -> (usize, usize) {
         let machine = ec_tensor::parallel::effective_threads(0);
-        let wt = if self.worker_threads == 0 { machine } else { self.worker_threads }
+        let wt = if self.worker_threads == 0 { machine } else { self.worker_threads.min(machine) }
             .min(num_workers.max(1));
         let kt = if self.kernel_threads == 0 {
             (machine / wt.max(1)).max(1)
         } else {
-            self.kernel_threads
+            self.kernel_threads.min(machine)
         };
-        (wt.max(1), kt)
+        (wt.max(1), kt.max(1))
     }
 }
 
@@ -340,10 +344,22 @@ mod tests {
 
     #[test]
     fn compute_config_resolution() {
-        // Explicit counts pass through (workers cap the worker level).
-        assert_eq!(ComputeConfig { worker_threads: 3, kernel_threads: 2 }.resolve(8), (3, 2));
-        assert_eq!(ComputeConfig { worker_threads: 16, kernel_threads: 1 }.resolve(4), (4, 1));
+        // Explicit counts pass through up to the physical parallelism of
+        // the host (and workers cap the worker level) — the assertions are
+        // phrased against `machine` so they hold on any core count.
+        let machine = ec_tensor::parallel::effective_threads(0);
+        assert_eq!(
+            ComputeConfig { worker_threads: 3, kernel_threads: 2 }.resolve(8),
+            (3.min(machine), 2.min(machine))
+        );
+        assert_eq!(
+            ComputeConfig { worker_threads: 16, kernel_threads: 1 }.resolve(4),
+            (4.min(machine), 1)
+        );
         assert_eq!(ComputeConfig::sequential().resolve(6), (1, 1));
+        // Oversubscription never survives resolution.
+        let (wt, kt) = ComputeConfig { worker_threads: 1024, kernel_threads: 1024 }.resolve(2048);
+        assert!(wt <= machine && kt <= machine);
         // Auto resolves to at least one thread per level.
         let (wt, kt) = ComputeConfig::default().resolve(4);
         assert!((1..=4).contains(&wt));

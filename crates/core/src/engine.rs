@@ -107,6 +107,13 @@ pub struct DistributedEngine {
     network: SimNetwork,
     preprocessing: PreprocessingStats,
 
+    /// Persistent worker-block thread pool, built once from
+    /// `config.compute` — superstep fan-outs reuse its lanes instead of
+    /// spawning scoped threads per call.
+    pool: exec::WorkerPool,
+    /// Kernel-level thread budget resolved once alongside the pool.
+    kernel_threads: usize,
+
     /// `h_local[w][l]` = local rows of `H^l` (`l = 0` is the features).
     h_local: Vec<Vec<Matrix>>,
     /// `z_local[w][l-1]` = local rows of the pre-activation `Z^l`.
@@ -296,6 +303,11 @@ impl DistributedEngine {
         };
         let telemetry = TelemetrySink::new(&config.telemetry, num_workers);
 
+        // Resolve the two-level thread budget once and stand up the
+        // persistent worker pool; every superstep fan-out reuses it.
+        let (worker_threads, kernel_threads) = config.compute.resolve(num_workers);
+        let pool = exec::WorkerPool::new(worker_threads);
+
         Self {
             config,
             data,
@@ -304,6 +316,8 @@ impl DistributedEngine {
             ps,
             network,
             preprocessing,
+            pool,
+            kernel_threads,
             h_local,
             z_local,
             h0_cat,
@@ -483,11 +497,12 @@ impl DistributedEngine {
         // Within-epoch superstep index (FP layers, BP layers, the update).
         let mut ss: u32 = 0;
 
-        // Intra-superstep parallelism: `wt` worker compute blocks fan out on
-        // scoped threads, each using `kt`-way kernels. All exchanges and
-        // accumulations are replayed in ascending worker order afterwards,
-        // so results are bit-identical to the sequential engine.
-        let (wt, kt) = self.config.compute.resolve(num_workers);
+        // Intra-superstep parallelism: worker compute blocks fan out on the
+        // engine's persistent pool, each using `kt`-way kernels. All
+        // exchanges and accumulations are replayed in ascending worker
+        // order afterwards, so results are bit-identical to the sequential
+        // engine.
+        let kt = self.kernel_threads;
         let factors: Vec<f64> = (0..num_workers).map(|w| self.compute_factor(w)).collect();
 
         // ---------------- Forward propagation ----------------
@@ -540,7 +555,7 @@ impl DistributedEngine {
                 let h_local = &self.h_local;
                 let h0_cat = &self.h0_cat;
                 let contexts = &self.contexts;
-                exec::run_workers(wt, num_workers, |w| {
+                exec::run_workers(&self.pool, num_workers, |w| {
                     let start = HostTimer::start();
                     let h_cat = match &remotes[w] {
                         None => h0_cat[w].clone(),
@@ -589,7 +604,7 @@ impl DistributedEngine {
             let labels_local = &self.labels_local;
             let train_local = &self.train_local;
             let total_train = self.total_train;
-            exec::run_workers(wt, num_workers, |w| {
+            exec::run_workers(&self.pool, num_workers, |w| {
                 let start = HostTimer::start();
                 let (loss, g) = local_loss_grad(
                     &h_local[w][num_layers],
@@ -662,7 +677,7 @@ impl DistributedEngine {
                 let z_local = &self.z_local;
                 let contexts = &self.contexts;
                 let g_cur = &g_cur;
-                exec::run_workers(wt, num_workers, |w| {
+                exec::run_workers(&self.pool, num_workers, |w| {
                     let start = HostTimer::start();
                     let topo = &contexts[w].layers[l - 1];
                     let g_cat = g_cur[w].vstack(&g_remote[w]);
@@ -728,7 +743,7 @@ impl DistributedEngine {
                 let h0_cat = &self.h0_cat;
                 let contexts = &self.contexts;
                 let g_cur = &g_cur;
-                exec::run_workers(wt, num_workers, |w| {
+                exec::run_workers(&self.pool, num_workers, |w| {
                     let start = HostTimer::start();
                     let topo = &contexts[w].layers[0];
                     let ah0 = parallel::spmm(&topo.adj_local, &h0_cat[w], kt);

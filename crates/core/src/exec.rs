@@ -3,31 +3,38 @@
 //! Between two superstep barriers the simulated workers are independent by
 //! construction: each compute block reads only its own partition's state
 //! (plus shared read-only weights) and writes only its own slots. This
-//! module runs those blocks on scoped threads and hands the results back
-//! **in ascending worker order**, so the caller can replay every
-//! order-sensitive effect — message emission, gradient accumulation,
-//! `max`-compute reduction — exactly as the sequential engine did. Each
-//! closure times itself with [`ec_comm::HostTimer`]; the caller applies
-//! straggler factors and the per-superstep `max` on the replay pass.
+//! module runs those blocks on a persistent [`WorkerPool`] (owned by the
+//! engine, built once per `ComputeConfig` — not spawned per superstep like
+//! the old scoped threads) and hands the results back **in ascending
+//! worker order**, so the caller can replay every order-sensitive effect —
+//! message emission, gradient accumulation, `max`-compute reduction —
+//! exactly as the sequential engine did. Each closure times itself with
+//! [`ec_comm::HostTimer`]; the caller applies straggler factors and the
+//! per-superstep `max` on the replay pass.
 
-/// Runs `f(0), …, f(n - 1)` across at most `threads` scoped threads and
-/// returns the results indexed by worker.
+use ec_tensor::pool::Task;
+pub use ec_tensor::pool::WorkerPool;
+
+/// Runs `f(0), …, f(n - 1)` across the pool's lanes and returns the
+/// results indexed by worker.
 ///
-/// With `threads <= 1` this is a plain sequential loop (the historical
-/// engine behavior). Otherwise workers are split into contiguous bands,
-/// one scoped thread per band, each filling the disjoint slice of the
-/// result vector that belongs to its workers — no locks, no reordering. A
-/// panicking closure propagates at the scope join, like the sequential
-/// loop would.
-pub fn run_workers<R: Send>(threads: usize, n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
-    let threads = threads.clamp(1, n.max(1));
+/// With a 1-thread pool (or `n <= 1`) this is a plain sequential loop (the
+/// historical engine behavior). Otherwise workers are split into
+/// contiguous bands, one pool task per band (band `i` on lane
+/// `i % threads`, deterministically), each filling the disjoint slice of
+/// the result vector that belongs to its workers — no locks, no
+/// reordering. A panicking closure propagates after the whole batch
+/// completes, and the pool survives it.
+pub fn run_workers<R: Send>(pool: &WorkerPool, n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+    let threads = pool.threads().clamp(1, n.max(1));
     if threads == 1 || n <= 1 {
         return (0..n).map(f).collect();
     }
     let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
     let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
+    {
         let f = &f;
+        let mut tasks: Vec<Task<'_>> = Vec::with_capacity(threads);
         let mut rest = slots.as_mut_slice();
         let mut w0 = 0usize;
         while w0 < n {
@@ -35,14 +42,15 @@ pub fn run_workers<R: Send>(threads: usize, n: usize, f: impl Fn(usize) -> R + S
             let (band, tail) = rest.split_at_mut(here);
             rest = tail;
             let start = w0;
-            scope.spawn(move || {
+            tasks.push(Box::new(move || {
                 for (i, slot) in band.iter_mut().enumerate() {
                     *slot = Some(f(start + i));
                 }
-            });
+            }));
             w0 += here;
         }
-    });
+        pool.run(tasks);
+    }
     // Every slot was filled by exactly one band; `flatten` cannot drop
     // anything (and `debug_assert` guards the invariant in tests).
     debug_assert!(slots.iter().all(Option::is_some));
@@ -57,15 +65,17 @@ mod tests {
     #[test]
     fn results_come_back_in_worker_order() {
         for threads in [0usize, 1, 2, 3, 7, 16] {
-            let out = run_workers(threads, 9, |w| w * w);
+            let pool = WorkerPool::new(threads);
+            let out = run_workers(&pool, 9, |w| w * w);
             assert_eq!(out, (0..9).map(|w| w * w).collect::<Vec<_>>(), "threads={threads}");
         }
     }
 
     #[test]
     fn every_worker_runs_exactly_once() {
+        let pool = WorkerPool::new(4);
         let counter = AtomicUsize::new(0);
-        let out = run_workers(4, 11, |w| {
+        let out = run_workers(&pool, 11, |w| {
             counter.fetch_add(1, Ordering::SeqCst);
             w
         });
@@ -74,8 +84,20 @@ mod tests {
     }
 
     #[test]
+    fn pool_is_reusable_across_batches() {
+        // The whole point of the persistent pool: many fan-outs, one set
+        // of lanes. Results must stay ordered on every reuse.
+        let pool = WorkerPool::new(4);
+        for round in 0..50usize {
+            let out = run_workers(&pool, 7, |w| w + round);
+            assert_eq!(out, (0..7).map(|w| w + round).collect::<Vec<_>>(), "round={round}");
+        }
+    }
+
+    #[test]
     fn degenerate_sizes() {
-        assert!(run_workers(4, 0, |w| w).is_empty());
-        assert_eq!(run_workers(8, 1, |w| w + 1), vec![1]);
+        let pool = WorkerPool::new(4);
+        assert!(run_workers(&pool, 0, |w| w).is_empty());
+        assert_eq!(run_workers(&WorkerPool::new(8), 1, |w| w + 1), vec![1]);
     }
 }

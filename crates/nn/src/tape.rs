@@ -61,10 +61,12 @@ impl Tape {
 
     /// Creates an empty tape whose dense kernels (`matmul` and its two
     /// transpose-gradient forms, plus `spmm`) use up to `threads`-way
-    /// band parallelism. `0` means auto (machine parallelism). Results
-    /// are bit-identical to the sequential tape for any thread count;
-    /// only `spmm_t` (a column scatter, not band-parallelizable) stays
-    /// sequential.
+    /// band parallelism on the process-wide persistent
+    /// [`ec_tensor::pool`]. `0` means auto; any explicit count is capped
+    /// at the physical parallelism the pool reported at construction, so
+    /// kernels never oversubscribe the host. Results are bit-identical to
+    /// the sequential tape for any thread count; only `spmm_t` (a column
+    /// scatter, not band-parallelizable) stays sequential.
     pub fn with_threads(threads: usize) -> Self {
         Self { nodes: Vec::new(), threads }
     }

@@ -225,12 +225,23 @@ impl Matrix {
     }
 
     /// The transpose of the matrix.
+    ///
+    /// Blocked over 32×32 tiles so both the source rows and the
+    /// destination columns of the active tile stay cache-resident — a pure
+    /// permutation, so the blocking has no numeric effect.
     pub fn transpose(&self) -> Self {
+        const TILE: usize = 32;
         let mut out = Self::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            let row = self.row(r);
-            for (c, &v) in row.iter().enumerate() {
-                out.data[c * self.rows + r] = v;
+        for r0 in (0..self.rows).step_by(TILE) {
+            let rh = TILE.min(self.rows - r0);
+            for c0 in (0..self.cols).step_by(TILE) {
+                let ch = TILE.min(self.cols - c0);
+                for r in r0..r0 + rh {
+                    let src = &self.data[r * self.cols + c0..r * self.cols + c0 + ch];
+                    for (dc, &v) in src.iter().enumerate() {
+                        out.data[(c0 + dc) * self.rows + r] = v;
+                    }
+                }
             }
         }
         out

@@ -19,13 +19,15 @@
 //! experiment in `EXPERIMENTS.md` exactly reproducible. The [`parallel`]
 //! module offers thread-parallel variants of the hot kernels whose output
 //! is bit-identical to the sequential ones (rows are partitioned across
-//! threads, each computed in the same order).
+//! the lanes of a persistent [`pool::WorkerPool`], each band computed in
+//! the same order by the same blocked kernel body).
 
 pub mod activations;
 pub mod dense;
 pub mod init;
 pub mod ops;
 pub mod parallel;
+pub mod pool;
 pub mod sparse;
 pub mod stats;
 

@@ -1,200 +1,172 @@
-//! Thread-parallel variants of the hot kernels.
+//! Thread-parallel variants of the hot kernels, dispatched on the
+//! persistent [`crate::pool`].
 //!
-//! Output rows are partitioned across threads, and each output row is
-//! computed by exactly one thread with the same inner-loop order as the
-//! sequential kernel — so results are **bit-identical** to
-//! [`crate::ops::matmul`] / [`CsrMatrix::spmm`], and all determinism
-//! guarantees of the simulation carry over. The paper's workers are
-//! multi-core machines (4- and 32-core Xeons); these kernels are what a
-//! production deployment would run inside each worker. The speedup is of
-//! course hardware-bound: on a single-core host (like some CI runners —
-//! check the `spmm` criterion bench output) the scoped threads are pure
-//! overhead and [`effective_threads`]`(0)` correctly resolves to 1.
+//! Output rows are partitioned into contiguous bands, band `i` runs on
+//! pool lane `i % threads`, and each band is computed by the **same**
+//! blocked kernel body ([`crate::ops::matmul_into`] and friends) the
+//! sequential entry points use — so results are bit-identical to
+//! [`crate::ops::matmul`] / [`CsrMatrix::spmm`] by construction, and all
+//! determinism guarantees of the simulation carry over. The paper's
+//! workers are multi-core machines (4- and 32-core Xeons); these kernels
+//! are what a production deployment would run inside each worker.
+//!
+//! Two guards keep dispatch from ever costing more than it buys:
+//!
+//! * [`effective_threads`] caps every request at the physical parallelism
+//!   recorded when the shared pool was built — on a 1-core host all
+//!   requests resolve to 1 and every kernel runs inline (the pre-pool
+//!   scoped threads ran anyway and time-sliced the core, which is how the
+//!   old 2-thread benchmark rows came out *slower* than sequential);
+//! * [`band_count`] converts the kernel's multiply-accumulate count into a
+//!   band budget, so matrices below [`MIN_BAND_WORK`] per band never leave
+//!   the calling thread (the old `m < 2 * threads` row-count test let
+//!   tiny, wide-enough matmuls pay dispatch overhead for microseconds of
+//!   work).
 
 use crate::dense::Matrix;
+use crate::ops;
+use crate::pool::{self, Task};
 use crate::sparse::CsrMatrix;
 
-/// Picks a worker count: `threads` if nonzero, else the machine's
-/// parallelism (capped at 16 — beyond that the kernels here are memory
-/// bound).
+/// Minimum multiply-accumulate count a band must carry before pool
+/// dispatch pays for itself. Handing a task to a lane and collecting it
+/// costs a few microseconds; 128 Ki MACs is roughly 50–100 µs of kernel
+/// work, comfortably past break-even.
+pub const MIN_BAND_WORK: usize = 128 * 1024;
+
+/// Resolves a requested thread count: `0` means the shared pool's size,
+/// anything else is capped by it. The cap is the physical parallelism
+/// sampled at pool construction — kernel dispatch can never oversubscribe
+/// the host, whatever the configuration asks for.
 pub fn effective_threads(threads: usize) -> usize {
-    if threads > 0 {
-        threads
+    let cap = pool::shared().threads();
+    if threads == 0 {
+        cap
     } else {
-        std::thread::available_parallelism().map(|n| n.get().min(16)).unwrap_or(1)
+        threads.min(cap).max(1)
     }
 }
 
-/// Parallel `C = A · B` over row chunks of `A`.
+/// Number of row bands worth dispatching for `rows` output rows totalling
+/// `work` multiply-accumulates: at most one band per thread or per row,
+/// and never so many that a band falls below [`MIN_BAND_WORK`]. Returns
+/// `<= 1` when the whole kernel should stay on the calling thread.
+fn band_count(threads: usize, rows: usize, work: usize) -> usize {
+    threads.min(rows).min((work / MIN_BAND_WORK).max(1))
+}
+
+/// Splits `out` (rows × cols, row-major) into `bands` contiguous row
+/// bands and runs `body(first_row, band)` for each on the shared pool.
+fn run_bands(
+    out: &mut [f32],
+    rows: usize,
+    cols: usize,
+    bands: usize,
+    body: &(impl Fn(usize, &mut [f32]) + Sync),
+) {
+    let chunk = rows.div_ceil(bands);
+    let mut tasks: Vec<Task<'_>> = Vec::with_capacity(bands);
+    let mut rest = out;
+    let mut row0 = 0usize;
+    while row0 < rows {
+        let here = chunk.min(rows - row0);
+        let (band, tail) = rest.split_at_mut(here * cols);
+        rest = tail;
+        let start = row0;
+        tasks.push(Box::new(move || body(start, band)));
+        row0 += here;
+    }
+    pool::shared().run(tasks);
+}
+
+/// Parallel `C = A · B` over row bands of `A`.
 ///
 /// # Panics
 /// Panics if `a.cols() != b.rows()`.
 pub fn matmul(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
     assert_eq!(a.cols(), b.rows(), "matmul shape mismatch");
-    let threads = effective_threads(threads).max(1);
     let (m, k) = a.shape();
     let n = b.cols();
-    if threads == 1 || m < 2 * threads {
-        return crate::ops::matmul(a, b);
-    }
+    let work = m.saturating_mul(k).saturating_mul(n);
+    let bands = band_count(effective_threads(threads), m, work);
     let mut c = Matrix::zeros(m, n);
-    let chunk = m.div_ceil(threads);
-    std::thread::scope(|scope| {
-        // Split the output buffer into disjoint row bands, one per thread.
-        let mut out = c.as_mut_slice();
-        let mut row0 = 0usize;
-        while row0 < m {
-            let rows_here = chunk.min(m - row0);
-            let (band, rest) = out.split_at_mut(rows_here * n);
-            out = rest;
-            let start = row0;
-            scope.spawn(move || {
-                for (local_r, crow) in band.chunks_exact_mut(n).enumerate() {
-                    let arow = a.row(start + local_r);
-                    for (p, &av) in arow.iter().enumerate().take(k) {
-                        if av == 0.0 {
-                            continue;
-                        }
-                        let brow = b.row(p);
-                        for (cv, &bv) in crow.iter_mut().zip(brow) {
-                            *cv += av * bv;
-                        }
-                    }
-                }
-            });
-            row0 += rows_here;
-        }
-    });
+    if bands <= 1 {
+        ops::matmul_into(a, b, 0, c.as_mut_slice());
+        return c;
+    }
+    run_bands(c.as_mut_slice(), m, n, bands, &|row0, band| ops::matmul_into(a, b, row0, band));
     c
 }
 
-/// Parallel sparse × dense product over row chunks of the sparse matrix.
+/// Parallel sparse × dense product over row bands of the sparse matrix.
 ///
 /// # Panics
 /// Panics if `s.cols() != b.rows()`.
 pub fn spmm(s: &CsrMatrix, b: &Matrix, threads: usize) -> Matrix {
     assert_eq!(s.cols(), b.rows(), "spmm shape mismatch");
-    let threads = effective_threads(threads).max(1);
     let m = s.rows();
     let n = b.cols();
-    if threads == 1 || m < 2 * threads {
-        return s.spmm(b);
-    }
+    let work = s.nnz().saturating_mul(n);
+    let bands = band_count(effective_threads(threads), m, work);
     let mut c = Matrix::zeros(m, n);
-    let chunk = m.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut out = c.as_mut_slice();
-        let mut row0 = 0usize;
-        while row0 < m {
-            let rows_here = chunk.min(m - row0);
-            let (band, rest) = out.split_at_mut(rows_here * n);
-            out = rest;
-            let start = row0;
-            scope.spawn(move || {
-                for (local_r, crow) in band.chunks_exact_mut(n).enumerate() {
-                    for (col, v) in s.row_entries(start + local_r) {
-                        let brow = b.row(col);
-                        for (cv, &bv) in crow.iter_mut().zip(brow) {
-                            *cv += v * bv;
-                        }
-                    }
-                }
-            });
-            row0 += rows_here;
-        }
-    });
+    if bands <= 1 {
+        s.spmm_into(b, 0, c.as_mut_slice());
+        return c;
+    }
+    run_bands(c.as_mut_slice(), m, n, bands, &|row0, band| s.spmm_into(b, row0, band));
     c
 }
 
-/// Parallel `C = Aᵀ · B` over row chunks of the *output* (columns of `A`).
+/// Parallel `C = Aᵀ · B` over row bands of the *output* (columns of `A`).
 ///
-/// Each thread owns a disjoint band of output rows and walks `r` over every
-/// row of `A` in ascending order, exactly like the sequential kernel — so
-/// each output element accumulates its `a[r][i] · b[r]` terms in the same
-/// sequence and the result is bit-identical to [`crate::ops::matmul_at_b`].
+/// Each band runs [`crate::ops::matmul_at_b_into`] on its own column
+/// slice of `A`: bands re-stream `B`, but the output shape is a weight
+/// gradient (`a.cols() × b.cols()`, small) so each band's accumulator
+/// stays cache-resident. Per output element the accumulation is still
+/// `Σ_r a[r][i]·b[r][j]` in ascending `r` with the same `== 0.0` skip, so
+/// the result is bit-identical to [`crate::ops::matmul_at_b`].
 ///
 /// # Panics
 /// Panics if `a.rows() != b.rows()`.
 pub fn matmul_at_b(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
     assert_eq!(a.rows(), b.rows(), "matmul_at_b shape mismatch");
-    let threads = effective_threads(threads).max(1);
     let m = a.cols();
     let n = b.cols();
-    if threads == 1 || m < 2 * threads {
-        return crate::ops::matmul_at_b(a, b);
-    }
+    let work = m.saturating_mul(a.rows()).saturating_mul(n);
+    let bands = band_count(effective_threads(threads), m, work);
     let mut c = Matrix::zeros(m, n);
-    let chunk = m.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut out = c.as_mut_slice();
-        let mut row0 = 0usize;
-        while row0 < m {
-            let rows_here = chunk.min(m - row0);
-            let (band, rest) = out.split_at_mut(rows_here * n);
-            out = rest;
-            let start = row0;
-            scope.spawn(move || {
-                for r in 0..a.rows() {
-                    let arow = a.row(r);
-                    let brow = b.row(r);
-                    for (local_i, crow) in band.chunks_exact_mut(n).enumerate() {
-                        let av = arow[start + local_i];
-                        if av == 0.0 {
-                            continue;
-                        }
-                        for (cv, &bv) in crow.iter_mut().zip(brow) {
-                            *cv += av * bv;
-                        }
-                    }
-                }
-            });
-            row0 += rows_here;
-        }
-    });
+    if bands <= 1 {
+        ops::matmul_at_b_into(a, b, 0, c.as_mut_slice());
+        return c;
+    }
+    run_bands(c.as_mut_slice(), m, n, bands, &|row0, band| ops::matmul_at_b_into(a, b, row0, band));
     c
 }
 
-/// Parallel `C = A · Bᵀ` over row chunks of `A`.
+/// Parallel `C = A · Bᵀ` over row bands of `A`.
 ///
-/// Every output element is an independent dot product with the same inner
-/// `k`-loop as [`crate::ops::matmul_a_bt`], so results are bit-identical.
+/// `B` is packed once into k-major panels on the calling thread; every
+/// output element remains an independent dot product with the same
+/// ascending-`p` inner loop as [`crate::ops::matmul_a_bt`], so results
+/// are bit-identical.
 ///
 /// # Panics
 /// Panics if `a.cols() != b.cols()`.
 pub fn matmul_a_bt(a: &Matrix, b: &Matrix, threads: usize) -> Matrix {
     assert_eq!(a.cols(), b.cols(), "matmul_a_bt shape mismatch");
-    let threads = effective_threads(threads).max(1);
     let m = a.rows();
     let n = b.rows();
     let k = a.cols();
-    if threads == 1 || m < 2 * threads {
-        return crate::ops::matmul_a_bt(a, b);
-    }
+    let work = m.saturating_mul(n).saturating_mul(k);
+    let bands = band_count(effective_threads(threads), m, work);
+    let panels = ops::pack_bt_panels(b);
     let mut c = Matrix::zeros(m, n);
-    let chunk = m.div_ceil(threads);
-    std::thread::scope(|scope| {
-        let mut out = c.as_mut_slice();
-        let mut row0 = 0usize;
-        while row0 < m {
-            let rows_here = chunk.min(m - row0);
-            let (band, rest) = out.split_at_mut(rows_here * n);
-            out = rest;
-            let start = row0;
-            scope.spawn(move || {
-                for (local_r, crow) in band.chunks_exact_mut(n).enumerate() {
-                    let arow = a.row(start + local_r);
-                    for (j, cv) in crow.iter_mut().enumerate().take(n) {
-                        let brow = b.row(j);
-                        let mut acc = 0.0f32;
-                        for p in 0..k {
-                            acc += arow[p] * brow[p];
-                        }
-                        *cv = acc;
-                    }
-                }
-            });
-            row0 += rows_here;
-        }
+    if bands <= 1 {
+        ops::matmul_a_bt_into(a, b, &panels, 0, c.as_mut_slice());
+        return c;
+    }
+    run_bands(c.as_mut_slice(), m, n, bands, &|row0, band| {
+        ops::matmul_a_bt_into(a, b, &panels, row0, band)
     });
     c
 }
@@ -274,9 +246,24 @@ mod tests {
     }
 
     #[test]
-    fn effective_threads_resolves() {
-        assert_eq!(effective_threads(4), 4);
-        assert!(effective_threads(0) >= 1);
+    fn effective_threads_resolves_within_the_pool_cap() {
+        let cap = crate::pool::shared().threads();
+        assert_eq!(effective_threads(0), cap);
+        assert_eq!(effective_threads(1), 1);
+        // Explicit requests are honoured up to the cap, never beyond.
+        assert_eq!(effective_threads(4), 4.min(cap));
+        assert_eq!(effective_threads(1024), cap);
+    }
+
+    #[test]
+    fn band_budget_is_work_based() {
+        // Tiny work stays sequential however many rows/threads exist …
+        assert_eq!(band_count(8, 1000, MIN_BAND_WORK - 1), 1);
+        // … big work fans out, capped by threads and rows.
+        assert_eq!(band_count(8, 1000, 64 * MIN_BAND_WORK), 8);
+        assert_eq!(band_count(8, 3, 64 * MIN_BAND_WORK), 3);
+        // Mid-size work limits the fan-out so bands stay above threshold.
+        assert_eq!(band_count(8, 1000, 2 * MIN_BAND_WORK), 2);
     }
 
     #[test]

@@ -133,18 +133,31 @@ impl CsrMatrix {
             b.shape()
         );
         let mut out = Matrix::zeros(self.rows, b.cols());
-        for r in 0..self.rows {
-            let orow = out.row_mut(r);
-            for idx in self.indptr[r]..self.indptr[r + 1] {
+        self.spmm_into(b, 0, out.as_mut_slice());
+        out
+    }
+
+    /// Computes the row band `[row0, row0 + out.len() / b.cols())` of
+    /// `self · B` into `out` (row-major).
+    ///
+    /// Shared body of [`CsrMatrix::spmm`] and the band-parallel
+    /// `parallel::spmm`. Nonzeros are applied in CSR (ascending-column)
+    /// order per row and the inner AXPY is element-wise independent, so
+    /// bits match the naive `ops::reference::spmm` loop exactly.
+    pub fn spmm_into(&self, b: &Matrix, row0: usize, out: &mut [f32]) {
+        let n = b.cols();
+        if n == 0 {
+            return;
+        }
+        debug_assert_eq!(out.len() % n, 0, "band must hold whole rows");
+        let rows = out.len() / n;
+        for i in 0..rows {
+            let orow = &mut out[i * n..(i + 1) * n];
+            for idx in self.indptr[row0 + i]..self.indptr[row0 + i + 1] {
                 let c = self.indices[idx] as usize;
-                let v = self.values[idx];
-                let brow = b.row(c);
-                for (o, &x) in orow.iter_mut().zip(brow) {
-                    *o += v * x;
-                }
+                crate::ops::axpy_slice(orow, b.row(c), self.values[idx]);
             }
         }
-        out
     }
 
     /// Transposed sparse × dense product `selfᵀ · B` without materializing

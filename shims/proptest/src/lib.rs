@@ -2,8 +2,8 @@
 //!
 //! Implements the subset this workspace's property tests use: the
 //! [`proptest!`] macro, [`prop_assert!`] / [`prop_assert_eq!`], integer and
-//! float range strategies, tuple strategies, [`any`], and
-//! [`collection::vec`]. Inputs are drawn from a deterministic generator
+//! float range strategies, tuple strategies, [`any`], [`Just`] /
+//! [`prop_oneof!`], and [`collection::vec`]. Inputs are drawn from a deterministic generator
 //! seeded by the test's fully-qualified name and the case index, so every
 //! run explores the same cases (failures are always reproducible; there is
 //! no shrinking).
@@ -152,6 +152,49 @@ impl_strategy_tuple!(A: 0, B: 1);
 impl_strategy_tuple!(A: 0, B: 1, C: 2);
 impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3);
 
+/// Constant strategy (upstream `Just`).
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among same-typed strategies; built by [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Union over `options` (must be non-empty).
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let pick = (rng.next_u64() % self.options.len() as u64) as usize;
+        self.options[pick].generate(rng)
+    }
+}
+
+/// Uniform choice among strategies producing the same value type
+/// (upstream's `prop_oneof!`, minus per-arm weights).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(Box::new($strat) as Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
+}
+
 /// Full-domain strategy returned by [`any`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Any<T>(std::marker::PhantomData<T>);
@@ -223,7 +266,8 @@ pub mod collection {
 /// Everything a property-test module needs.
 pub mod prelude {
     pub use crate::{
-        any, collection, prop_assert, prop_assert_eq, proptest, Any, ProptestConfig, Strategy,
+        any, collection, prop_assert, prop_assert_eq, prop_oneof, proptest, Any, Just,
+        ProptestConfig, Strategy, Union,
     };
 }
 

@@ -96,16 +96,30 @@ fn thread_counts_never_change_the_report() {
     }
 }
 
-/// Fault injection (message drops + a straggler) routes through the same
-/// replayed exchange path, so it too must be thread-count invariant.
+/// Fault injection (message drops, a straggler, and a mid-run crash with
+/// checkpoint rollback) routes through the same replayed exchange path, so
+/// it too must be thread-count invariant across the full
+/// `worker_threads × kernel_threads` matrix. The crash leg doubles as the
+/// persistent-pool survival check: recovery rolls the engine back through
+/// snapshot-restore mid-run, and the pool must keep serving the remaining
+/// epochs' fan-outs identically afterwards.
 #[test]
 fn fault_injected_runs_are_thread_count_invariant() {
-    let faults = FaultPlan::uniform_drop(13, 0.05).with_straggler(0, 2.0);
-    let seq = run_threaded(3, ComputeConfig::sequential(), faults.clone()).to_json().to_string();
-    let mt = run_threaded(3, ComputeConfig { worker_threads: 4, kernel_threads: 4 }, faults)
-        .to_json()
-        .to_string();
-    assert_eq!(mt, seq, "fault-injected report diverged between 1 and 4 worker threads");
+    let faults = FaultPlan::uniform_drop(13, 0.05).with_straggler(0, 2.0).with_crash(1, 7);
+    let seq = run_threaded(3, ComputeConfig::sequential(), faults.clone());
+    assert_eq!(seq.crashes_recovered, 1, "crash plan must actually fire");
+    let seq = seq.to_json().to_string();
+    for worker_threads in [1usize, 4] {
+        for kernel_threads in [1usize, 4] {
+            let compute = ComputeConfig { worker_threads, kernel_threads };
+            let mt = run_threaded(3, compute, faults.clone()).to_json().to_string();
+            assert_eq!(
+                mt, seq,
+                "fault-injected report diverged at worker_threads={worker_threads} \
+                 kernel_threads={kernel_threads}"
+            );
+        }
+    }
     // Not vacuous: the faults must actually change the run.
     let clean = run_once(3).to_json().to_string();
     assert_ne!(seq, clean, "fault plan had no observable effect");
