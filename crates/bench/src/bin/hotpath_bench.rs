@@ -211,6 +211,9 @@ fn main() {
     }
 
     let violations = gate_violations(&epoch_rows, &kernel_rows);
+    // Provenance: a document produced under a waived gate must say so, or
+    // a cross-run `trace_diff` would silently compare apples to oranges.
+    let gate_waived = std::env::var("EC_BENCH_SKIP_SPEEDUP_GATE").is_ok();
     let doc = serde_json::json!({
         "experiment": "hotpath_bench",
         "host_threads": host,
@@ -219,6 +222,7 @@ fn main() {
         "epochs": epochs,
         "scale": scale,
         "repeats": repeats,
+        "speedup_gate_waived": gate_waived,
         "gate_violations": violations,
         "epoch": epoch_rows,
         "kernels": kernel_rows,
@@ -228,7 +232,7 @@ fn main() {
     println!("wrote {out_path}");
 
     if !violations.is_empty() {
-        if std::env::var("EC_BENCH_SKIP_SPEEDUP_GATE").is_ok() {
+        if gate_waived {
             println!("speedup gate SKIPPED (EC_BENCH_SKIP_SPEEDUP_GATE): {violations:?}");
         } else {
             eprintln!("speedup gate FAILED: {violations:?}");

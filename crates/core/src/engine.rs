@@ -165,6 +165,10 @@ pub struct DistributedEngine {
     /// Host-measured codec pack/unpack seconds, current epoch only.
     pack_s: f64,
     unpack_s: f64,
+    /// Summed worker barrier idle-wait seconds, current epoch only — the
+    /// overlap headroom an async engine could reclaim. Observation only:
+    /// derived from the same measured/scaled times the run report uses.
+    epoch_idle_s: f64,
 }
 
 /// A complete in-memory image of the mutable training state: model
@@ -340,6 +344,7 @@ impl DistributedEngine {
             fp_selected: BTreeMap::new(),
             pack_s: 0.0,
             unpack_s: 0.0,
+            epoch_idle_s: 0.0,
         }
     }
 
@@ -476,6 +481,64 @@ impl DistributedEngine {
         self.network.faults().map_or(1.0, |f| f.straggler_factor(w))
     }
 
+    /// Records barrier idle-wait attribution for one superstep's replay
+    /// pass: worker `w` waits `step_max - scaled[w]` simulated seconds
+    /// at the superstep barrier. The epoch total accumulates
+    /// unconditionally (it feeds the overlap-headroom gauge); the
+    /// per-superstep gauge and `idle:wait` spans are gated on the
+    /// telemetry level. `ss` is `None` for the loss step, which shares
+    /// its superstep index with the first BP superstep — a per-superstep
+    /// gauge row there would collide with that superstep's own row.
+    fn record_superstep_idle(&mut self, t: usize, ss: Option<u32>, scaled: &[f64], step_max: f64) {
+        let ss_level = self.telemetry.enabled(TelemetryLevel::Superstep);
+        let trace = self.telemetry.enabled(TelemetryLevel::Trace);
+        for (w, &s) in scaled.iter().enumerate() {
+            let idle = step_max - s;
+            if idle <= 0.0 {
+                continue;
+            }
+            self.epoch_idle_s += idle;
+            if let (Some(ss), true) = (ss, ss_level) {
+                self.telemetry.set(
+                    MetricId::TimelineIdleS,
+                    labels(&[t as u32, ss, w as u32]),
+                    idle,
+                );
+            }
+            if trace {
+                let track = self.telemetry.layout().worker(w);
+                let mut ev = SpanEvent::new("idle:wait", "idle", track, self.sim_now + s, idle)
+                    .at_epoch(t)
+                    .at_worker(w);
+                if let Some(ss) = ss {
+                    ev = ev.at_superstep(ss);
+                }
+                self.telemetry.span(ev);
+            }
+        }
+    }
+
+    /// Emits `comm:pack` / `comm:unpack` spans covering the host-measured
+    /// codec time this superstep added to the epoch accumulators.
+    fn span_codec_delta(&mut self, t: usize, ss: u32, pack_before: f64, unpack_before: f64) {
+        if !self.telemetry.enabled(TelemetryLevel::Trace) {
+            return;
+        }
+        let track = self.telemetry.layout().network();
+        for (name, dur) in [
+            ("comm:pack", self.pack_s - pack_before),
+            ("comm:unpack", self.unpack_s - unpack_before),
+        ] {
+            if dur > 0.0 {
+                self.telemetry.span(
+                    SpanEvent::new(name, "pack", track, self.sim_now, dur)
+                        .at_epoch(t)
+                        .at_superstep(ss),
+                );
+            }
+        }
+    }
+
     /// Runs one full training epoch (Algorithms 1 + 2).
     pub fn run_epoch(&mut self) -> EpochStats {
         let num_layers = self.config.num_layers();
@@ -490,6 +553,7 @@ impl DistributedEngine {
         self.fp_selected.clear();
         self.pack_s = 0.0;
         self.unpack_s = 0.0;
+        self.epoch_idle_s = 0.0;
 
         let ss_level = self.telemetry.enabled(TelemetryLevel::Superstep);
         let trace = self.telemetry.enabled(TelemetryLevel::Trace);
@@ -523,11 +587,13 @@ impl DistributedEngine {
             }
 
             // Exchange H^{l-1} (layer-0 features are cached).
+            let (pack_before, unpack_before) = (self.pack_s, self.unpack_s);
             let remotes: Vec<Option<Matrix>> = if l >= 2 {
                 (0..num_workers).map(|i| Some(self.exchange_fp(i, l, t))).collect()
             } else {
                 (0..num_workers).map(|_| None).collect()
             };
+            self.span_codec_delta(t, ss, pack_before, unpack_before);
             let step_comm = self.network.flush_superstep();
             comm_s += step_comm;
             if trace {
@@ -551,11 +617,12 @@ impl DistributedEngine {
             };
             let w_self = sage.then(|| self.ps.pull(num_layers + l - 1).0.clone());
             let mut step_max = 0.0f64;
-            let results = {
+            let mut scaled_times = Vec::with_capacity(num_workers);
+            let (results, fanout_s) = {
                 let h_local = &self.h_local;
                 let h0_cat = &self.h0_cat;
                 let contexts = &self.contexts;
-                exec::run_workers(&self.pool, num_workers, |w| {
+                exec::run_workers_timed(&self.pool, num_workers, |w| {
                     let start = HostTimer::start();
                     let h_cat = match &remotes[w] {
                         None => h0_cat[w].clone(),
@@ -575,6 +642,7 @@ impl DistributedEngine {
                 self.h_local[w][l] = h;
                 self.z_local[w][l - 1] = z;
                 let scaled = secs * factors[w];
+                scaled_times.push(scaled);
                 step_max = step_max.max(scaled);
                 if trace {
                     let track = self.telemetry.layout().worker(w);
@@ -587,6 +655,16 @@ impl DistributedEngine {
                     );
                 }
             }
+            if trace && fanout_s > 0.0 {
+                let track = self.telemetry.layout().engine();
+                self.telemetry.span(
+                    SpanEvent::new("exec:fanout", "exec", track, self.sim_now, fanout_s)
+                        .at_epoch(t)
+                        .at_layer(l)
+                        .at_superstep(ss),
+                );
+            }
+            self.record_superstep_idle(t, Some(ss), &scaled_times, step_max);
             compute_s += step_max;
             if ss_level {
                 self.telemetry.set(MetricId::SuperstepComputeS, labels(&[t as u32, ss]), step_max);
@@ -615,10 +693,12 @@ impl DistributedEngine {
                 (loss, g, start.elapsed_s())
             })
         };
+        let mut scaled_times = Vec::with_capacity(num_workers);
         for (w, (loss, g, secs)) in results.into_iter().enumerate() {
             loss_sum += loss;
             g_cur.push(g);
             let scaled = secs * factors[w];
+            scaled_times.push(scaled);
             step_max = step_max.max(scaled);
             if trace {
                 let track = self.telemetry.layout().worker(w);
@@ -629,6 +709,7 @@ impl DistributedEngine {
                 );
             }
         }
+        self.record_superstep_idle(t, None, &scaled_times, step_max);
         compute_s += step_max;
         self.sim_now += step_max;
 
@@ -648,8 +729,10 @@ impl DistributedEngine {
         let mut grads: Vec<Option<(Matrix, Vec<f32>)>> = vec![None; num_slots];
         for l in (2..=num_layers).rev() {
             // Exchange G^l.
+            let (pack_before, unpack_before) = (self.pack_s, self.unpack_s);
             let g_remote: Vec<Matrix> =
                 (0..num_workers).map(|i| self.exchange_bp(i, l, &g_cur)).collect();
+            self.span_codec_delta(t, ss, pack_before, unpack_before);
             let step_comm = self.network.flush_superstep();
             comm_s += step_comm;
             if trace {
@@ -669,15 +752,16 @@ impl DistributedEngine {
             let w_lm1 = self.ps.pull(l - 1).0.clone();
             let ws_lm1 = sage.then(|| self.ps.pull(num_layers + l - 1).0.clone());
             let mut step_max = 0.0f64;
+            let mut scaled_times = Vec::with_capacity(num_workers);
             let mut y_sum = Matrix::zeros(self.config.dims[l - 1], self.config.dims[l]);
             let mut ys_sum = Matrix::zeros(self.config.dims[l - 1], self.config.dims[l]);
             let mut b_sum = vec![0.0f32; self.config.dims[l]];
-            let results = {
+            let (results, fanout_s) = {
                 let h_local = &self.h_local;
                 let z_local = &self.z_local;
                 let contexts = &self.contexts;
                 let g_cur = &g_cur;
-                exec::run_workers(&self.pool, num_workers, |w| {
+                exec::run_workers_timed(&self.pool, num_workers, |w| {
                     let start = HostTimer::start();
                     let topo = &contexts[w].layers[l - 1];
                     let g_cat = g_cur[w].vstack(&g_remote[w]);
@@ -708,6 +792,7 @@ impl DistributedEngine {
                 }
                 g_cur[w] = g_new;
                 let scaled = secs * factors[w];
+                scaled_times.push(scaled);
                 step_max = step_max.max(scaled);
                 if trace {
                     let track = self.telemetry.layout().worker(w);
@@ -720,6 +805,16 @@ impl DistributedEngine {
                     );
                 }
             }
+            if trace && fanout_s > 0.0 {
+                let track = self.telemetry.layout().engine();
+                self.telemetry.span(
+                    SpanEvent::new("exec:fanout", "exec", track, self.sim_now, fanout_s)
+                        .at_epoch(t)
+                        .at_layer(l)
+                        .at_superstep(ss),
+                );
+            }
+            self.record_superstep_idle(t, Some(ss), &scaled_times, step_max);
             compute_s += step_max;
             if ss_level {
                 self.telemetry.set(MetricId::SuperstepComputeS, labels(&[t as u32, ss]), step_max);
@@ -735,15 +830,16 @@ impl DistributedEngine {
         // Layer 1: Â·H⁰ is computable locally from the feature cache.
         {
             let mut step_max = 0.0f64;
+            let mut scaled_times = Vec::with_capacity(num_workers);
             let mut y_sum = Matrix::zeros(self.config.dims[0], self.config.dims[1]);
             let mut ys_sum = Matrix::zeros(self.config.dims[0], self.config.dims[1]);
             let mut b_sum = vec![0.0f32; self.config.dims[1]];
-            let results = {
+            let (results, fanout_s) = {
                 let h_local = &self.h_local;
                 let h0_cat = &self.h0_cat;
                 let contexts = &self.contexts;
                 let g_cur = &g_cur;
-                exec::run_workers(&self.pool, num_workers, |w| {
+                exec::run_workers_timed(&self.pool, num_workers, |w| {
                     let start = HostTimer::start();
                     let topo = &contexts[w].layers[0];
                     let ah0 = parallel::spmm(&topo.adj_local, &h0_cat[w], kt);
@@ -763,6 +859,7 @@ impl DistributedEngine {
                     *acc += g;
                 }
                 let scaled = secs * factors[w];
+                scaled_times.push(scaled);
                 step_max = step_max.max(scaled);
                 if trace {
                     let track = self.telemetry.layout().worker(w);
@@ -775,6 +872,16 @@ impl DistributedEngine {
                     );
                 }
             }
+            if trace && fanout_s > 0.0 {
+                let track = self.telemetry.layout().engine();
+                self.telemetry.span(
+                    SpanEvent::new("exec:fanout", "exec", track, self.sim_now, fanout_s)
+                        .at_epoch(t)
+                        .at_layer(1)
+                        .at_superstep(ss),
+                );
+            }
+            self.record_superstep_idle(t, Some(ss), &scaled_times, step_max);
             compute_s += step_max;
             if ss_level {
                 self.telemetry.set(MetricId::SuperstepComputeS, labels(&[t as u32, ss]), step_max);
@@ -885,6 +992,7 @@ impl DistributedEngine {
         }
         self.telemetry.set(MetricId::PhaseComputeS, labels(&[e]), compute_s);
         self.telemetry.set(MetricId::PhaseCommS, labels(&[e]), comm_s);
+        self.telemetry.set(MetricId::TimelineHeadroomS, labels(&[e]), self.epoch_idle_s);
         if self.telemetry.enabled(TelemetryLevel::Superstep) {
             self.telemetry.set(MetricId::PhasePackS, labels(&[e]), self.pack_s);
             self.telemetry.set(MetricId::PhaseUnpackS, labels(&[e]), self.unpack_s);
@@ -1349,6 +1457,14 @@ mod tests {
         assert!(rep.rows_named("fp.wire_bytes").next().is_some());
         assert!(rep.spans.iter().any(|s| s.name == "fp:exchange"));
         assert!(rep.spans.iter().any(|s| s.name == "epoch"));
+        // Timeline attribution: the headroom gauge is always flushed, and
+        // under real host timing three workers cannot finish every
+        // superstep in lock-step, so barrier idle shows up as spans and
+        // the codec work as `comm:pack` spans on the network track.
+        assert!(rep.gauge("timeline.overlap_headroom_s", &[0]).is_some());
+        assert!(rep.spans.iter().any(|s| s.name == "idle:wait" && s.cat == "idle"));
+        assert!(rep.spans.iter().any(|s| s.name == "comm:pack" && s.cat == "pack"));
+        assert!(rep.rows_named("timeline.idle_s").next().is_some());
 
         let off = engine_with(FpMode::Exact, BpMode::Exact, 2);
         assert!(off.take_telemetry().is_none(), "Off yields no report");

@@ -12,6 +12,7 @@
 //! [`ec_comm::HostTimer`]; the caller applies straggler factors and the
 //! per-superstep `max` on the replay pass.
 
+use ec_comm::HostTimer;
 use ec_tensor::pool::Task;
 pub use ec_tensor::pool::WorkerPool;
 
@@ -57,6 +58,22 @@ pub fn run_workers<R: Send>(pool: &WorkerPool, n: usize, f: impl Fn(usize) -> R 
     slots.into_iter().flatten().collect()
 }
 
+/// [`run_workers`] plus the host-measured wall time of the whole fan-out
+/// (dispatch → barrier), via the sanctioned [`HostTimer`]. The engine
+/// emits this as an `exec:fanout` span so the timeline attribution can
+/// compare barrier wall time against the per-worker compute sum — the
+/// gap is pool overhead plus the serialization the replay pass pays.
+/// Zero under deterministic timing, like every host measurement.
+pub fn run_workers_timed<R: Send>(
+    pool: &WorkerPool,
+    n: usize,
+    f: impl Fn(usize) -> R + Sync,
+) -> (Vec<R>, f64) {
+    let timer = HostTimer::start();
+    let out = run_workers(pool, n, f);
+    (out, timer.elapsed_s())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,6 +109,14 @@ mod tests {
             let out = run_workers(&pool, 7, |w| w + round);
             assert_eq!(out, (0..7).map(|w| w + round).collect::<Vec<_>>(), "round={round}");
         }
+    }
+
+    #[test]
+    fn timed_variant_returns_same_results_and_a_finite_time() {
+        let pool = WorkerPool::new(2);
+        let (out, secs) = run_workers_timed(&pool, 5, |w| w * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+        assert!(secs.is_finite() && secs >= 0.0);
     }
 
     #[test]

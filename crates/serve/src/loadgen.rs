@@ -255,12 +255,18 @@ pub fn run_closed_loop(service: &mut InferenceService, workload: &WorkloadConfig
                 };
                 fetch_rows += cost.fetch_rows;
                 fetch_bytes += cost.fetch_bytes;
+                // Request-level trace (pure observation; the simulation
+                // and the report below never read it back).
+                let waits: Vec<f64> = batch.iter().map(|p| t - p.arrival).collect();
+                service.note_batch_trace(w, t, &waits, &cost);
                 let finish = t + cost.comm_s + cost.compute_s;
                 free_at[w] = finish;
                 makespan = makespan.max(finish);
                 per_worker[w].batches += 1;
                 for p in &batch {
-                    latencies.push(finish - p.arrival);
+                    let latency = finish - p.arrival;
+                    latencies.push(latency);
+                    service.note_request_latency(latency);
                     served += 1;
                     per_worker[w].served += 1;
                     let next = finish + think_time(workload, &mut rng, finish);

@@ -33,8 +33,8 @@ use ec_graph::infer::ModelWeights;
 use ec_graph_data::AttributedGraph;
 use ec_partition::Partition;
 use ec_tensor::{CsrMatrix, Matrix};
-use ec_trace::registry::labels;
-use ec_trace::{MetricId, TelemetrySink};
+use ec_trace::registry::{labels, log2_bucket};
+use ec_trace::{MetricId, SpanEvent, TelemetryLevel, TelemetrySink};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -229,6 +229,73 @@ impl InferenceService {
         for (w, &qps) in qps_per_worker.iter().enumerate() {
             self.telemetry.set(MetricId::ServeQps, labels(&[version, w as u32]), qps);
         }
+        for (w, (hits, misses, _, _)) in self.cache_stats().into_iter().enumerate() {
+            let total = hits + misses;
+            if total > 0 {
+                let rate = hits as f64 / total as f64;
+                self.telemetry.set(MetricId::ServeCacheHitRate, labels(&[version, w as u32]), rate);
+            }
+        }
+    }
+
+    /// Records request-level trace data for one dispatched batch: each
+    /// request's queue wait (simulated seconds between arrival and
+    /// dispatch) into the `serve.queue_wait_s` histogram, the batch's
+    /// fetch/compute stages into their histograms, and — at `Trace` —
+    /// `serve:queue` / `serve:fetch` / `serve:compute` spans on the
+    /// worker's track at the simulated dispatch time. Called by the load
+    /// generator; pure observation, never feeds back into the simulation.
+    pub fn note_batch_trace(
+        &mut self,
+        worker: usize,
+        dispatch_s: f64,
+        waits: &[f64],
+        cost: &BatchCost,
+    ) {
+        if self.telemetry.level() == TelemetryLevel::Off {
+            return;
+        }
+        let version = self.store.version();
+        let wl = labels(&[version, worker as u32]);
+        let mut max_wait = 0.0f64;
+        for &wait in waits {
+            self.telemetry.observe(MetricId::ServeQueueWaitS, wl, wait);
+            max_wait = max_wait.max(wait);
+        }
+        self.telemetry.observe(MetricId::ServeFetchS, wl, cost.comm_s);
+        self.telemetry.observe(MetricId::ServeComputeS, wl, cost.compute_s);
+        if !self.telemetry.enabled(TelemetryLevel::Trace) {
+            return;
+        }
+        let track = self.telemetry.layout().worker(worker);
+        if max_wait > 0.0 {
+            self.telemetry.span(
+                SpanEvent::new("serve:queue", "idle", track, dispatch_s - max_wait, max_wait)
+                    .at_epoch(version as usize)
+                    .at_worker(worker),
+            );
+        }
+        for (name, start, dur) in [
+            ("serve:fetch", dispatch_s, cost.comm_s),
+            ("serve:compute", dispatch_s + cost.comm_s, cost.compute_s),
+        ] {
+            if dur > 0.0 {
+                self.telemetry.span(
+                    SpanEvent::new(name, "serve", track, start, dur)
+                        .at_epoch(version as usize)
+                        .at_worker(worker),
+                );
+            }
+        }
+    }
+
+    /// Buckets one request's end-to-end simulated latency into the
+    /// deterministic `serve.latency_log2` histogram (bucket `64 + floor
+    /// log2(latency)`, clamped; see [`log2_bucket`]).
+    pub fn note_request_latency(&mut self, latency_s: f64) {
+        let version = self.store.version();
+        let bucket = log2_bucket(latency_s);
+        self.telemetry.add(MetricId::ServeLatencyBucket, labels(&[version, bucket]), 1);
     }
 
     /// Installs refreshed weights: re-materializes the store (version + 1),

@@ -1,11 +1,11 @@
 //! A dependency-free JSON syntax validator.
 //!
-//! The offline `serde_json` stand-in can only *print* JSON, so nothing in
-//! the workspace can parse the exporters' output back to prove it is
-//! well-formed. This module closes that loop with a small RFC 8259
-//! recursive-descent checker: it validates syntax (and rejects trailing
-//! garbage) without building a value tree. Used by the exporter tests,
-//! the golden-snapshot suite, and the `trace_check` binary.
+//! A small RFC 8259 recursive-descent checker that validates syntax (and
+//! rejects trailing garbage) without building a value tree — cheaper and
+//! stricter than a full parse when all we want to prove is that an
+//! exported document is well-formed. Used by the exporter tests, the
+//! golden-snapshot suite, and the `trace_check` binary. (Structural
+//! comparison of parsed documents lives in [`crate::diff`].)
 
 /// Validates that `text` is exactly one well-formed JSON value.
 pub fn validate_json(text: &str) -> Result<(), String> {

@@ -21,9 +21,16 @@
 //! * [`export`] — Chrome `trace_event` JSON (loadable in
 //!   `chrome://tracing` / Perfetto), a flat JSONL event log, and a
 //!   standalone metrics JSON;
-//! * [`jsonck`] — a dependency-free JSON syntax validator (the offline
-//!   `serde_json` stand-in cannot parse), used by the `trace_check` bin
-//!   and the exporter tests.
+//! * [`timeline`] — compute / comm-serialize / comm-wire / idle-wait
+//!   attribution over the span stream, with a flamegraph-compatible
+//!   folded-stack export and the overlap-headroom figure the async
+//!   engine refactor must beat;
+//! * [`diff`] — structural cross-run diffing of metrics/bench JSON with
+//!   improved/regressed/unchanged classification (the `trace_diff` bin
+//!   and `ecgraph compare`);
+//! * [`jsonck`] — a dependency-free JSON *syntax* validator that checks
+//!   exported documents without building a value tree, used by the
+//!   `trace_check` bin and the exporter tests.
 //!
 //! ## Determinism contract
 //!
@@ -39,6 +46,7 @@
 
 use serde::{Deserialize, Serialize};
 
+pub mod diff;
 pub mod export;
 pub mod jsonck;
 pub mod registry;
@@ -46,6 +54,7 @@ pub mod report;
 pub mod ring;
 pub mod sink;
 pub mod span;
+pub mod timeline;
 
 pub use registry::{Labels, MetricId, MetricKind, MetricValue, L_NONE};
 pub use report::{MetricRow, TelemetryReport};

@@ -179,6 +179,20 @@ metric_catalog! {
         "99th-percentile simulated request latency of the serving run" },
     ServeQps => { "serve.qps", Gauge, "requests_per_s", ["epoch", "worker"],
         "Served queries per simulated second, per worker" },
+    TimelineIdleS => { "timeline.idle_s", Gauge, "seconds", ["epoch", "superstep", "worker"],
+        "Idle-wait seconds of one worker inside one superstep barrier (step max minus own scaled compute)" },
+    TimelineHeadroomS => { "timeline.overlap_headroom_s", Gauge, "seconds", ["epoch"],
+        "Summed worker idle-wait seconds of the epoch — the overlap an async engine could reclaim" },
+    ServeCacheHitRate => { "serve.cache_hit_rate", Gauge, "ratio", ["epoch", "worker"],
+        "Serving cache hits / (hits + misses) over the run (label 0 is the store refresh version)" },
+    ServeQueueWaitS => { "serve.queue_wait_s", Histogram, "seconds", ["epoch", "worker"],
+        "Per-request simulated wait between arrival and batch dispatch" },
+    ServeFetchS => { "serve.fetch_s", Histogram, "seconds", ["epoch", "worker"],
+        "Per-batch modeled cross-partition fetch seconds" },
+    ServeComputeS => { "serve.compute_s", Histogram, "seconds", ["epoch", "worker"],
+        "Per-batch modeled final-layer compute seconds" },
+    ServeLatencyBucket => { "serve.latency_log2", Counter, "requests", ["epoch", "bucket"],
+        "Requests whose end-to-end latency fell in log2 bucket b = [2^(b-64), 2^(b-63)) seconds" },
 }
 
 impl MetricId {
@@ -250,6 +264,21 @@ impl MetricsRegistry {
     }
 }
 
+/// Deterministic log2 latency bucket: `64 + floor(log2(v))` clamped to
+/// `0..=127`, read straight from the IEEE-754 exponent bits — no libm
+/// call, so every platform buckets identically. Zero, negative,
+/// subnormal and non-finite values land in bucket 0.
+pub fn log2_bucket(v: f64) -> u32 {
+    if !(v.is_finite() && v > 0.0) {
+        return 0;
+    }
+    let biased = ((v.to_bits() >> 52) & 0x7ff) as i64;
+    if biased == 0 {
+        return 0; // subnormal: below every bucket boundary we care about
+    }
+    (64 + (biased - 1023)).clamp(0, 127) as u32
+}
+
 fn id_from_index(idx: u16) -> Option<MetricId> {
     // Inverse of `MetricId as u16`, kept total by construction: the store
     // only ever holds indices produced from a `MetricId`.
@@ -285,7 +314,14 @@ fn id_from_index(idx: u16) -> Option<MetricId> {
         26 => MetricId::ServeFetchBytes,
         27 => MetricId::ServeLatencyP50,
         28 => MetricId::ServeLatencyP99,
-        _ => MetricId::ServeQps,
+        29 => MetricId::ServeQps,
+        30 => MetricId::TimelineIdleS,
+        31 => MetricId::TimelineHeadroomS,
+        32 => MetricId::ServeCacheHitRate,
+        33 => MetricId::ServeQueueWaitS,
+        34 => MetricId::ServeFetchS,
+        35 => MetricId::ServeComputeS,
+        _ => MetricId::ServeLatencyBucket,
     })
 }
 
@@ -297,7 +333,7 @@ mod tests {
     fn catalog_and_enum_agree() {
         assert_eq!(MetricId::SelectorCps.def().name, "selector.cps");
         assert_eq!(MetricId::FpReconErrL1.def().name, "fp.recon_err_l1");
-        assert_eq!(MetricId::ServeQps as usize, CATALOG.len() - 1);
+        assert_eq!(MetricId::ServeLatencyBucket as usize, CATALOG.len() - 1);
         for (i, def) in CATALOG.iter().enumerate() {
             let id = id_from_index(i as u16).expect("index round-trips");
             assert_eq!(id as usize, i);
@@ -353,6 +389,21 @@ mod tests {
         r.add(MetricId::SelectorCps, labels(&[1, 2]), 1);
         let names: Vec<(&str, u32)> = r.iter().map(|(id, l, _)| (id.def().name, l[0])).collect();
         assert_eq!(names, vec![("selector.cps", 1), ("phase.comm", 0), ("phase.comm", 1)]);
+    }
+
+    #[test]
+    fn log2_bucket_is_floor_log2_plus_64() {
+        assert_eq!(log2_bucket(1.0), 64);
+        assert_eq!(log2_bucket(1.5), 64);
+        assert_eq!(log2_bucket(2.0), 65);
+        assert_eq!(log2_bucket(0.5), 63);
+        // Millisecond-scale latencies: 1e-3 is in [2^-10, 2^-9).
+        assert_eq!(log2_bucket(1e-3), 54);
+        assert_eq!(log2_bucket(0.0), 0);
+        assert_eq!(log2_bucket(-1.0), 0);
+        assert_eq!(log2_bucket(f64::NAN), 0);
+        assert_eq!(log2_bucket(f64::INFINITY), 0);
+        assert_eq!(log2_bucket(f64::MAX), 127);
     }
 
     #[test]

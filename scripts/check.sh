@@ -4,7 +4,9 @@
 # Pass --bench to also run the hot-path and serving benchmarks (writes
 # BENCH_hotpath.json and BENCH_serving.json at the repo root).
 # Pass --trace-smoke to also drive the CLI end-to-end with the telemetry
-# exporters on and validate the emitted trace/metrics files.
+# exporters on and validate the emitted trace/metrics/timeline files, the
+# serving request-trace path, and an `ecgraph compare` self-vs-self run
+# (which must report all-unchanged).
 # Pass --serve-smoke to also drive `ecgraph serve` end-to-end (fast path)
 # and validate the emitted serve report.
 set -euo pipefail
@@ -60,15 +62,38 @@ if [[ "$RUN_TRACE_SMOKE" == "1" ]]; then
   trap 'rm -rf "$SMOKE_DIR"' EXIT
   cargo run -q -p ec-graph-repro --bin ecgraph -- train \
     dataset=cora vertices=150 workers=4 epochs=6 fp=reqec:2 bp=resec:4 \
-    --quiet --trace-out "$SMOKE_DIR/trace.json" --metrics-out "$SMOKE_DIR/metrics.json"
+    --quiet --trace-out "$SMOKE_DIR/trace.json" --metrics-out "$SMOKE_DIR/metrics.json" \
+    --timeline-out "$SMOKE_DIR/timeline.json"
   cargo run -q -p ec-trace --bin trace_check -- \
-    "$SMOKE_DIR/trace.json" "$SMOKE_DIR/metrics.json"
+    "$SMOKE_DIR/trace.json" "$SMOKE_DIR/metrics.json" "$SMOKE_DIR/timeline.json"
   for needle in selector.pdt resec.theorem1_bound traffic.link_bytes; do
     grep -q "$needle" "$SMOKE_DIR/metrics.json" \
       || { echo "metrics.json is missing $needle" >&2; exit 1; }
   done
   grep -q 'fp:exchange' "$SMOKE_DIR/trace.json" \
     || { echo "trace.json is missing fp:exchange spans" >&2; exit 1; }
+  for needle in overlap_headroom_s comm_wire_s idle_s; do
+    grep -q "$needle" "$SMOKE_DIR/timeline.json" \
+      || { echo "timeline.json is missing $needle" >&2; exit 1; }
+  done
+
+  echo "== serve trace smoke (request-level spans) =="
+  cargo run -q -p ec-graph-repro --bin ecgraph -- serve \
+    dataset=cora vertices=150 workers=4 epochs=2 requests=200 \
+    --quiet --trace-out "$SMOKE_DIR/serve_trace.json"
+  cargo run -q -p ec-trace --bin trace_check -- "$SMOKE_DIR/serve_trace.json"
+  for needle in serve:fetch serve:compute; do
+    grep -q "$needle" "$SMOKE_DIR/serve_trace.json" \
+      || { echo "serve_trace.json is missing $needle spans" >&2; exit 1; }
+  done
+
+  echo "== compare smoke (self-vs-self must be all-unchanged) =="
+  cargo run -q -p ec-graph-repro --bin ecgraph -- compare \
+    "$SMOKE_DIR/metrics.json" "$SMOKE_DIR/metrics.json" \
+    out="$SMOKE_DIR/verdict.json" > "$SMOKE_DIR/compare.txt"
+  grep -q 'verdict: unchanged' "$SMOKE_DIR/compare.txt" \
+    || { echo "self-compare must report all-unchanged" >&2; exit 1; }
+  cargo run -q -p ec-trace --bin trace_check -- "$SMOKE_DIR/verdict.json"
 fi
 
 if [[ "$RUN_SERVE_SMOKE" == "1" ]]; then

@@ -5,7 +5,10 @@
 //! ecgraph train dataset=cora workers=6 fp=reqec:2 bp=resec:4 epochs=100
 //! ecgraph train dataset=products layers=3 fp=cp:8 partitioner=metis
 //! ecgraph train dataset=cora workers=4 --trace-out trace.json --metrics-out metrics.json
+//! ecgraph train dataset=cora workers=6 --timeline-out timeline.json
 //! ecgraph serve dataset=cora workers=4 epochs=5 requests=500 cache=256
+//! ecgraph serve dataset=cora workers=4 --trace-out serve_trace.json
+//! ecgraph compare before.json after.json rel=0.05 out=verdict.json
 //! ecgraph datasets            # list the built-in dataset replicas
 //! ```
 //!
@@ -18,10 +21,17 @@
 //! `--report-out <file>` writes the run's canonical `ServeReport` JSON.
 //!
 //! Observability: `--trace-out <file>` writes a Chrome `trace_event` JSON
-//! (or a flat JSONL event log when the file ends in `.jsonl`),
-//! `--metrics-out <file>` writes the EC-metrics registry as JSON, and
-//! `telemetry=off|epoch|superstep|trace` overrides the recording level the
-//! flags imply. `--quiet` silences the progress output.
+//! (or a flat JSONL event log when the file ends in `.jsonl`) — for
+//! `serve` it carries the request-level spans (queue wait, fetch,
+//! compute); `--timeline-out <file>` writes the compute/comm/idle
+//! timeline attribution (or flamegraph folded stacks when the file ends
+//! in `.folded`); `--metrics-out <file>` writes the EC-metrics registry
+//! as JSON; `telemetry=off|epoch|superstep|trace` overrides the recording
+//! level the flags imply. `--quiet` silences the progress output.
+//!
+//! `compare` structurally diffs two metrics/bench JSON documents and
+//! classifies every numeric series as improved / regressed / unchanged —
+//! the same engine as the `trace_diff` binary (exit `3` on regression).
 
 use ec_faults::FaultPlan;
 use ec_graph::config::{BpMode, FpMode, ModelKind, TrainingConfig};
@@ -43,6 +53,7 @@ use std::sync::Arc;
 /// Flag-style (non-`key=value`) options shared by `train` and `serve`.
 struct CliOpts {
     trace_out: Option<PathBuf>,
+    timeline_out: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
     report_out: Option<PathBuf>,
     quiet: bool,
@@ -71,6 +82,10 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("compare") => {
+            let rest: Vec<String> = args.collect();
+            ExitCode::from(ec_trace::diff::cli_run("ecgraph compare", &rest))
+        }
         Some("datasets") => {
             println!(
                 "{:<10} {:>12} {:>10} {:>8} {:>8} {:>8}",
@@ -91,11 +106,13 @@ fn main() -> ExitCode {
         }
         _ => {
             eprintln!(
-                "usage: ecgraph <train|serve|datasets> [key=value ...] \
-                 [--trace-out <file>] [--metrics-out <file>] [--report-out <file>] [--quiet]"
+                "usage: ecgraph <train|serve|compare|datasets> [key=value ...] \
+                 [--trace-out <file>] [--timeline-out <file>] [--metrics-out <file>] \
+                 [--report-out <file>] [--quiet]"
             );
             eprintln!("  e.g. ecgraph train dataset=cora workers=6 fp=reqec:2 bp=resec:4");
             eprintln!("       ecgraph serve dataset=cora workers=4 epochs=5 requests=500");
+            eprintln!("       ecgraph compare before.json after.json rel=0.05 out=verdict.json");
             ExitCode::FAILURE
         }
     }
@@ -104,13 +121,23 @@ fn main() -> ExitCode {
 /// Splits the `train`/`serve` arguments into `key=value` pairs and flags.
 fn parse_cli_args(rest: &[String]) -> Result<(HashMap<String, String>, CliOpts), String> {
     let mut kv = HashMap::new();
-    let mut opts = CliOpts { trace_out: None, metrics_out: None, report_out: None, quiet: false };
+    let mut opts = CliOpts {
+        trace_out: None,
+        timeline_out: None,
+        metrics_out: None,
+        report_out: None,
+        quiet: false,
+    };
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--trace-out" => {
                 let path = it.next().ok_or_else(|| "--trace-out needs a path".to_string())?;
                 opts.trace_out = Some(PathBuf::from(path));
+            }
+            "--timeline-out" => {
+                let path = it.next().ok_or_else(|| "--timeline-out needs a path".to_string())?;
+                opts.timeline_out = Some(PathBuf::from(path));
             }
             "--metrics-out" => {
                 let path = it.next().ok_or_else(|| "--metrics-out needs a path".to_string())?;
@@ -125,8 +152,8 @@ fn parse_cli_args(rest: &[String]) -> Result<(HashMap<String, String>, CliOpts),
                 let (k, v) = other.split_once('=').ok_or_else(|| {
                     format!(
                         "unrecognized argument '{other}' (expected key=value, \
-                         --trace-out <file>, --metrics-out <file>, --report-out <file>, \
-                         or --quiet)"
+                         --trace-out <file>, --timeline-out <file>, --metrics-out <file>, \
+                         --report-out <file>, or --quiet)"
                     )
                 })?;
                 kv.insert(k.to_string(), v.to_string());
@@ -146,11 +173,11 @@ fn run_train(kv: &HashMap<String, String>, opts: &CliOpts) -> Result<(), String>
     // can deepen it further but never below what the flags need.
     let mut level = match kv.get("telemetry") {
         Some(s) => s.parse::<TelemetryLevel>()?,
-        None if opts.trace_out.is_some() => TelemetryLevel::Trace,
+        None if opts.trace_out.is_some() || opts.timeline_out.is_some() => TelemetryLevel::Trace,
         None if opts.metrics_out.is_some() => TelemetryLevel::Epoch,
         None => TelemetryLevel::Off,
     };
-    if opts.trace_out.is_some() {
+    if opts.trace_out.is_some() || opts.timeline_out.is_some() {
         level = level.max(TelemetryLevel::Trace);
     } else if opts.metrics_out.is_some() {
         level = level.max(TelemetryLevel::Epoch);
@@ -235,24 +262,7 @@ fn run_train(kv: &HashMap<String, String>, opts: &CliOpts) -> Result<(), String>
         }
     }
     if let Some(report) = &r.telemetry {
-        if let Some(path) = &opts.trace_out {
-            let text = if path.extension().is_some_and(|e| e == "jsonl") {
-                ec_trace::export::jsonl(report)
-            } else {
-                ec_trace::export::chrome_trace_json(report)
-            };
-            std::fs::write(path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
-            if !opts.quiet {
-                println!("wrote trace to {}", path.display());
-            }
-        }
-        if let Some(path) = &opts.metrics_out {
-            std::fs::write(path, ec_trace::export::metrics_json(report))
-                .map_err(|e| format!("writing {}: {e}", path.display()))?;
-            if !opts.quiet {
-                println!("wrote metrics to {}", path.display());
-            }
-        }
+        write_observability(report, opts)?;
     }
     if !opts.quiet {
         println!(
@@ -266,20 +276,60 @@ fn run_train(kv: &HashMap<String, String>, opts: &CliOpts) -> Result<(), String>
     Ok(())
 }
 
+/// Writes the `--trace-out` / `--timeline-out` / `--metrics-out` exports
+/// for a finished run's telemetry report (shared by `train` and `serve`).
+fn write_observability(report: &ec_trace::TelemetryReport, opts: &CliOpts) -> Result<(), String> {
+    if let Some(path) = &opts.trace_out {
+        let text = if path.extension().is_some_and(|e| e == "jsonl") {
+            ec_trace::export::jsonl(report)
+        } else {
+            ec_trace::export::chrome_trace_json(report)
+        };
+        std::fs::write(path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        if !opts.quiet {
+            println!("wrote trace to {}", path.display());
+        }
+    }
+    if let Some(path) = &opts.timeline_out {
+        let text = if path.extension().is_some_and(|e| e == "folded") {
+            ec_trace::timeline::folded_stacks(report)
+        } else {
+            ec_trace::timeline::timeline_json(report)
+        };
+        std::fs::write(path, text).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        if !opts.quiet {
+            println!("wrote timeline to {}", path.display());
+        }
+    }
+    if let Some(path) = &opts.metrics_out {
+        std::fs::write(path, ec_trace::export::metrics_json(report))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        if !opts.quiet {
+            println!("wrote metrics to {}", path.display());
+        }
+    }
+    Ok(())
+}
+
 /// `ecgraph serve`: train a small model (or reuse an existing
 /// `checkpoint=` file), reload the weights through the engine-free
 /// inference path, and drive the serving cluster with the closed-loop
 /// load generator.
 fn run_serve(kv: &HashMap<String, String>, opts: &CliOpts) -> Result<(), String> {
-    if opts.trace_out.is_some() {
-        return Err("--trace-out only applies to `ecgraph train` (serving records no spans)".into());
-    }
     let get = |k: &str, d: &str| kv.get(k).cloned().unwrap_or_else(|| d.to_string());
-    let level = match kv.get("telemetry") {
+    // Same rule as `train`: export flags imply a recording level, and an
+    // explicit `telemetry=` can deepen but never starve an export.
+    let mut level = match kv.get("telemetry") {
         Some(s) => s.parse::<TelemetryLevel>()?,
+        None if opts.trace_out.is_some() || opts.timeline_out.is_some() => TelemetryLevel::Trace,
         None if opts.metrics_out.is_some() => TelemetryLevel::Epoch,
         None => TelemetryLevel::Off,
     };
+    if opts.trace_out.is_some() || opts.timeline_out.is_some() {
+        level = level.max(TelemetryLevel::Trace);
+    } else if opts.metrics_out.is_some() {
+        level = level.max(TelemetryLevel::Epoch);
+    }
 
     let dataset = get("dataset", "cora");
     let spec = DatasetSpec::all()
@@ -417,16 +467,12 @@ fn run_serve(kv: &HashMap<String, String>, opts: &CliOpts) -> Result<(), String>
             println!("wrote serve report to {}", path.display());
         }
     }
-    if let Some(path) = &opts.metrics_out {
+    if opts.trace_out.is_some() || opts.timeline_out.is_some() || opts.metrics_out.is_some() {
         let telemetry = report
             .telemetry
             .as_ref()
-            .ok_or_else(|| "telemetry is off; nothing to write to --metrics-out".to_string())?;
-        std::fs::write(path, ec_trace::export::metrics_json(telemetry))
-            .map_err(|e| format!("writing {}: {e}", path.display()))?;
-        if !opts.quiet {
-            println!("wrote metrics to {}", path.display());
-        }
+            .ok_or_else(|| "telemetry is off; nothing to export".to_string())?;
+        write_observability(telemetry, opts)?;
     }
     Ok(())
 }

@@ -175,12 +175,10 @@ fn telemetry_is_inert_under_fault_injection() {
     );
 }
 
-/// The serving stack obeys the same discipline: a closed-loop run's
-/// canonical `ServeReport` JSON must be byte-identical with telemetry off
-/// and at every recording level, while the non-Off runs actually attach
-/// the serving metrics.
-#[test]
-fn serve_telemetry_levels_never_change_the_report() {
+/// Builds a small trained checkpoint and runs the closed-loop serving
+/// workload at `level` under `faults`. Everything is re-derived per call,
+/// so each invocation is an independent, identically-seeded run.
+fn serve_run(level: TelemetryLevel, faults: FaultPlan) -> ec_graph_repro::serve::ServeReport {
     use ec_graph_repro::partition::hash::HashPartitioner;
     use ec_graph_repro::partition::Partitioner;
     use ec_graph_repro::serve::{run_closed_loop, InferenceService, ServeConfig, WorkloadConfig};
@@ -207,31 +205,40 @@ fn serve_telemetry_levels_never_change_the_report() {
     engine.run_epoch();
     let weights = engine.inference_model();
 
-    let run = |level: TelemetryLevel| {
-        let mut sc = ServeConfig::defaults(4);
-        sc.telemetry = TelemetryConfig::at(level);
-        let mut svc = InferenceService::new(
-            weights.clone(),
-            Arc::clone(&data),
-            adjs.clone(),
-            Arc::clone(&partition),
-            sc,
-        );
-        let workload =
-            WorkloadConfig { total_requests: 300, seed: 17, ..WorkloadConfig::defaults() };
-        run_closed_loop(&mut svc, &workload)
-    };
+    let mut sc = ServeConfig::defaults(4);
+    sc.telemetry = TelemetryConfig::at(level);
+    sc.faults = faults;
+    let mut svc = InferenceService::new(weights, data, adjs, partition, sc);
+    let workload = WorkloadConfig { total_requests: 300, seed: 17, ..WorkloadConfig::defaults() };
+    run_closed_loop(&mut svc, &workload)
+}
 
-    let off = run(TelemetryLevel::Off);
+/// The serving stack obeys the same discipline: a closed-loop run's
+/// canonical `ServeReport` JSON must be byte-identical with telemetry off
+/// and at every recording level, while the non-Off runs actually attach
+/// the serving metrics — the request-level histograms included.
+#[test]
+fn serve_telemetry_levels_never_change_the_report() {
+    let off = serve_run(TelemetryLevel::Off, FaultPlan::none());
     assert!(off.telemetry.is_none(), "Off must not attach a report");
     let base = off.to_json().to_string();
     for level in [TelemetryLevel::Epoch, TelemetryLevel::Superstep, TelemetryLevel::Trace] {
-        let r = run(level);
+        let r = serve_run(level, FaultPlan::none());
         let report = r
             .telemetry
             .as_ref()
             .unwrap_or_else(|| panic!("{} run must attach a telemetry report", level.as_str()));
-        for name in ["serve.cache_hit", "serve.batch_occupancy", "serve.latency_p99", "serve.qps"] {
+        for name in [
+            "serve.cache_hit",
+            "serve.batch_occupancy",
+            "serve.latency_p99",
+            "serve.qps",
+            "serve.cache_hit_rate",
+            "serve.queue_wait_s",
+            "serve.fetch_s",
+            "serve.compute_s",
+            "serve.latency_log2",
+        ] {
             assert!(
                 report.rows_named(name).next().is_some(),
                 "{} report must carry {name}",
@@ -245,4 +252,59 @@ fn serve_telemetry_levels_never_change_the_report() {
             level.as_str()
         );
     }
+}
+
+/// The serving-side invariance must also hold with the fault injector
+/// live (message drops plus a straggler), and the request spans must
+/// actually land on the traced run.
+#[test]
+fn serve_telemetry_is_inert_under_fault_injection() {
+    let faults = FaultPlan::uniform_drop(13, 0.05).with_straggler(0, 2.0);
+    let off = serve_run(TelemetryLevel::Off, faults.clone());
+    assert!(off.telemetry.is_none(), "Off must not attach a report");
+    let base = off.to_json().to_string();
+    let traced = serve_run(TelemetryLevel::Trace, faults.clone());
+    assert_eq!(
+        traced.to_json().to_string(),
+        base,
+        "fault-injected serve report diverged between Off and Trace telemetry"
+    );
+    let report = traced.telemetry.expect("Trace run must attach a telemetry report");
+    for name in ["serve:queue", "serve:fetch", "serve:compute"] {
+        assert!(
+            report.spans.iter().any(|s| s.name == name),
+            "request-level span {name} must be recorded"
+        );
+    }
+    // Not vacuous: the straggler must actually slow the simulated run.
+    let clean = serve_run(TelemetryLevel::Off, FaultPlan::none()).to_json().to_string();
+    assert_ne!(base, clean, "fault plan had no observable effect on serving");
+}
+
+/// The structural diff engine must agree with the byte-equality this
+/// suite proves: two identical-seed runs compare as zero drift — for the
+/// canonical run report and for the metrics export — while a different
+/// seed shows up as drift.
+#[test]
+fn identical_runs_diff_clean_through_trace_diff() {
+    use ec_graph_repro::trace::{diff, export};
+
+    let cfg = diff::DiffConfig::default();
+    let a = run_full(3, ComputeConfig::sequential(), FaultPlan::none(), TelemetryLevel::Trace);
+    let b = run_full(3, ComputeConfig::sequential(), FaultPlan::none(), TelemetryLevel::Trace);
+    let r = diff::diff_texts(&a.to_json().to_string(), &b.to_json().to_string(), &cfg)
+        .expect("run reports parse");
+    assert!(!r.has_drift(), "identical-seed run reports must diff clean");
+    assert_eq!(r.overall(), diff::Verdict::Unchanged);
+
+    let ma = export::metrics_json(a.telemetry.as_ref().expect("trace report"));
+    let mb = export::metrics_json(b.telemetry.as_ref().expect("trace report"));
+    let m = diff::diff_texts(&ma, &mb, &cfg).expect("metrics exports parse");
+    assert!(!m.has_drift(), "metrics exports drifted between identical runs");
+
+    // Not vacuous: a different seed must register as drift.
+    let c = run_full(4, ComputeConfig::sequential(), FaultPlan::none(), TelemetryLevel::Off);
+    let d = diff::diff_texts(&a.to_json().to_string(), &c.to_json().to_string(), &cfg)
+        .expect("run reports parse");
+    assert!(d.has_drift(), "seed change must show up in the structural diff");
 }

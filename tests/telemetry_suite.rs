@@ -14,7 +14,9 @@ use ec_graph_repro::data::DatasetSpec;
 use ec_graph_repro::ecgraph::config::{BpMode, FpMode, TrainingConfig};
 use ec_graph_repro::ecgraph::trainer::train;
 use ec_graph_repro::partition::hash::HashPartitioner;
-use ec_graph_repro::trace::{export, jsonck, TelemetryConfig, TelemetryLevel, TelemetryReport};
+use ec_graph_repro::trace::{
+    export, jsonck, timeline, TelemetryConfig, TelemetryLevel, TelemetryReport,
+};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -99,6 +101,34 @@ fn metrics_json_matches_golden() {
         assert!(text.contains(needle), "metrics export missing {needle:?}");
     }
     check_golden("metrics.json", &text);
+}
+
+#[test]
+fn timeline_json_matches_golden() {
+    let report = trace_run();
+    let text = timeline::timeline_json(&report);
+    jsonck::validate_json(&text).expect("timeline export must be valid JSON");
+    // Deterministic timing zeroes host measurements, but the simulated
+    // comm-wire seconds survive — the attribution is not all-zero.
+    assert!(text.starts_with(r#"{"level":"trace","overlap_headroom_s":"#));
+    for needle in ["comm_wire_s", "\"tracks\"", "\"phases\"", "fp:exchange"] {
+        assert!(text.contains(needle), "timeline export missing {needle:?}");
+    }
+    check_golden("timeline.json", &text);
+}
+
+#[test]
+fn folded_stacks_match_golden() {
+    let report = trace_run();
+    let text = timeline::folded_stacks(&report);
+    // Flamegraph collapsed format: every line is `stack <integer>`.
+    for line in text.lines() {
+        let (stack, micros) = line.rsplit_once(' ').expect("line has a sample count");
+        assert_eq!(stack.split(';').count(), 3, "stack is track;cat;name: {line}");
+        micros.parse::<u64>().expect("integer microseconds");
+    }
+    assert!(text.lines().any(|l| l.contains(";fp;fp:exchange")));
+    check_golden("stacks.folded", &text);
 }
 
 /// The fixture run must actually carry the EC-specific series the goldens
