@@ -25,11 +25,13 @@ static DETERMINISTIC_TIMING: AtomicBool = AtomicBool::new(false);
 
 /// Globally enables/disables deterministic (zeroed) compute timing.
 pub fn set_deterministic_timing(on: bool) {
+    // ec-lint: sound(lone flag set before runs start; no other memory is published through it)
     DETERMINISTIC_TIMING.store(on, Ordering::Relaxed);
 }
 
 /// Whether deterministic timing is in force.
 pub fn deterministic_timing() -> bool {
+    // ec-lint: sound(reads the lone flag; stale reads only zero a timer sample)
     DETERMINISTIC_TIMING.load(Ordering::Relaxed)
 }
 

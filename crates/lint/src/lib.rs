@@ -48,6 +48,19 @@
 //!   transitively depend on unordered iteration, unseeded RNG, or the
 //!   wall clock.
 //!
+//! Concurrency-soundness rules ([`conc`]), built on per-closure capture
+//! and write sets ([`dataflow`]):
+//!
+//! * [`conc::disjoint_band_writes`] — pool-dispatched closures write only
+//!   through band-local `&mut` slices, directly or via any call chain;
+//! * [`conc::atomics_ordering_audit`] — every `Ordering::Relaxed` access
+//!   and `unsafe` block carries a `// ec-lint: sound(<reason>)`
+//!   justification, inventoried into the checked-in `unsafe.lock`
+//!   (regenerate with `UPDATE_UNSAFE_LOCK=1`);
+//! * [`conc::lock_then_wait_hygiene`] — `Condvar::wait` sits in a
+//!   predicate-rechecking loop, and no second mutex is taken while a pool
+//!   guard is held.
+//!
 //! Findings from these rules carry the offending call chain as a note.
 //! Per-file analysis summaries can be cached ([`cache`], `--cache` on the
 //! CLI) keyed by content hash; resolution and the fixpoint re-run from
@@ -59,7 +72,9 @@
 
 pub mod cache;
 pub mod callgraph;
+pub mod conc;
 pub mod config;
+pub mod dataflow;
 pub mod diag;
 pub mod effects;
 pub mod lexer;
@@ -90,6 +105,9 @@ pub const KNOWN_RULES: &[&str] = &[
     "wire-schema-lock",
     "determinism-taint",
     "unused-suppression",
+    "disjoint-band-writes",
+    "atomics-ordering-audit",
+    "lock-then-wait-hygiene",
 ];
 
 /// Rules that need the parsed workspace symbol table.
@@ -184,6 +202,7 @@ pub fn run_with(
     }
     let needs_analysis = config.rules.contains_key("thread-scope-hygiene")
         || config.rules.contains_key("determinism-taint")
+        || config.rules.contains_key("disjoint-band-writes")
         || config.rules.get("no-panic-hot-path").is_some_and(|rc| !rc.entry_points.is_empty());
     let needs_ws =
         needs_analysis || config.rules.keys().any(|r| SEMANTIC_RULES.contains(&r.as_str()));
@@ -278,6 +297,18 @@ pub fn run_with(
                 let analysis = analysis.as_ref().expect("taint rule implies analysis");
                 diagnostics.extend(sem::determinism_taint(rc, analysis));
             }
+            "disjoint-band-writes" => {
+                let analysis = analysis.as_ref().expect("band-writes rule implies analysis");
+                diagnostics.extend(conc::disjoint_band_writes(rc, &scoped, &lexed, analysis));
+            }
+            "atomics-ordering-audit" => {
+                diagnostics.extend(conc::atomics_ordering_audit(rc, root, &scoped, &lexed));
+            }
+            "lock-then-wait-hygiene" => {
+                for rel in &scoped {
+                    diagnostics.extend(conc::lock_then_wait_hygiene(rc, rel, &lexed[rel]));
+                }
+            }
             "unused-suppression" => {} // runs after suppression matching below
             other => return Err(format!("lint.toml: unknown rule [{other}]")),
         }
@@ -360,7 +391,7 @@ mod tests {
         let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
         let toml = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml at repo root");
         let config = LintConfig::parse(&toml).expect("lint.toml parses");
-        assert_eq!(config.rules.len(), 11, "all eleven rules configured");
+        assert_eq!(config.rules.len(), 14, "all fourteen rules configured");
         let diags = run(&root, &config).expect("lint run succeeds");
         assert!(
             diags.is_empty(),

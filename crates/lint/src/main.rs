@@ -16,7 +16,9 @@
 //! With `UPDATE_WIRE_LOCK=1` in the environment, the `wire-schema-lock`
 //! rule rewrites its lockfile from the current sources instead of
 //! checking against it; commit the regenerated lock with the schema
-//! change that motivated it.
+//! change that motivated it. `UPDATE_UNSAFE_LOCK=1` does the same for
+//! `atomics-ordering-audit`'s inventory of justified `Relaxed`/`unsafe`
+//! sites (`unsafe.lock`).
 
 use ec_lint::config::LintConfig;
 use ec_lint::diag::Severity;
@@ -136,7 +138,8 @@ fn usage(err: &str) -> ExitCode {
          Runs the workspace determinism lints; exits non-zero on errors.\n\
          --sarif writes a SARIF 2.1.0 log for code-scanning upload.\n\
          --cache keeps per-file analysis summaries under target/ec-lint-cache.\n\
-         UPDATE_WIRE_LOCK=1 regenerates the wire-schema lockfile in place."
+         UPDATE_WIRE_LOCK=1 regenerates the wire-schema lockfile in place.\n\
+         UPDATE_UNSAFE_LOCK=1 regenerates the justified Relaxed/unsafe inventory (unsafe.lock)."
     );
     if err.is_empty() {
         ExitCode::SUCCESS

@@ -34,6 +34,15 @@ fn rule_summary(rule: &str) -> &'static str {
             "Serialization sinks must not transitively depend on unordered state"
         }
         "unused-suppression" => "Inline allows must still suppress a real finding",
+        "disjoint-band-writes" => {
+            "Pool-dispatched closures write only through band-local &mut slices"
+        }
+        "atomics-ordering-audit" => {
+            "Relaxed atomics and unsafe blocks carry sound() justifications locked in unsafe.lock"
+        }
+        "lock-then-wait-hygiene" => {
+            "Condvar waits recheck their predicate; no second mutex under a pool guard"
+        }
         _ => "ec-lint rule",
     }
 }

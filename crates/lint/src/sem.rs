@@ -408,7 +408,7 @@ pub fn no_float_unordered_reduce(rc: &RuleConfig, path: &str, file: &LexedFile) 
 }
 
 /// Index of the `>` closing the `<` at `open`, tolerant of `->`.
-fn angle_close(toks: &[Tok], open: usize) -> usize {
+pub(crate) fn angle_close(toks: &[Tok], open: usize) -> usize {
     let mut depth = 0usize;
     let mut i = open;
     while i < toks.len() {

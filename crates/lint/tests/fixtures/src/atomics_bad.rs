@@ -1,0 +1,23 @@
+//! Bait for `atomics-ordering-audit`: unjustified weak-ordering sites and
+//! a stale justification marker.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Unjustified `Ordering::Relaxed` store: no sound() marker in sight.
+pub fn bump_unjustified() -> u64 {
+    SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Unjustified `unsafe` block: the invariant is never stated.
+pub fn first_unchecked(buf: &[f32]) -> f32 {
+    unsafe { *buf.get_unchecked(0) }
+}
+
+/// Stale marker: the line below uses SeqCst, which needs no justification,
+/// so the sound() comment justifies nothing.
+pub fn bump_seqcst() -> u64 {
+    // ec-lint: sound(left over from a Relaxed draft of this counter)
+    SEQ.fetch_add(1, Ordering::SeqCst)
+}

@@ -1,0 +1,21 @@
+//! Clean counterpart to `atomics_bad.rs`: every weak-ordering site carries
+//! a sound() justification and an `unsafe.lock` entry. The committed
+//! fixture lock deliberately drifts the `relaxed#0` fingerprint and keeps a
+//! stale `atomics_removed.rs` entry, seeding the lockfile findings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static TICKETS: AtomicU64 = AtomicU64::new(0);
+
+/// Justified Relaxed: the ticket value is only compared for uniqueness.
+pub fn next_ticket() -> u64 {
+    // ec-lint: sound(ticket ids only need uniqueness, nothing synchronizes on them)
+    TICKETS.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Justified unsafe: the caller contract guarantees the index.
+pub fn head_unchecked(buf: &[f32]) -> f32 {
+    debug_assert!(!buf.is_empty());
+    // ec-lint: sound(callers pass non-empty buffers, checked by the debug_assert above)
+    unsafe { *buf.get_unchecked(0) }
+}

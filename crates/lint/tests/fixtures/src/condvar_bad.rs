@@ -1,0 +1,33 @@
+//! Bait for `lock-then-wait-hygiene`: a wakeup-unsafe condvar wait and a
+//! lock-order inversion under a live guard.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+pub struct Channel {
+    pub state: Mutex<Vec<u32>>,
+    pub other: Mutex<u32>,
+    pub ready: Condvar,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl Channel {
+    /// Waits once with no predicate recheck: a spurious wakeup returns an
+    /// empty queue to the caller.
+    pub fn take_unguarded(&self) -> Option<u32> {
+        let state = lock(&self.state);
+        let mut state = self.ready.wait(state).unwrap_or_else(|p| p.into_inner());
+        state.pop()
+    }
+
+    /// Acquires the second mutex while the first guard is still live:
+    /// lock-order inversion against any path taking them the other way.
+    pub fn drain_and_count(&self) -> u32 {
+        let mut state = lock(&self.state);
+        state.clear();
+        let other = lock(&self.other);
+        *other
+    }
+}

@@ -1,0 +1,37 @@
+//! Clean counterpart to `condvar_bad.rs`: predicate-rechecking waits and
+//! sequential (drop-then-lock) mutex use.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+pub struct Channel {
+    pub state: Mutex<Vec<u32>>,
+    pub other: Mutex<u32>,
+    pub ready: Condvar,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl Channel {
+    /// The sanctioned wait shape: loop until the predicate really holds.
+    pub fn take(&self) -> u32 {
+        let mut state = lock(&self.state);
+        loop {
+            if let Some(v) = state.pop() {
+                return v;
+            }
+            state = self.ready.wait(state).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Sequential locking: the first guard is dropped before the second
+    /// mutex is touched.
+    pub fn drain_then_count(&self) -> u32 {
+        let mut state = lock(&self.state);
+        state.clear();
+        drop(state);
+        let other = lock(&self.other);
+        *other
+    }
+}

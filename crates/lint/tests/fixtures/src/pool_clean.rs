@@ -1,0 +1,37 @@
+//! Clean counterpart to `pool_racy.rs`: band-disciplined closures that
+//! only write through their disjoint `&mut` slices and closure locals.
+
+pub fn run_bands(rows: usize, body: &dyn Fn(usize, &mut [f32])) {
+    let _ = (rows, body);
+}
+
+/// The sanctioned idiom: split the output, move each band into its
+/// closure, write only through the band and loop locals.
+pub fn banded_fill(out: &mut [f32], bands: usize, cols: usize) {
+    let mut rest = out;
+    let mut row0 = 0usize;
+    for _ in 0..bands {
+        let here = rest.len().min(cols);
+        let (band, tail) = rest.split_at_mut(here);
+        rest = tail;
+        let start = row0;
+        run_bands(here, &|r, dst| {
+            let mut acc = 0.0f32;
+            acc += (start + r) as f32;
+            dst[0] = acc;
+            band.len();
+        });
+        row0 += here;
+    }
+    let _ = row0;
+}
+
+/// Writing the band by element and by slot both stay inside the lattice.
+pub fn banded_scale(out: &mut [f32], cols: usize) {
+    let (band, _tail) = out.split_at_mut(cols);
+    run_bands(cols, &|r, _dst| {
+        let mut local = vec![0.0f32; 4];
+        local[0] = r as f32;
+        band.len();
+    });
+}

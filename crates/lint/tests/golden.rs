@@ -59,6 +59,9 @@ fn every_rule_fires_on_the_fixtures() {
         "wire-schema-lock",
         "determinism-taint",
         "unused-suppression",
+        "disjoint-band-writes",
+        "atomics-ordering-audit",
+        "lock-then-wait-hygiene",
     ] {
         assert!(
             diags.iter().any(|d| d.rule == rule),
@@ -94,6 +97,17 @@ fn exempt_fixture_lines_stay_clean() {
     assert!(!diags.iter().any(|d| d.message.contains("ScratchState")), "{diags:?}");
     // stale_allow.rs: the suppression that covers a real Instant is used.
     assert!(!diags.iter().any(|d| d.path == "src/stale_allow.rs" && d.line < 10), "{diags:?}");
+    // pool_clean.rs: band-disciplined closures write only through their
+    // split_at_mut bands, parameters, and locals.
+    assert!(!diags.iter().any(|d| d.path == "src/pool_clean.rs"), "{diags:?}");
+    // atomics_ok.rs: both justified sites pass the marker check; the only
+    // findings there come from the deliberately drifted lock fingerprint.
+    assert!(
+        !diags.iter().any(|d| d.path == "src/atomics_ok.rs" && !d.message.contains("drifted")),
+        "{diags:?}"
+    );
+    // condvar_ok.rs: the looped wait and drop-then-lock sequence are clean.
+    assert!(!diags.iter().any(|d| d.path == "src/condvar_ok.rs"), "{diags:?}");
 }
 
 #[test]

@@ -159,6 +159,18 @@ fn as_number(v: &Value) -> Option<f64> {
 }
 
 fn classify_numbers(path: &str, b: f64, a: f64, cfg: &DiffConfig) -> (Verdict, Option<f64>) {
+    // Non-finite and subnormal operands break the threshold arithmetic
+    // below: `INF - INF` and NaN deltas fail every `<=`/`>` comparison and
+    // would fall through to an Improved/Regressed verdict chosen by the
+    // `delta > 0.0` branch, and subnormals underflow `rel_threshold *
+    // base`. Such leaves never classify as Improved/Regressed — only
+    // exact-equal (covers equal infinities) counts as Unchanged, anything
+    // else is Changed, and no relative delta is reported.
+    let degenerate = |x: f64| !x.is_finite() || (x != 0.0 && !x.is_normal());
+    if degenerate(b) || degenerate(a) {
+        let verdict = if a == b { Verdict::Unchanged } else { Verdict::Changed };
+        return (verdict, None);
+    }
     let delta = a - b;
     let base = b.abs().max(a.abs());
     let rel = if base > 0.0 { Some(delta / base) } else { None };
@@ -581,5 +593,132 @@ mod tests {
         jsonck::validate_json(&text).expect("valid JSON");
         assert!(text.starts_with(r#"{"verdict":"regressed""#));
         assert!(text.contains(r#""path":"compute_s_per_epoch","verdict":"regressed""#));
+    }
+
+    /// Builds a one-leaf doc on a lower-is-better path, so any hole in
+    /// the degenerate-number guard would surface as Improved/Regressed.
+    fn directed(v: f64) -> Value {
+        Value::Object(vec![("compute_s_per_epoch".to_string(), Value::Float(v))])
+    }
+
+    fn verdict_between(b: f64, a: f64) -> (Verdict, Option<f64>) {
+        let r = diff_values(&directed(b), &directed(a), &DiffConfig::default());
+        assert_eq!(r.entries.len(), 1, "{:?}", r.entries);
+        (r.entries[0].verdict, r.entries[0].rel_delta)
+    }
+
+    #[test]
+    fn non_finite_and_subnormal_leaves_never_improve_or_regress() {
+        const SUBNORMAL: f64 = 5e-324;
+        // Without the guard, 1.0 → INF computes delta = INF > 0 on a
+        // lower-is-better path and reads as Regressed; NaN deltas fail
+        // every comparison and fall into the direction match too.
+        for (b, a) in [
+            (1.0, f64::NAN),
+            (f64::NAN, 1.0),
+            (f64::NAN, f64::NAN), // NaN != NaN: even self-compare is Changed
+            (1.0, f64::INFINITY),
+            (f64::INFINITY, 1.0),
+            (f64::NEG_INFINITY, f64::INFINITY),
+            (f64::INFINITY, f64::NEG_INFINITY),
+            (1.0, SUBNORMAL),
+            (SUBNORMAL, 2.0 * SUBNORMAL),
+        ] {
+            let (verdict, rel) = verdict_between(b, a);
+            assert_eq!(verdict, Verdict::Changed, "({b}, {a})");
+            assert_eq!(rel, None, "degenerate pairs report no relative delta ({b}, {a})");
+        }
+        // Exact equality (covers equal infinities and bit-equal
+        // subnormals) stays Unchanged so self-comparison of a document
+        // with infinite leaves does not report drift.
+        for v in [f64::INFINITY, f64::NEG_INFINITY, SUBNORMAL] {
+            assert_eq!(verdict_between(v, v).0, Verdict::Unchanged, "{v}");
+        }
+    }
+
+    /// Deterministic splitmix64 for the random-document generator.
+    fn next_u64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Random JSON document biased toward the numeric edge cases and
+    /// direction-carrying key names.
+    fn random_doc(state: &mut u64, depth: usize) -> Value {
+        const FLOATS: &[f64] = &[
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            5e-324, // subnormal
+            0.0,
+            -0.0,
+            1.0,
+            -3.25,
+            1e308,
+            1e-12,
+        ];
+        const KEYS: &[&str] =
+            &["compute_s_per_epoch", "speedup_vs_seq", "total_bytes", "loss", "value", "slot"];
+        match next_u64(state) % if depth == 0 { 5 } else { 7 } {
+            0 => Value::Null,
+            1 => Value::Bool(next_u64(state).is_multiple_of(2)),
+            2 => Value::Int(next_u64(state) as i64 % 1000),
+            3 => Value::Float(FLOATS[next_u64(state) as usize % FLOATS.len()]),
+            4 => Value::String(format!("s{}", next_u64(state) % 4)),
+            5 => {
+                let n = next_u64(state) as usize % 3;
+                Value::Array((0..n).map(|_| random_doc(state, depth - 1)).collect())
+            }
+            _ => {
+                let n = next_u64(state) as usize % 4;
+                Value::Object(
+                    (0..n)
+                        .map(|i| {
+                            let key = KEYS[(next_u64(state) as usize + i) % KEYS.len()];
+                            (key.to_string(), random_doc(state, depth - 1))
+                        })
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    fn is_degenerate_leaf(v: &Option<Value>) -> bool {
+        matches!(v, Some(Value::Float(x)) if !x.is_finite() || (*x != 0.0 && !x.is_normal()))
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(256))]
+        /// Over random documents (seeded, shim proptest): diffing never
+        /// panics, and no leaf touching a NaN/±Inf/subnormal value ever
+        /// classifies as Improved or Regressed.
+        #[test]
+        fn random_documents_never_misclassify_degenerate_numbers(seed in proptest::any::<u64>()) {
+            let mut s = seed;
+            let before = random_doc(&mut s, 3);
+            let after = if next_u64(&mut s).is_multiple_of(4) {
+                before.clone() // exercise self-comparison too
+            } else {
+                random_doc(&mut s, 3)
+            };
+            let report = diff_values(&before, &after, &DiffConfig::default());
+            for e in &report.entries {
+                if is_degenerate_leaf(&e.before) || is_degenerate_leaf(&e.after) {
+                    proptest::prop_assert!(
+                        !matches!(e.verdict, Verdict::Improved | Verdict::Regressed),
+                        "degenerate leaf classified directionally: {e:?}"
+                    );
+                    proptest::prop_assert!(
+                        e.rel_delta.is_none(),
+                        "degenerate leaf reported a relative delta: {e:?}"
+                    );
+                }
+            }
+            // The report must also serialize without panicking.
+            let _ = report.to_json(&DiffConfig::default()).to_string();
+        }
     }
 }

@@ -190,6 +190,7 @@ impl WorkerPool {
     pub fn new(threads: usize) -> Self {
         let phys = physical_parallelism();
         let want = if threads == 0 { phys } else { threads.min(phys) }.max(1);
+        // ec-lint: sound(token only needs uniqueness for thread names; no other memory is ordered by it)
         let token = NEXT_TOKEN.fetch_add(1, Ordering::Relaxed);
         let mut lanes = Vec::with_capacity(want - 1);
         let mut handles = Vec::with_capacity(want - 1);
@@ -264,6 +265,7 @@ impl WorkerPool {
             // the wait). Every borrow captured by the job therefore
             // outlives its execution, which is all the 'static bound is
             // standing in for.
+            // ec-lint: sound(lifetime-only transmute; latch.wait() below outlives every captured borrow)
             let job: Job = unsafe { std::mem::transmute::<Task<'scope>, Job>(job) };
             if let Err(job) = self.lanes[lane - 1].enqueue(job) {
                 // Lane unavailable (spawn failed at construction): do its
@@ -300,7 +302,14 @@ impl Drop for WorkerPool {
 fn lane_main(queue: Arc<JobQueue>, token: usize) {
     POOL_MEMBERSHIP.with(|membership| membership.set(token));
     while let Some(job) = queue.dequeue() {
-        job();
+        // `run` already wraps every task in catch_unwind before it reaches
+        // a queue, but the lane re-catches defensively: a panicking job
+        // must never unwind the lane thread, or `Drop`'s close-then-join
+        // shutdown would see a dead lane and `join()` would return the
+        // panic instead of Ok — the deadlock-freedom argument in the
+        // interleave tests assumes lanes always reach the closed-and-
+        // drained exit of `dequeue`.
+        let _ = catch_unwind(AssertUnwindSafe(job));
     }
 }
 
@@ -453,5 +462,35 @@ mod tests {
     #[test]
     fn empty_batch_is_a_noop() {
         WorkerPool::new(3).run(Vec::new());
+    }
+
+    #[test]
+    fn close_while_jobs_panic_drains_and_joins() {
+        // Shutdown is `close()` then `join()` (see `Drop`); that pair must
+        // not deadlock or propagate a panic even when raw jobs — enqueued
+        // without `run`'s catch_unwind wrapper — blow up while the close
+        // races the drain. The lane's own defensive catch is what makes
+        // `join()` return Ok here.
+        let queue = Arc::new(JobQueue::new());
+        let lane_queue = Arc::clone(&queue);
+        let handle = std::thread::spawn(move || lane_main(lane_queue, usize::MAX));
+        for i in 0..32u32 {
+            let job: Job = Box::new(move || {
+                if i % 3 == 0 {
+                    panic!("job {i} exploded mid-shutdown");
+                }
+            });
+            if queue.enqueue(job).is_err() {
+                break; // closed below: the queue refuses new work
+            }
+            if i == 16 {
+                queue.close();
+            }
+        }
+        queue.close(); // idempotent; covers the short-circuited loop too
+        assert!(
+            handle.join().is_ok(),
+            "lane must exit cleanly after close, even with panicking jobs in flight"
+        );
     }
 }

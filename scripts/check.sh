@@ -30,12 +30,14 @@ cargo fmt --all --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== ec-lint (determinism / panic / wire-schema invariants) =="
+echo "== ec-lint (determinism / panic / wire-schema / concurrency invariants) =="
 # --cache keeps per-file analysis summaries under target/ec-lint-cache so
 # repeated local runs only re-analyze edited files; the JSON and SARIF
-# reports at the repo root are what CI uploads as artifacts.
-cargo run -q -p ec-lint -- --check --cache --sarif ec-lint-report.sarif \
-  | tee ec-lint-report.txt
+# reports live under target/ (never the repo root) and are what CI uploads
+# as artifacts.
+mkdir -p target
+cargo run -q -p ec-lint -- --check --cache --sarif target/ec-lint-report.sarif \
+  | tee target/ec-lint-report.txt
 
 echo "== cargo test =="
 cargo test --workspace -q
@@ -94,6 +96,32 @@ if [[ "$RUN_TRACE_SMOKE" == "1" ]]; then
   grep -q 'verdict: unchanged' "$SMOKE_DIR/compare.txt" \
     || { echo "self-compare must report all-unchanged" >&2; exit 1; }
   cargo run -q -p ec-trace --bin trace_check -- "$SMOKE_DIR/verdict.json"
+
+  echo "== compare smoke (injected regression must exit 3) =="
+  # Copy the real metrics document and inflate one lower-is-better series
+  # (a `*bytes` traffic counter); `ecgraph compare` documents exit 0 for
+  # no regressions and exit 3 when at least one series regressed, so the
+  # doctored run must exit 3.
+  python3 - "$SMOKE_DIR/metrics.json" "$SMOKE_DIR/metrics_regressed.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for entry in doc["metrics"]:
+    value = entry.get("value")
+    if "bytes" in entry.get("name", "") and isinstance(value, (int, float)) and value > 0:
+        entry["value"] = value * 10
+        break
+else:
+    raise SystemExit("metrics.json has no nonzero *bytes series to regress")
+with open(sys.argv[2], "w") as f:
+    json.dump(doc, f)
+PY
+  compare_rc=0
+  cargo run -q -p ec-graph-repro --bin ecgraph -- compare \
+    "$SMOKE_DIR/metrics.json" "$SMOKE_DIR/metrics_regressed.json" --quiet \
+    || compare_rc=$?
+  [[ "$compare_rc" -eq 3 ]] \
+    || { echo "regressed compare must exit 3 (got $compare_rc)" >&2; exit 1; }
 fi
 
 if [[ "$RUN_SERVE_SMOKE" == "1" ]]; then
